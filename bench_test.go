@@ -1,0 +1,231 @@
+package thymesim
+
+import (
+	"testing"
+
+	"thymesim/internal/core"
+	"thymesim/internal/sim"
+)
+
+// Each benchmark regenerates one table or figure from the paper's
+// evaluation (§IV) and prints the measured series with -v. The absolute
+// numbers come from the simulated testbed, not POWER9 silicon; the shapes
+// (linearity, BDP constancy, who degrades and by what factor, where the
+// resilience cliff falls, how contention divides) are the reproduction
+// targets. See EXPERIMENTS.md.
+
+func benchOptions() core.Options {
+	o := core.Default()
+	o.StreamElements = 1 << 14
+	return o
+}
+
+// BenchmarkFigure2LatencyVsPeriod: STREAM-measured latency vs PERIOD —
+// linear, spanning the paper's 1.2-150us datacenter-network regime.
+func BenchmarkFigure2LatencyVsPeriod(b *testing.B) {
+	o := benchOptions()
+	var v *core.DelayValidation
+	for i := 0; i < b.N; i++ {
+		v = o.RunDelayValidation(core.DefaultPeriods())
+	}
+	b.ReportMetric(v.Slope, "us/PERIOD")
+	b.ReportMetric(v.R2, "r2")
+	b.Logf("Figure 2 series (PERIOD -> latency us):")
+	for _, p := range v.Latency.Series[0].Points {
+		b.Logf("  PERIOD=%-4.0f latency=%8.3f us", p.X, p.Y)
+	}
+}
+
+// BenchmarkFigure3BandwidthVsPeriod: STREAM bandwidth collapse with PERIOD
+// and the constant bandwidth-delay product (~16.5 kB).
+func BenchmarkFigure3BandwidthVsPeriod(b *testing.B) {
+	o := benchOptions()
+	var v *core.DelayValidation
+	for i := 0; i < b.N; i++ {
+		v = o.RunDelayValidation(core.DefaultPeriods())
+	}
+	lo, hi, _ := v.BDP.Series[0].MinMaxY()
+	b.ReportMetric((lo+hi)/2, "BDP-kB")
+	b.Logf("Figure 3 series (PERIOD -> bandwidth GB/s, BDP kB):")
+	for i, p := range v.Bandwidth.Series[0].Points {
+		b.Logf("  PERIOD=%-4.0f bw=%8.4f GB/s  BDP=%6.2f kB", p.X, p.Y, v.BDP.Series[0].Points[i].Y)
+	}
+}
+
+// BenchmarkFigure4Resilience: exponential PERIOD stress; the attach
+// handshake survives PERIOD<=1000 (~400us latency) and the FPGA detection
+// times out at PERIOD=10000, as in the paper.
+func BenchmarkFigure4Resilience(b *testing.B) {
+	o := benchOptions()
+	var r *core.Resilience
+	for i := 0; i < b.N; i++ {
+		r = o.RunResilience(core.ResiliencePeriods())
+	}
+	survived := 0
+	for _, p := range r.Points {
+		if p.AttachOK {
+			survived++
+		}
+		status := "functional"
+		if p.Crashed {
+			status = "FAILED: " + p.AttachReason
+		}
+		b.Logf("  PERIOD=%-6d latency=%8.4g us  %s", p.Period, p.LatencyUs, status)
+	}
+	b.ReportMetric(float64(survived), "periods-survived")
+}
+
+// BenchmarkTable1HighDelay: slowdown vs local memory at PERIOD=1 and
+// PERIOD=1000 for Redis and Graph500 (paper: 1.01x/1.73x, 6x/2209x,
+// 5.3x/1800x).
+func BenchmarkTable1HighDelay(b *testing.B) {
+	o := core.Default()
+	var t *core.Table1
+	for i := 0; i < b.N; i++ {
+		t = o.RunTable1()
+	}
+	b.ReportMetric(t.RedisHigh, "redis-P1000-x")
+	b.ReportMetric(t.BFSHigh, "bfs-P1000-x")
+	b.ReportMetric(t.SSSPHigh, "sssp-P1000-x")
+	b.Logf("Table I (slowdown vs local):")
+	b.Logf("  Redis         %6.2fx %8.4gx", t.RedisLow, t.RedisHigh)
+	b.Logf("  Graph500 BFS  %6.2fx %8.4gx", t.BFSLow, t.BFSHigh)
+	b.Logf("  Graph500 SSSP %6.2fx %8.4gx", t.SSSPLow, t.SSSPHigh)
+}
+
+// BenchmarkFigure5AppDegradation: per-application slowdown vs injected
+// delay — Redis nearly flat, Graph500 order-of-magnitude.
+func BenchmarkFigure5AppDegradation(b *testing.B) {
+	o := core.Default()
+	o.GraphScale = 11 // keep the 8-point sweep tractable per iteration
+	var d *core.AppDegradation
+	for i := 0; i < b.N; i++ {
+		d = o.RunAppDegradation(core.Fig5Periods())
+	}
+	b.Logf("Figure 5 series (delay us -> slowdown):")
+	redis, bfs, sssp := d.Figure.Get("redis"), d.Figure.Get("graph500-bfs"), d.Figure.Get("graph500-sssp")
+	for i := range redis.Points {
+		b.Logf("  delay=%8.3fus redis=%6.3fx bfs=%8.3fx sssp=%8.3fx",
+			redis.Points[i].X, redis.Points[i].Y, bfs.Points[i].Y, sssp.Points[i].Y)
+	}
+	_, hiR, _ := redis.MinMaxY()
+	_, hiB, _ := bfs.MinMaxY()
+	b.ReportMetric(hiR, "redis-max-x")
+	b.ReportMetric(hiB, "bfs-max-x")
+}
+
+// BenchmarkFigure6MCBN: equal division of bandwidth among N borrower
+// STREAM instances.
+func BenchmarkFigure6MCBN(b *testing.B) {
+	o := benchOptions()
+	var c *core.Contention
+	for i := 0; i < b.N; i++ {
+		c = o.RunMCBN([]int{1, 2, 4, 8})
+	}
+	b.Logf("Figure 6 series (instances -> per-instance GB/s):")
+	for i, n := range c.Counts {
+		b.Logf("  n=%d  %7.3f GB/s", n, c.BorrowerBps[i]/1e9)
+	}
+	b.ReportMetric(c.BorrowerBps[0]/c.BorrowerBps[len(c.BorrowerBps)-1], "division-x")
+}
+
+// BenchmarkFigure7MCLN: borrower bandwidth stays flat as lender-local
+// STREAM instances contend for the lender's memory bus.
+func BenchmarkFigure7MCLN(b *testing.B) {
+	o := benchOptions()
+	var c *core.Contention
+	for i := 0; i < b.N; i++ {
+		c = o.RunMCLN([]int{0, 1, 2, 4})
+	}
+	b.Logf("Figure 7 series (lender instances -> borrower GB/s):")
+	for i, n := range c.Counts {
+		b.Logf("  n=%d  %7.3f GB/s", n, c.BorrowerBps[i]/1e9)
+	}
+	b.ReportMetric(c.BorrowerBps[len(c.BorrowerBps)-1]/c.BorrowerBps[0], "retained-frac")
+}
+
+// BenchmarkAblationPooling: the §V discussion — against a CPU-less memory
+// pool, lender-side contention becomes visible at the borrower.
+func BenchmarkAblationPooling(b *testing.B) {
+	o := benchOptions()
+	var c *core.Contention
+	for i := 0; i < b.N; i++ {
+		c = o.RunMCLNPool([]int{0, 1, 2, 4}, 25e9)
+	}
+	b.Logf("Pooling ablation (pool-local instances -> borrower GB/s):")
+	for i, n := range c.Counts {
+		b.Logf("  n=%d  %7.3f GB/s", n, c.BorrowerBps[i]/1e9)
+	}
+	b.ReportMetric(c.BorrowerBps[len(c.BorrowerBps)-1]/c.BorrowerBps[0], "retained-frac")
+}
+
+// BenchmarkAblationDistributions: the §VII future-work extension —
+// distribution-based injection at equal mean delay differentiates tail
+// latency, not bandwidth.
+func BenchmarkAblationDistributions(b *testing.B) {
+	o := benchOptions()
+	var d *core.DistImpact
+	for i := 0; i < b.N; i++ {
+		d = o.RunDistImpact(2 * sim.Microsecond)
+	}
+	b.Logf("Distribution ablation:")
+	for _, row := range d.Table.Rows {
+		b.Logf("  %-16s bw=%s GB/s  mean=%s us  p99=%s us", row[0], row[1], row[2], row[3])
+	}
+}
+
+// BenchmarkAblationQoSPriority: the packet-scheduling QoS mechanism §IV-D
+// motivates — a latency-sensitive pointer chase sharing the injector with
+// a bulk STREAM, FIFO vs priority arbitration.
+func BenchmarkAblationQoSPriority(b *testing.B) {
+	o := benchOptions()
+	var q *core.QoSResult
+	for i := 0; i < b.N; i++ {
+		q = o.RunQoSPriority(100)
+	}
+	b.Logf("chase alone %.2fus | FIFO %.2fus | priority %.2fus (bulk %.3f -> %.3f GB/s)",
+		q.ChaseAloneUs, q.ChaseFIFOUs, q.ChasePrioUs, q.BulkFIFOBps/1e9, q.BulkPrioBps/1e9)
+	b.ReportMetric(q.ChaseFIFOUs/q.ChasePrioUs, "protection-x")
+}
+
+// BenchmarkAblationMigration: the page-migration QoS mechanism §IV-D
+// motivates — a hot remote working set promoted to local frames during a
+// delayed run.
+func BenchmarkAblationMigration(b *testing.B) {
+	o := benchOptions()
+	var m *core.MigrationResult
+	for i := 0; i < b.N; i++ {
+		m = o.RunMigration(100)
+	}
+	b.Logf("remote-only %.2fus | with migration %.2fus (%d promotions, %d lines copied)",
+		m.NoMigrationUs, m.WithMigrationUs, m.Promotions, m.CopiedLines)
+	b.ReportMetric(m.NoMigrationUs/m.WithMigrationUs, "improvement-x")
+}
+
+// BenchmarkAblationInterconnect: the §V protocol discussion quantified —
+// OpenCAPI-over-Ethernet framing vs a CXL-like native fabric.
+func BenchmarkAblationInterconnect(b *testing.B) {
+	o := benchOptions()
+	var r *core.InterconnectResult
+	for i := 0; i < b.N; i++ {
+		r = o.RunInterconnectComparison()
+	}
+	for _, row := range r.Rows {
+		b.Logf("%-18s chase %.2fus  stream %.2f GB/s  chase@P250 %.2fus",
+			row.Name, row.ChaseUs, row.StreamGBs, row.DelayedChase)
+	}
+	b.ReportMetric(r.Rows[1].StreamGBs/r.Rows[0].StreamGBs, "cxl-speedup-x")
+}
+
+// BenchmarkAblationPrefetch: hardware stream prefetching on disaggregated
+// memory — hides the base RTT, cannot beat the injector's release rate.
+func BenchmarkAblationPrefetch(b *testing.B) {
+	o := benchOptions()
+	var r *core.PrefetchResult
+	for i := 0; i < b.N; i++ {
+		r = o.RunPrefetchAblation(250)
+	}
+	b.Logf("vanilla: %.2f -> %.2f us/line | delayed: %.2f -> %.2f us/line",
+		r.OffVanillaUs, r.OnVanillaUs, r.OffDelayedUs, r.OnDelayedUs)
+	b.ReportMetric(r.OffVanillaUs/r.OnVanillaUs, "vanilla-gain-x")
+}

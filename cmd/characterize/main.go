@@ -1,0 +1,95 @@
+// Command characterize regenerates every table and figure of the paper's
+// evaluation (§IV): delay-injection validation (Figs. 2-3), resilience
+// (Fig. 4), Table I, application impact (Fig. 5), contention (Figs. 6-7),
+// and the §V/§VII extension studies. Results are rendered to stdout and,
+// with -out, written as CSV files.
+//
+// Usage:
+//
+//	characterize [-out dir] [-paper] [-experiment all|validation|resilience|table1|fig5|mcbn|mcln|pool|dists|qos|migration|interconnect|prefetch]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"thymesim/internal/core"
+	"thymesim/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("characterize: ")
+	var (
+		outDir     = flag.String("out", "", "directory for CSV output (omit to skip)")
+		paper      = flag.Bool("paper", false, "use the paper's full experiment sizes (slow)")
+		experiment = flag.String("experiment", "all", "which experiment to run")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	opts := core.Default()
+	if *paper {
+		opts = core.Paper()
+	}
+	opts.Seed = *seed
+	if err := opts.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	rep := &core.Report{Options: opts}
+	run := func(name string, fn func()) {
+		fmt.Fprintf(os.Stderr, "running %s...\n", name)
+		fn()
+	}
+	want := func(name string) bool { return *experiment == "all" || *experiment == name }
+
+	if want("validation") {
+		run("delay validation (Figs. 2-3)", func() { rep.Validation = opts.RunDelayValidation(core.DefaultPeriods()) })
+	}
+	if want("resilience") {
+		run("resilience (Fig. 4)", func() { rep.Resilience = opts.RunResilience(core.ResiliencePeriods()) })
+	}
+	if want("table1") {
+		run("Table I", func() { rep.Table1 = opts.RunTable1() })
+	}
+	if want("fig5") {
+		run("application impact (Fig. 5)", func() { rep.Fig5 = opts.RunAppDegradation(core.Fig5Periods()) })
+	}
+	if want("mcbn") {
+		run("borrower contention (Fig. 6)", func() { rep.MCBN = opts.RunMCBN([]int{1, 2, 4, 8}) })
+	}
+	if want("mcln") {
+		run("lender contention (Fig. 7)", func() { rep.MCLN = opts.RunMCLN([]int{0, 1, 2, 4, 8}) })
+	}
+	if want("pool") {
+		run("pooling ablation (§V)", func() { rep.Pool = opts.RunMCLNPool([]int{0, 1, 2, 4, 8}, 25e9) })
+	}
+	if want("dists") {
+		run("distribution injection (§VII)", func() { rep.Dists = opts.RunDistImpact(2 * sim.Microsecond) })
+	}
+	if want("qos") {
+		run("QoS packet prioritization", func() { rep.QoS = opts.RunQoSPriority(100) })
+	}
+	if want("migration") {
+		run("page migration", func() { rep.Migration = opts.RunMigration(100) })
+	}
+	if want("interconnect") {
+		run("interconnect comparison (§V)", func() { rep.Xconnect = opts.RunInterconnectComparison() })
+	}
+	if want("prefetch") {
+		run("prefetch ablation", func() { rep.Prefetch = opts.RunPrefetchAblation(250) })
+	}
+
+	if err := rep.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if *outDir != "" {
+		if err := rep.WriteCSVDir(*outDir); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "CSV written to %s\n", *outDir)
+	}
+}

@@ -1,0 +1,184 @@
+// Command memtrace records workload memory traces from the simulated
+// testbed, inspects them, and replays them against arbitrary delay
+// configurations — methodology for comparing memory-system settings on
+// bit-identical access streams.
+//
+// Usage:
+//
+//	memtrace record -workload stream|graph500-bfs [-out trace.tsim] [-scale N]
+//	memtrace stat   -in trace.tsim
+//	memtrace replay -in trace.tsim [-period N] [-window N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"thymesim/internal/core"
+	"thymesim/internal/memport"
+	"thymesim/internal/ocapi"
+	"thymesim/internal/sim"
+	"thymesim/internal/trace"
+	"thymesim/internal/workloads/graph500"
+	"thymesim/internal/workloads/stream"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("memtrace: ")
+	if len(os.Args) < 2 {
+		log.Fatal("subcommand required: record | stat | replay")
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "stat":
+		stat(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	default:
+		log.Fatalf("unknown subcommand %q", os.Args[1])
+	}
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	workload := fs.String("workload", "stream", "stream | graph500-bfs")
+	out := fs.String("out", "trace.tsim", "output file")
+	scale := fs.Int("scale", 10, "Graph500 scale")
+	elements := fs.Int("elements", 1<<15, "STREAM elements")
+	fs.Parse(args)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := core.Default()
+	switch *workload {
+	case "stream":
+		// Capture the raw access stream (single phase: STREAM's intra-
+		// kernel accesses are independent; replay bounds them with the
+		// window).
+		tb := opts.Testbed(1)
+		h := tb.NewRemoteHierarchy()
+		h.OnAccess(func(addr uint64, size int, write bool) {
+			if err := w.Op(memport.Op{Addr: addr, Size: int32(size), Write: write}); err != nil {
+				log.Fatal(err)
+			}
+		})
+		cfg := stream.DefaultConfig(tb.RemoteAddr(0))
+		cfg.Elements = *elements
+		r := stream.New(tb.K, h, cfg)
+		tb.K.At(0, func() { r.Run(func([]stream.Result) {}) })
+		tb.K.Run()
+	case "graph500-bfs":
+		// Capture the level-structured BFS trace with barriers between
+		// levels, preserving the dependency structure exactly.
+		gCfg := graph500.DefaultConfig(0x1000_0000_0000)
+		gCfg.Scale = *scale
+		rng := sim.NewRand(opts.Seed)
+		edges := graph500.GenerateKronecker(gCfg.Scale, gCfg.EdgeFactor, rng)
+		g := graph500.BuildCSR(edges)
+		g.Place(gCfg.BaseAddr)
+		root := graph500.PickRoots(g, 1, rng)[0]
+		res := graph500.BFS(g, root)
+		src := graph500.NewBFSTrace(g, res, graph500.DefaultCostModel())
+		for i := 0; i < src.NumPhases(); i++ {
+			for _, op := range src.Phase(i) {
+				if err := w.Op(op); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if i+1 < src.NumPhases() {
+				if err := w.Barrier(); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	default:
+		log.Fatalf("unknown workload %q", *workload)
+	}
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+	st, _ := f.Stat()
+	fmt.Printf("recorded %d ops -> %s (%d bytes, %.2f B/op)\n",
+		w.Ops(), *out, st.Size(), float64(st.Size())/float64(w.Ops()))
+}
+
+func loadFile(path string) [][]memport.Op {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	phases, err := trace.Load(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return phases
+}
+
+func stat(args []string) {
+	fs := flag.NewFlagSet("stat", flag.ExitOnError)
+	in := fs.String("in", "trace.tsim", "input file")
+	fs.Parse(args)
+	phases := loadFile(*in)
+	var ops, writes int
+	var bytes uint64
+	lines := map[uint64]bool{}
+	for _, ph := range phases {
+		for _, op := range ph {
+			ops++
+			if op.Write {
+				writes++
+			}
+			bytes += uint64(op.Size)
+			for _, l := range linesOf(op) {
+				lines[l] = true
+			}
+		}
+	}
+	fmt.Printf("%s: %d phases, %d ops (%d writes), %d bytes touched, %d distinct lines (%.1f MiB footprint)\n",
+		*in, len(phases), ops, writes, bytes, len(lines), float64(len(lines))*128/(1<<20))
+}
+
+func linesOf(op memport.Op) []uint64 {
+	var out []uint64
+	first := ocapi.LineAlign(op.Addr)
+	for a := first; a < op.Addr+uint64(op.Size); a += ocapi.CacheLineSize {
+		out = append(out, a)
+	}
+	return out
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("in", "trace.tsim", "input file")
+	period := fs.Int64("period", 1, "delay injector PERIOD")
+	window := fs.Int("window", 64, "replay issue window")
+	fs.Parse(args)
+
+	phases := loadFile(*in)
+	opts := core.Default()
+	tb := opts.Testbed(*period)
+	h := tb.NewRemoteHierarchy()
+	src := &trace.Source{Phases: phases}
+	var elapsed sim.Duration
+	tb.K.At(0, func() {
+		memport.Replay(tb.K, h, src, *window, func(d sim.Duration) { elapsed = d })
+	})
+	tb.K.Run()
+	st := h.Stats()
+	fmt.Printf("replayed %d phases at PERIOD=%d: %v simulated, %d fills, %.3f GB/s, fill latency %.2f us\n",
+		len(phases), *period, elapsed, st.LineFills,
+		sim.PerSecond(float64(st.BytesMoved), elapsed)/1e9, h.FillLatency().Mean())
+}

@@ -1,0 +1,157 @@
+// Command tfsim runs a single workload on the simulated ThymesisFlow
+// testbed under a chosen delay-injection PERIOD and memory placement, and
+// prints its measurements — the equivalent of one experimental run on the
+// prototype.
+//
+// Usage:
+//
+//	tfsim -workload stream|graph500|redis [-period N] [-placement remote|local]
+//	      [-elements N] [-scale N] [-requests N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"thymesim/internal/core"
+	"thymesim/internal/sim"
+	"thymesim/internal/telemetry"
+	"thymesim/internal/workloads/stream"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tfsim: ")
+	var (
+		workload  = flag.String("workload", "stream", "stream | graph500 | redis")
+		period    = flag.Int64("period", 1, "delay injector PERIOD in FPGA cycles (1 = vanilla)")
+		placement = flag.String("placement", "remote", "remote | local")
+		elements  = flag.Int("elements", 0, "STREAM array elements (0 = default)")
+		scale     = flag.Int("scale", 0, "Graph500 scale (0 = default)")
+		requests  = flag.Int("requests", 0, "Memtier requests per client (0 = default)")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		telem     = flag.String("telemetry", "", "CSV file for time-series telemetry (stream/remote only)")
+	)
+	flag.Parse()
+
+	opts := core.Default()
+	opts.Seed = *seed
+	if *elements > 0 {
+		opts.StreamElements = *elements
+	}
+	if *scale > 0 {
+		opts.GraphScale = *scale
+	}
+	if *requests > 0 {
+		opts.KVRequests = *requests
+	}
+	if err := opts.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	if *period < 1 {
+		log.Fatal("period must be >= 1")
+	}
+	remote := *placement == "remote"
+	if !remote && *placement != "local" {
+		log.Fatalf("unknown placement %q", *placement)
+	}
+	if !remote && *period != 1 {
+		log.Fatal("delay injection applies to remote placement only")
+	}
+
+	switch *workload {
+	case "stream":
+		if *telem != "" {
+			if !remote {
+				log.Fatal("telemetry requires remote placement")
+			}
+			runStreamTelemetry(opts, *period, *telem)
+			return
+		}
+		var m core.StreamMeasurement
+		if remote {
+			m = opts.StreamRemote(*period)
+		} else {
+			m = opts.StreamLocal()
+		}
+		fmt.Printf("STREAM %s PERIOD=%d\n", *placement, *period)
+		for _, r := range m.PerKernel {
+			fmt.Printf("  %-6s %8.3f GB/s  fill latency %8.3f us\n",
+				r.Kernel, r.BandwidthBps/1e9, r.AvgFillLatencyUs)
+		}
+		fmt.Printf("  total  %8.3f GB/s  mean latency %8.3f us  BDP %.2f kB\n",
+			m.BandwidthBps/1e9, m.FillLatUs, m.BandwidthBps*m.FillLatUs/1e9)
+	case "graph500":
+		var m core.GraphMeasurement
+		if remote {
+			m = opts.GraphRemote(*period)
+		} else {
+			m = opts.GraphLocal()
+		}
+		fmt.Printf("Graph500 scale=%d %s PERIOD=%d\n", opts.GraphScale, *placement, *period)
+		fmt.Printf("  BFS  %12v  %10.0f TEPS\n", m.BFSTime, m.BFSTeps)
+		fmt.Printf("  SSSP %12v  %10.0f TEPS\n", m.SSSPTime, m.SSSPTeps)
+	case "redis":
+		var m core.KVMeasurement
+		if remote {
+			m = opts.KVRemote(*period)
+		} else {
+			m = opts.KVLocal()
+		}
+		fmt.Printf("Redis+Memtier %s PERIOD=%d\n", *placement, *period)
+		fmt.Printf("  throughput %10.0f req/s\n", m.Throughput)
+		fmt.Printf("  latency    mean %.1f us  p99 %.1f us\n", m.MeanLatUs, m.P99LatUs)
+	default:
+		log.Fatalf("unknown workload %q", *workload)
+	}
+}
+
+// runStreamTelemetry runs STREAM on the remote testbed while sampling the
+// datapath's observables every 10us of simulated time, then writes the
+// series as CSV.
+func runStreamTelemetry(opts core.Options, period int64, path string) {
+	tb := opts.Testbed(period)
+	h := tb.NewRemoteHierarchy()
+	cfg := stream.DefaultConfig(tb.RemoteAddr(0))
+	cfg.Elements = opts.StreamElements
+
+	sampler := telemetry.NewSampler(tb.K, 10*sim.Microsecond)
+	sampler.Register("injector_backlog", func() float64 {
+		return float64(tb.BorrowerNIC.InjectorBacklog())
+	})
+	sampler.Register("mshr_in_use", func() float64 {
+		return float64(h.OutstandingFills())
+	})
+	sampler.Register("link_utilization", func() float64 {
+		return tb.Link.AtoB.Utilization()
+	})
+	sampler.Register("lender_dram_utilization", func() float64 {
+		return tb.LenderMem.Utilization()
+	})
+	sampler.Start()
+
+	r := stream.New(tb.K, h, cfg)
+	var results []stream.Result
+	tb.K.At(0, func() {
+		r.Run(func(res []stream.Result) {
+			results = res
+			sampler.Stop()
+			tb.K.Stop()
+		})
+	})
+	tb.K.Run()
+
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := sampler.WriteCSV(f); err != nil {
+		log.Fatal(err)
+	}
+	bw, lat := stream.Summary(results)
+	fmt.Printf("STREAM remote PERIOD=%d: %.3f GB/s, fill latency %.2f us\n", period, bw/1e9, lat)
+	fmt.Printf("telemetry: %d samples x %d probes -> %s\n", sampler.Samples(), len(sampler.Names()), path)
+}

@@ -1,0 +1,15 @@
+// Package thymesim is a simulation-based reproduction of "Evaluating
+// Hardware Memory Disaggregation under Delay and Contention" (IPPS 2022):
+// a transaction-level model of the ThymesisFlow hardware disaggregated
+// memory prototype — borrower CPU cache hierarchy, OpenCAPI-style
+// protocol, FPGA NIC datapath with the paper's delay-injection module,
+// 100 Gb/s link, lender DRAM — together with real workload implementations
+// (STREAM, a Redis-like store driven by a Memtier-style generator, and
+// Graph500 BFS/SSSP) and a characterization harness that regenerates every
+// figure and table of the paper's evaluation.
+//
+// The benchmark functions in bench_test.go regenerate the paper's results:
+// one benchmark per figure/table, printing the measured series. See
+// DESIGN.md for the system inventory and EXPERIMENTS.md for paper-vs-
+// measured numbers.
+package thymesim

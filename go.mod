@@ -1,0 +1,3 @@
+module thymesim
+
+go 1.22

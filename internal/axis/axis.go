@@ -1,0 +1,153 @@
+// Package axis models AXI4-Stream interconnect at transaction granularity.
+//
+// The ThymesisFlow FPGA design wires its internal blocks (routing,
+// multiplexing, serialization) with AXI4-Stream channels, whose two-way
+// VALID/READY handshake is the exact mechanism the paper's delay injector
+// subverts (Eq. 1: READY_NEW = READY_OLD && (COUNTER % PERIOD == 0)).
+//
+// Rather than simulating every clock edge, this package models the
+// handshake event-wise: a FIFO is VALID while non-empty and READY while it
+// has space; Pumps move beats between FIFOs subject to a per-transfer cycle
+// time and an optional Gate that restricts the instants at which a transfer
+// may proceed. A Gate aligned to a PERIOD-cycle grid reproduces the
+// injector's behaviour exactly at the transfer level while remaining fast
+// enough to push hundreds of millions of simulated bytes.
+package axis
+
+import (
+	"fmt"
+
+	"thymesim/internal/sim"
+)
+
+// Beat is one AXI4-Stream transfer: a data word (here: up to a full
+// transaction's flits collapsed into one beat of Bytes bytes on the wire)
+// plus routing metadata.
+type Beat struct {
+	Bytes int      // wire size, used for link serialization downstream
+	Last  bool     // TLAST: end of packet
+	Dest  int      // TDEST: routing key
+	Flow  int      // source identifier for fairness accounting
+	Born  sim.Time // when the beat entered the pipeline (for latency probes)
+	Meta  any      // carried transaction (e.g. *ocapi.Packet)
+}
+
+// FIFO is a bounded queue of beats. VALID corresponds to Len() > 0 and
+// READY to Space() > 0. onData fires after each Push and onSpace after each
+// Pop; consumers/producers attach idempotent kick functions at wiring time.
+type FIFO struct {
+	name    string
+	buf     []Beat
+	head    int
+	count   int
+	onData  []func()
+	onSpace []func()
+
+	pushed uint64
+	popped uint64
+	bytes  uint64
+}
+
+// NewFIFO returns a FIFO with the given capacity (entries, not bytes).
+func NewFIFO(name string, capacity int) *FIFO {
+	if capacity <= 0 {
+		panic("axis: FIFO capacity must be positive")
+	}
+	return &FIFO{name: name, buf: make([]Beat, capacity)}
+}
+
+// Name returns the FIFO's wiring label.
+func (f *FIFO) Name() string { return f.name }
+
+// Cap returns the capacity in beats.
+func (f *FIFO) Cap() int { return len(f.buf) }
+
+// Len returns the number of queued beats (VALID when > 0).
+func (f *FIFO) Len() int { return f.count }
+
+// Space returns the free entries (READY when > 0).
+func (f *FIFO) Space() int { return len(f.buf) - f.count }
+
+// Pushed returns the cumulative number of beats accepted.
+func (f *FIFO) Pushed() uint64 { return f.pushed }
+
+// Popped returns the cumulative number of beats removed.
+func (f *FIFO) Popped() uint64 { return f.popped }
+
+// Bytes returns the cumulative wire bytes accepted.
+func (f *FIFO) Bytes() uint64 { return f.bytes }
+
+// OnData registers fn to run after every Push. Registration order is
+// preserved.
+func (f *FIFO) OnData(fn func()) { f.onData = append(f.onData, fn) }
+
+// OnSpace registers fn to run after every Pop.
+func (f *FIFO) OnSpace(fn func()) { f.onSpace = append(f.onSpace, fn) }
+
+// TryPush appends b and reports success; it fails when the FIFO is full.
+func (f *FIFO) TryPush(b Beat) bool {
+	if f.count == len(f.buf) {
+		return false
+	}
+	f.buf[(f.head+f.count)%len(f.buf)] = b
+	f.count++
+	f.pushed++
+	f.bytes += uint64(b.Bytes)
+	for _, fn := range f.onData {
+		fn()
+	}
+	return true
+}
+
+// Push appends b and panics on overflow; use it where the producer has
+// already checked Space (protocol bugs should fail loudly).
+func (f *FIFO) Push(b Beat) {
+	if !f.TryPush(b) {
+		panic(fmt.Sprintf("axis: push to full FIFO %q", f.name))
+	}
+}
+
+// Peek returns the head beat without removing it; ok is false when empty.
+func (f *FIFO) Peek() (Beat, bool) {
+	if f.count == 0 {
+		return Beat{}, false
+	}
+	return f.buf[f.head], true
+}
+
+// Pop removes and returns the head beat; ok is false when empty.
+func (f *FIFO) Pop() (Beat, bool) {
+	if f.count == 0 {
+		return Beat{}, false
+	}
+	b := f.buf[f.head]
+	f.buf[f.head] = Beat{}
+	f.head = (f.head + 1) % len(f.buf)
+	f.count--
+	f.popped++
+	for _, fn := range f.onSpace {
+		fn()
+	}
+	return b, true
+}
+
+// Gate restricts the instants at which a Pump may perform a transfer. Next
+// must be monotone, pure (no state change), and idempotent —
+// Next(Next(t)) == Next(t) — or pumps will re-arm forever chasing a
+// receding release instant; Commit records that a transfer happened at t.
+type Gate interface {
+	// Next returns the earliest instant >= now at which one transfer may
+	// proceed.
+	Next(now sim.Time) sim.Time
+	// Commit informs the gate that a transfer occurred at t.
+	Commit(t sim.Time)
+}
+
+// PassGate is the no-op gate: always ready.
+type PassGate struct{}
+
+// Next returns now.
+func (PassGate) Next(now sim.Time) sim.Time { return now }
+
+// Commit does nothing.
+func (PassGate) Commit(sim.Time) {}

@@ -1,0 +1,42 @@
+package axis
+
+import "thymesim/internal/sim"
+
+// DelayLine moves beats from in to out after a fixed latency, preserving
+// order and allowing arbitrary pipelining (every beat is in flight
+// independently). It models the fixed traversal latency of a multi-stage
+// FPGA pipeline without simulating each stage. Backpressure: beats are
+// launched only when output space, net of in-flight beats, is available.
+type DelayLine struct {
+	k        *sim.Kernel
+	in, out  *FIFO
+	delay    sim.Duration
+	inflight int
+	moved    uint64
+}
+
+// NewDelayLine wires a fixed-latency stage between in and out.
+func NewDelayLine(k *sim.Kernel, in, out *FIFO, delay sim.Duration) *DelayLine {
+	if delay < 0 {
+		panic("axis: negative delay line")
+	}
+	d := &DelayLine{k: k, in: in, out: out, delay: delay}
+	in.OnData(d.kick)
+	out.OnSpace(d.kick)
+	return d
+}
+
+// Moved returns the number of beats delivered so far.
+func (d *DelayLine) Moved() uint64 { return d.moved }
+
+func (d *DelayLine) kick() {
+	for d.in.Len() > 0 && d.out.Space()-d.inflight > 0 {
+		b, _ := d.in.Pop()
+		d.inflight++
+		d.k.After(d.delay, func() {
+			d.inflight--
+			d.moved++
+			d.out.Push(b)
+		})
+	}
+}

@@ -1,0 +1,37 @@
+package cache
+
+import "testing"
+
+// BenchmarkAccessHit measures the hot path: repeated hits to a resident
+// line.
+func BenchmarkAccessHit(b *testing.B) {
+	c := New(Config{SizeBytes: 1 << 20, Ways: 8, LineSize: 128})
+	c.Access(0, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0, false)
+	}
+}
+
+// BenchmarkAccessStreaming measures the miss/evict path of a streaming
+// scan much larger than the cache.
+func BenchmarkAccessStreaming(b *testing.B) {
+	c := New(Config{SizeBytes: 1 << 20, Ways: 8, LineSize: 128})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i)*128, i%4 == 0)
+	}
+}
+
+// BenchmarkAccessRandom measures a uniform working set 8x the cache.
+func BenchmarkAccessRandom(b *testing.B) {
+	c := New(Config{SizeBytes: 1 << 20, Ways: 8, LineSize: 128})
+	var x uint64 = 0x9e3779b97f4a7c15
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		c.Access((x%(8<<20))&^127, false)
+	}
+}

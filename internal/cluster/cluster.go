@@ -1,0 +1,305 @@
+// Package cluster composes the simulated testbed: nodes with CPU-side
+// cache hierarchies, DRAM, disaggregated-memory NICs, and the
+// point-to-point link between them — the two-AC922 ThymesisFlow setup of
+// the paper's §III-A, with the delay injector configurable at the borrower
+// egress.
+package cluster
+
+import (
+	"fmt"
+
+	"thymesim/internal/axis"
+	"thymesim/internal/cache"
+	"thymesim/internal/dram"
+	"thymesim/internal/inject"
+	"thymesim/internal/memport"
+	"thymesim/internal/netlink"
+	"thymesim/internal/ocapi"
+	"thymesim/internal/sim"
+	"thymesim/internal/tfnic"
+)
+
+// Node IDs of the two-node testbed.
+const (
+	BorrowerID = 0
+	LenderID   = 1
+)
+
+// RemoteBase is the borrower physical address where the hot-plugged remote
+// memory window begins; LenderBase is where the reservation sits in lender
+// memory.
+const (
+	RemoteBase uint64 = 0x1000_0000_0000
+	LenderBase uint64 = 0x20_0000_0000
+)
+
+// ProbeTag marks control-plane probe packets.
+const ProbeTag uint32 = 0xFFFF_FFFF
+
+// Config parameterizes the testbed.
+type Config struct {
+	// Period is the delay injector PERIOD in FPGA cycles; 1 reproduces
+	// vanilla ThymesisFlow (every cycle passes).
+	Period int64
+	// Gate, when non-nil, overrides Period with a custom injection gate
+	// (distribution-based injection, trace replay, ...).
+	Gate axis.Gate
+	// FPGACycle is the NIC datapath clock (COUNTER granularity).
+	FPGACycle sim.Duration
+	// PortLatency is the CPU<->NIC OpenCAPI transport per direction.
+	PortLatency sim.Duration
+	// NICPipeline is the NIC serializer/PHY fixed latency per direction.
+	NICPipeline sim.Duration
+	// LinkBandwidthBps and LinkPropagation describe the cable.
+	LinkBandwidthBps float64
+	LinkPropagation  sim.Duration
+	// MSHRs bounds outstanding line fills per hierarchy; TagSpace bounds
+	// outstanding OpenCAPI commands at the shared borrower port.
+	MSHRs    int
+	TagSpace int
+	// InjectClasses is the number of QoS priority classes at the delay
+	// injector (1 = the paper's single-queue hardware).
+	InjectClasses int
+	// Profile sets interconnect wire overheads (zero value = OpenCAPI
+	// over Ethernet).
+	Profile ocapi.Profile
+	// WindowSize is the remote memory reservation size in bytes.
+	WindowSize uint64
+	// LenderDRAM configures the lender's memory subsystem.
+	LenderDRAM dram.Config
+	// BorrowerDRAM configures the borrower's local memory (baselines).
+	BorrowerDRAM dram.Config
+	// LLC configures per-hierarchy last-level cache geometry.
+	LLC cache.Config
+}
+
+// DefaultConfig returns AC922-testbed-like parameters with the injector at
+// the given PERIOD.
+func DefaultConfig(period int64) Config {
+	return Config{
+		Period:           period,
+		FPGACycle:        inject.DefaultFPGACycle,
+		PortLatency:      150 * sim.Nanosecond,
+		NICPipeline:      150 * sim.Nanosecond,
+		LinkBandwidthBps: netlink.DefaultBandwidthBps,
+		LinkPropagation:  netlink.DefaultPropagation,
+		MSHRs:            memport.DefaultMSHRs,
+		TagSpace:         256,
+		InjectClasses:    1,
+		WindowSize:       64 << 30,
+		LenderDRAM:       dram.AC922Config(),
+		BorrowerDRAM:     dram.AC922Config(),
+		LLC:              cache.Config{SizeBytes: 4 << 20, Ways: 16, LineSize: ocapi.CacheLineSize},
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Period < 0 {
+		return fmt.Errorf("cluster: PERIOD = %d", c.Period)
+	}
+	if c.Gate == nil && c.Period == 0 {
+		return fmt.Errorf("cluster: need Period >= 1 or a Gate")
+	}
+	if c.MSHRs <= 0 || c.TagSpace < c.MSHRs {
+		return fmt.Errorf("cluster: MSHRs=%d TagSpace=%d (tags must cover MSHRs)", c.MSHRs, c.TagSpace)
+	}
+	if c.InjectClasses < 1 {
+		return fmt.Errorf("cluster: InjectClasses = %d", c.InjectClasses)
+	}
+	if c.WindowSize == 0 || c.WindowSize%ocapi.CacheLineSize != 0 {
+		return fmt.Errorf("cluster: window size %d", c.WindowSize)
+	}
+	if err := c.LenderDRAM.Validate(); err != nil {
+		return err
+	}
+	if err := c.BorrowerDRAM.Validate(); err != nil {
+		return err
+	}
+	return c.LLC.Validate()
+}
+
+// Testbed is the composed two-node system.
+type Testbed struct {
+	K   *sim.Kernel
+	cfg Config
+
+	BorrowerNIC *tfnic.NIC
+	LenderNIC   *tfnic.NIC
+	LenderMem   *dram.DRAM
+	BorrowerMem *dram.DRAM
+	Link        *netlink.Link
+
+	backend   *memport.RemoteBackend
+	backends  []*memport.RemoteBackend
+	tagCursor uint32
+	gate      axis.Gate
+
+	probeWaiters []func(ocapi.Packet)
+}
+
+// NewTestbed wires the system and programs the remote-memory window.
+func NewTestbed(cfg Config) *Testbed {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	k := sim.NewKernel()
+	tb := &Testbed{K: k, cfg: cfg}
+
+	gate := cfg.Gate
+	if gate == nil {
+		gate = inject.NewPeriodGate(cfg.Period, cfg.FPGACycle)
+	}
+	tb.gate = gate
+
+	tb.BorrowerMem = dram.New(k, cfg.BorrowerDRAM)
+	tb.LenderMem = dram.New(k, cfg.LenderDRAM)
+
+	nicCfg := func(id int) tfnic.Config {
+		return tfnic.Config{
+			NodeID:          id,
+			FPGACycle:       cfg.FPGACycle,
+			PipelineLatency: cfg.NICPipeline,
+			QueueDepth:      2 * cfg.TagSpace,
+			InjectClasses:   cfg.InjectClasses,
+			Profile:         cfg.Profile,
+		}
+	}
+	tb.BorrowerNIC = tfnic.New(k, nicCfg(BorrowerID), gate, nil)
+	tb.LenderNIC = tfnic.New(k, nicCfg(LenderID), nil, tb.LenderMem)
+
+	tb.Link = netlink.NewLink(k,
+		tb.BorrowerNIC.TxQ, tb.LenderNIC.RxQ,
+		tb.LenderNIC.TxQ, tb.BorrowerNIC.RxQ,
+		cfg.LinkBandwidthBps, cfg.LinkPropagation)
+
+	tb.backend = tb.newBackend()
+	tb.BorrowerNIC.OnDeliver = func(p ocapi.Packet) {
+		if p.Tag == ProbeTag {
+			if len(tb.probeWaiters) > 0 {
+				fn := tb.probeWaiters[0]
+				tb.probeWaiters = tb.probeWaiters[1:]
+				fn(p)
+			}
+			return
+		}
+		for _, b := range tb.backends {
+			if b.Owns(p.Tag) {
+				b.Deliver(p)
+				return
+			}
+		}
+		panic(fmt.Sprintf("cluster: response with unowned tag %d", p.Tag))
+	}
+
+	if err := tb.BorrowerNIC.Translator().AddWindow(tfnic.Window{
+		BorrowerBase: RemoteBase,
+		LenderBase:   LenderBase,
+		Size:         cfg.WindowSize,
+		LenderNode:   LenderID,
+	}); err != nil {
+		panic(err)
+	}
+	return tb
+}
+
+// Config returns the testbed configuration.
+func (tb *Testbed) Config() Config { return tb.cfg }
+
+// Kernel returns the simulation kernel (satisfies control.Prober).
+func (tb *Testbed) Kernel() *sim.Kernel { return tb.K }
+
+// Gate returns the active injection gate.
+func (tb *Testbed) Gate() axis.Gate { return tb.gate }
+
+// RemoteBackend exposes the shared borrower port (diagnostics).
+func (tb *Testbed) RemoteBackend() *memport.RemoteBackend { return tb.backend }
+
+// newBackend allocates a borrower-port backend with a fresh tag range.
+func (tb *Testbed) newBackend() *memport.RemoteBackend {
+	base := tb.tagCursor
+	tb.tagCursor += uint32(tb.cfg.TagSpace)
+	b := memport.NewRemoteBackendTags(tb.K, tb.BorrowerNIC, base, tb.cfg.TagSpace, tb.cfg.PortLatency, BorrowerID, LenderID)
+	tb.backends = append(tb.backends, b)
+	return b
+}
+
+// NewRemoteHierarchy returns a CPU-side hierarchy whose misses traverse the
+// full disaggregated datapath (borrower NIC -> injector -> link -> lender
+// DRAM). Multiple hierarchies share the NIC and tag space, which is how
+// MCBN contention arises.
+func (tb *Testbed) NewRemoteHierarchy() *memport.Hierarchy {
+	return memport.NewHierarchy(tb.K, cache.New(tb.cfg.LLC), tb.backend, tb.cfg.MSHRs)
+}
+
+// NewRemoteHierarchyPrio is NewRemoteHierarchy with a dedicated backend
+// stamping the given QoS class on its requests (0 = highest priority;
+// classes beyond Config.InjectClasses-1 are clamped by the NIC).
+func (tb *Testbed) NewRemoteHierarchyPrio(prio uint8) *memport.Hierarchy {
+	b := tb.newBackend()
+	b.SetPriority(prio)
+	return memport.NewHierarchy(tb.K, cache.New(tb.cfg.LLC), b, tb.cfg.MSHRs)
+}
+
+// NewLocalHierarchy returns a hierarchy against the borrower's own DRAM —
+// the "local memory" baseline of Table I.
+func (tb *Testbed) NewLocalHierarchy() *memport.Hierarchy {
+	backend := memport.NewDRAMBackend(tb.BorrowerMem)
+	return memport.NewHierarchy(tb.K, cache.New(tb.cfg.LLC), backend, tb.cfg.MSHRs)
+}
+
+// NewLenderLocalHierarchy returns a hierarchy for applications running on
+// the lender node against lender DRAM — the contending applications of the
+// MCLN scenario (Fig. 7).
+func (tb *Testbed) NewLenderLocalHierarchy() *memport.Hierarchy {
+	backend := memport.NewDRAMBackend(tb.LenderMem)
+	return memport.NewHierarchy(tb.K, cache.New(tb.cfg.LLC), backend, tb.cfg.MSHRs)
+}
+
+// SendProbe transmits a control-plane probe through the (gated) egress
+// path and calls done with the response when it returns. It reports false
+// if the NIC command queue is saturated and the probe could not even be
+// enqueued.
+func (tb *Testbed) SendProbe(done func(rtt sim.Duration)) bool {
+	p := ocapi.Packet{
+		Op:     ocapi.OpProbe,
+		Tag:    ProbeTag,
+		Src:    BorrowerID,
+		Dst:    LenderID,
+		Issued: tb.K.Now(),
+	}
+	start := tb.K.Now()
+	if !tb.BorrowerNIC.TrySend(p) {
+		return false
+	}
+	tb.probeWaiters = append(tb.probeWaiters, func(resp ocapi.Packet) {
+		done(tb.K.Now().Sub(start))
+	})
+	return true
+}
+
+// RemoteAddr maps an offset within the reservation to a borrower physical
+// address in the hot-plugged window.
+func (tb *Testbed) RemoteAddr(offset uint64) uint64 {
+	if offset >= tb.cfg.WindowSize {
+		panic(fmt.Sprintf("cluster: offset %#x beyond window %#x", offset, tb.cfg.WindowSize))
+	}
+	return RemoteBase + offset
+}
+
+// BaseRTT estimates the uncontended line-fill round trip from the
+// configuration — used to parameterize FastPort so that fast-mode sweeps
+// share the event-mode timing. The estimate mirrors the stage costs of the
+// event datapath at PERIOD=1.
+func (tb *Testbed) BaseRTT() sim.Duration {
+	cfg := tb.cfg
+	cyc := cfg.FPGACycle
+	reqWire := sim.Duration(float64(ocapi.HeaderBytes+ocapi.CmdBytes) / cfg.LinkBandwidthBps * 1e12)
+	respWire := sim.Duration(float64(ocapi.HeaderBytes+ocapi.CmdBytes+ocapi.CacheLineSize) / cfg.LinkBandwidthBps * 1e12)
+	dramChan := cfg.LenderDRAM.BandwidthBps / float64(cfg.LenderDRAM.Channels)
+	dramBurst := sim.Duration(float64(ocapi.CacheLineSize) / dramChan * 1e12)
+	// Per direction: port latency, ~4 pipeline pumps, NIC pipeline, wire,
+	// propagation; plus the lender memory access in the middle.
+	oneWay := cfg.PortLatency + 4*cyc + cfg.NICPipeline + cfg.LinkPropagation
+	return 2*oneWay + reqWire + respWire + cfg.LenderDRAM.AccessLatency + dramBurst
+}

@@ -1,0 +1,308 @@
+package control
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"thymesim/internal/sim"
+)
+
+func newPlane3() *Plane {
+	p := NewPlane()
+	p.AddNode(0, 512<<30)
+	p.AddNode(1, 512<<30)
+	p.AddNode(2, 512<<30)
+	return p
+}
+
+func TestReserveAssignsRoles(t *testing.T) {
+	p := newPlane3()
+	r, err := p.Reserve(0, 64<<30, ClassLatencyTolerant, FirstFit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Borrower != 0 || r.Lender != 1 {
+		t.Fatalf("reservation = %+v", r)
+	}
+	if p.Node(0).Role != RoleBorrower || p.Node(1).Role != RoleLender {
+		t.Fatalf("roles = %v/%v", p.Node(0).Role, p.Node(1).Role)
+	}
+	if p.Node(1).FreeMem != 448<<30 {
+		t.Fatalf("lender free = %d", p.Node(1).FreeMem)
+	}
+	if len(p.Reservations()) != 1 {
+		t.Fatal("reservation not tracked")
+	}
+}
+
+func TestReleaseRestoresState(t *testing.T) {
+	p := newPlane3()
+	r, _ := p.Reserve(0, 64<<30, ClassLatencyTolerant, FirstFit{})
+	if err := p.Release(r.ID); err != nil {
+		t.Fatal(err)
+	}
+	if p.Node(1).FreeMem != 512<<30 {
+		t.Fatalf("free not restored: %d", p.Node(1).FreeMem)
+	}
+	if p.Node(0).Role != RoleIdle || p.Node(1).Role != RoleIdle {
+		t.Fatal("roles not reset")
+	}
+	if err := p.Release(r.ID); err != ErrNotFound {
+		t.Fatalf("double release = %v", err)
+	}
+}
+
+func TestReserveNoCapacity(t *testing.T) {
+	p := NewPlane()
+	p.AddNode(0, 512<<30)
+	p.AddNode(1, 16<<30)
+	if _, err := p.Reserve(0, 64<<30, ClassLatencyTolerant, FirstFit{}); err != ErrNoLender {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := p.Reserve(99, 1, ClassLatencyTolerant, FirstFit{}); err != ErrUnknownNode {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBorrowerCannotLend(t *testing.T) {
+	p := newPlane3()
+	if _, err := p.Reserve(0, 64<<30, ClassLatencyTolerant, FirstFit{}); err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 is now a lender; node 2 reserving must not choose node 0
+	// (a borrower).
+	r, err := p.Reserve(2, 64<<30, ClassLatencyTolerant, FirstFit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Lender == 0 {
+		t.Fatal("borrower chosen as lender")
+	}
+	// A lender cannot start borrowing.
+	if _, err := p.Reserve(1, 1<<30, ClassLatencyTolerant, FirstFit{}); err != ErrRoleConflict {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPolicies(t *testing.T) {
+	nodes := []*Node{
+		{ID: 1, FreeMem: 100, RunningApps: 5},
+		{ID: 2, FreeMem: 50, RunningApps: 0},
+		{ID: 3, FreeMem: 200, RunningApps: 2},
+	}
+	if i := (FirstFit{}).Pick(nodes, 10, ClassLatencyTolerant); nodes[i].ID != 1 {
+		t.Errorf("first-fit picked %d", nodes[i].ID)
+	}
+	if i := (BestFit{}).Pick(nodes, 10, ClassLatencyTolerant); nodes[i].ID != 2 {
+		t.Errorf("best-fit picked %d", nodes[i].ID)
+	}
+	if i := (ContentionAware{}).Pick(nodes, 10, ClassLatencyTolerant); nodes[i].ID != 2 {
+		t.Errorf("contention-aware picked %d", nodes[i].ID)
+	}
+	r := Random{Rng: sim.NewRand(1)}
+	counts := map[int]int{}
+	for i := 0; i < 300; i++ {
+		counts[r.Pick(nodes, 10, ClassLatencyTolerant)]++
+	}
+	for i := 0; i < 3; i++ {
+		if counts[i] < 50 {
+			t.Errorf("random skewed: %v", counts)
+		}
+	}
+	for _, pol := range []Policy{FirstFit{}, BestFit{}, Random{Rng: sim.NewRand(2)}, ContentionAware{}} {
+		if pol.Pick(nil, 1, ClassLatencyTolerant) != -1 {
+			t.Errorf("%s picked from empty candidates", pol.Name())
+		}
+		if pol.Name() == "" {
+			t.Error("empty policy name")
+		}
+	}
+}
+
+// Property: free memory is conserved across any reserve/release sequence.
+func TestPlaneConservationProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		p := newPlane3()
+		total := func() uint64 {
+			var sum uint64
+			for _, n := range p.Nodes() {
+				sum += n.FreeMem
+			}
+			for _, r := range p.Reservations() {
+				sum += r.Size
+			}
+			return sum
+		}
+		want := total()
+		var live []int
+		for _, op := range ops {
+			if op%2 == 0 {
+				r, err := p.Reserve(int(op/2)%3, uint64(op)<<28, ClassLatencyTolerant, FirstFit{})
+				if err == nil {
+					live = append(live, r.ID)
+				}
+			} else if len(live) > 0 {
+				if err := p.Release(live[0]); err != nil {
+					return false
+				}
+				live = live[1:]
+			}
+			if total() != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fakeProber answers probes after a fixed RTT.
+type fakeProber struct {
+	k    *sim.Kernel
+	rtt  sim.Duration
+	fail int // first n sends rejected
+}
+
+func (f *fakeProber) SendProbe(done func(sim.Duration)) bool {
+	if f.fail > 0 {
+		f.fail--
+		return false
+	}
+	rtt := f.rtt
+	f.k.After(rtt, func() { done(rtt) })
+	return true
+}
+
+func (f *fakeProber) Kernel() *sim.Kernel { return f.k }
+
+func TestAttachSucceedsWithinDeadline(t *testing.T) {
+	k := sim.NewKernel()
+	p := &fakeProber{k: k, rtt: sim.Duration(sim.Microsecond)}
+	cfg := AttachConfig{ConfigOps: 100, Timeout: sim.Duration(sim.Millisecond), Retry: sim.Duration(sim.Microsecond)}
+	var res AttachResult
+	k.At(0, func() { Attach(p, cfg, func(r AttachResult) { res = r }) })
+	k.Run()
+	if !res.OK || res.OpsDone != 100 {
+		t.Fatalf("attach failed: %+v", res)
+	}
+	if res.Elapsed < 100*sim.Microsecond {
+		t.Fatalf("elapsed = %v implausible", res.Elapsed)
+	}
+	if res.MaxRTT != sim.Duration(sim.Microsecond) {
+		t.Fatalf("max rtt = %v", res.MaxRTT)
+	}
+}
+
+func TestAttachTimesOutUnderHighDelay(t *testing.T) {
+	k := sim.NewKernel()
+	p := &fakeProber{k: k, rtt: 40 * sim.Microsecond} // PERIOD=10000-like
+	cfg := AttachConfig{ConfigOps: 256, Timeout: 5 * sim.Millisecond, Retry: 10 * sim.Microsecond}
+	var res AttachResult
+	k.At(0, func() { Attach(p, cfg, func(r AttachResult) { res = r }) })
+	k.Run()
+	if res.OK {
+		t.Fatalf("attach succeeded despite %v per op: %+v", p.rtt, res)
+	}
+	if !strings.Contains(res.Reason, "not detected") {
+		t.Fatalf("reason = %q", res.Reason)
+	}
+	if res.OpsDone >= 256 {
+		t.Fatalf("ops done = %d", res.OpsDone)
+	}
+}
+
+func TestAttachRetriesOnBusyNIC(t *testing.T) {
+	k := sim.NewKernel()
+	p := &fakeProber{k: k, rtt: sim.Duration(sim.Microsecond), fail: 5}
+	cfg := AttachConfig{ConfigOps: 10, Timeout: sim.Duration(sim.Millisecond), Retry: sim.Duration(sim.Microsecond)}
+	var res AttachResult
+	k.At(0, func() { Attach(p, cfg, func(r AttachResult) { res = r }) })
+	k.Run()
+	if !res.OK {
+		t.Fatalf("attach with retries failed: %+v", res)
+	}
+}
+
+func TestAttachCallbackExactlyOnce(t *testing.T) {
+	k := sim.NewKernel()
+	p := &fakeProber{k: k, rtt: sim.Duration(sim.Microsecond)}
+	cfg := AttachConfig{ConfigOps: 2, Timeout: 10 * sim.Microsecond, Retry: sim.Duration(sim.Microsecond)}
+	calls := 0
+	k.At(0, func() { Attach(p, cfg, func(AttachResult) { calls++ }) })
+	k.Run()
+	if calls != 1 {
+		t.Fatalf("done called %d times", calls)
+	}
+}
+
+func TestAttachConfigValidation(t *testing.T) {
+	k := sim.NewKernel()
+	p := &fakeProber{k: k, rtt: 1}
+	for _, cfg := range []AttachConfig{
+		{ConfigOps: 0, Timeout: 1, Retry: 1},
+		{ConfigOps: 1, Timeout: 0, Retry: 1},
+		{ConfigOps: 1, Timeout: 1, Retry: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			Attach(p, cfg, func(AttachResult) {})
+		}()
+	}
+	if err := DefaultAttachConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoleAndClassStrings(t *testing.T) {
+	if RoleBorrower.String() != "borrower" || RoleLender.String() != "lender" || RoleIdle.String() != "idle" {
+		t.Error("role strings wrong")
+	}
+	if ClassLatencySensitive.String() != "latency-sensitive" {
+		t.Error("class string wrong")
+	}
+	if Role(9).String() == "" {
+		t.Error("unknown role empty")
+	}
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	p := NewPlane()
+	p.AddNode(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate node did not panic")
+		}
+	}()
+	p.AddNode(0, 1)
+}
+
+func TestQoSAwarePolicy(t *testing.T) {
+	p := newPlane3()
+	// Sensitive workloads are refused remote memory entirely.
+	if _, err := p.Reserve(0, 1<<30, ClassLatencySensitive, QoSAware{}); err != ErrNoLender {
+		t.Fatalf("sensitive reservation = %v, want ErrNoLender", err)
+	}
+	// Tolerant ones place via the fallback.
+	r, err := p.Reserve(0, 1<<30, ClassLatencyTolerant, QoSAware{Fallback: BestFit{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Class != ClassLatencyTolerant {
+		t.Fatalf("class = %v", r.Class)
+	}
+	if (QoSAware{}).Name() != "qos-aware" {
+		t.Fatal("name wrong")
+	}
+	// Nil fallback defaults to first-fit.
+	nodes := []*Node{{ID: 3, FreeMem: 10}, {ID: 1, FreeMem: 10}}
+	if i := (QoSAware{}).Pick(nodes, 1, ClassLatencyTolerant); nodes[i].ID != 1 {
+		t.Fatalf("fallback pick = %d", nodes[i].ID)
+	}
+}

@@ -1,0 +1,318 @@
+// Package control models the disaggregation control plane of §II-A: it
+// assigns borrower/lender roles, reserves lender memory, drives the
+// hot-plug attach handshake (libthymesisflow's job in the prototype), and
+// hosts the allocation policies the paper's insights motivate —
+// contention-aware placement and QoS-aware treatment of latency-sensitive
+// workloads.
+package control
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"thymesim/internal/sim"
+)
+
+// Role is a node's current function in the memory-borrowing model.
+type Role int
+
+// Roles. A node may be Idle (neither borrowing nor lending); role
+// assignment is dynamic (§II-A).
+const (
+	RoleIdle Role = iota
+	RoleBorrower
+	RoleLender
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleIdle:
+		return "idle"
+	case RoleBorrower:
+		return "borrower"
+	case RoleLender:
+		return "lender"
+	default:
+		return fmt.Sprintf("role(%d)", int(r))
+	}
+}
+
+// Node is the control plane's view of one machine.
+type Node struct {
+	ID       int
+	TotalMem uint64
+	FreeMem  uint64
+	Role     Role
+	// RunningApps counts applications currently executing on the node —
+	// the contention signal the paper's Fig. 6/7 insight concerns.
+	RunningApps int
+}
+
+// Reservation is a granted block of lender memory.
+type Reservation struct {
+	ID       int
+	Borrower int
+	Lender   int
+	Size     uint64
+	// Class is the QoS class of the borrowing application.
+	Class QoSClass
+}
+
+// QoSClass labels an application's sensitivity to remote-memory latency
+// (the paper's Fig. 5 shows this varies by orders of magnitude).
+type QoSClass int
+
+// QoS classes.
+const (
+	// ClassLatencyTolerant suits network-stack-bound services (Redis-like):
+	// <1% degradation under tens of microseconds of injected delay.
+	ClassLatencyTolerant QoSClass = iota
+	// ClassLatencySensitive suits memory-bound applications (Graph500-like):
+	// order-of-magnitude slowdowns under the same delay.
+	ClassLatencySensitive
+)
+
+// String implements fmt.Stringer.
+func (c QoSClass) String() string {
+	if c == ClassLatencySensitive {
+		return "latency-sensitive"
+	}
+	return "latency-tolerant"
+}
+
+// Policy selects a lender for a reservation.
+type Policy interface {
+	// Pick returns the chosen lender's index within candidates, or -1 if
+	// none is acceptable. candidates all have enough free memory.
+	Pick(candidates []*Node, size uint64, class QoSClass) int
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// FirstFit picks the lowest-ID candidate.
+type FirstFit struct{}
+
+// Pick implements Policy.
+func (FirstFit) Pick(c []*Node, _ uint64, _ QoSClass) int {
+	if len(c) == 0 {
+		return -1
+	}
+	best := 0
+	for i, n := range c {
+		if n.ID < c[best].ID {
+			best = i
+		}
+	}
+	return best
+}
+
+// Name implements Policy.
+func (FirstFit) Name() string { return "first-fit" }
+
+// BestFit picks the candidate with least free memory that still fits,
+// minimizing fragmentation.
+type BestFit struct{}
+
+// Pick implements Policy.
+func (BestFit) Pick(c []*Node, _ uint64, _ QoSClass) int {
+	if len(c) == 0 {
+		return -1
+	}
+	best := 0
+	for i, n := range c {
+		if n.FreeMem < c[best].FreeMem {
+			best = i
+		}
+	}
+	return best
+}
+
+// Name implements Policy.
+func (BestFit) Name() string { return "best-fit" }
+
+// Random picks uniformly.
+type Random struct{ Rng *sim.Rand }
+
+// Pick implements Policy.
+func (r Random) Pick(c []*Node, _ uint64, _ QoSClass) int {
+	if len(c) == 0 {
+		return -1
+	}
+	return r.Rng.Intn(len(c))
+}
+
+// Name implements Policy.
+func (Random) Name() string { return "random" }
+
+// ContentionAware prefers the lender with the fewest running applications.
+// The paper's Fig. 7 finding — lender-side memory contention barely affects
+// the borrower — means this policy buys little for borrowing placement,
+// making busy and idle lenders "equally viable candidates"; the policy
+// exists so the ablation bench can demonstrate exactly that.
+type ContentionAware struct{}
+
+// Pick implements Policy.
+func (ContentionAware) Pick(c []*Node, _ uint64, _ QoSClass) int {
+	if len(c) == 0 {
+		return -1
+	}
+	best := 0
+	for i, n := range c {
+		if n.RunningApps < c[best].RunningApps {
+			best = i
+		}
+	}
+	return best
+}
+
+// Name implements Policy.
+func (ContentionAware) Name() string { return "contention-aware" }
+
+// Errors returned by Plane.
+var (
+	ErrNoLender     = errors.New("control: no lender with sufficient free memory")
+	ErrUnknownNode  = errors.New("control: unknown node")
+	ErrNotFound     = errors.New("control: reservation not found")
+	ErrSelfLending  = errors.New("control: node cannot lend to itself")
+	ErrRoleConflict = errors.New("control: node already has conflicting role")
+)
+
+// Plane is the datacenter-wide control plane state.
+type Plane struct {
+	nodes  map[int]*Node
+	order  []int
+	resv   map[int]*Reservation
+	nextID int
+}
+
+// NewPlane returns an empty control plane.
+func NewPlane() *Plane {
+	return &Plane{nodes: make(map[int]*Node), resv: make(map[int]*Reservation)}
+}
+
+// AddNode registers a machine.
+func (p *Plane) AddNode(id int, totalMem uint64) *Node {
+	if _, dup := p.nodes[id]; dup {
+		panic(fmt.Sprintf("control: duplicate node %d", id))
+	}
+	n := &Node{ID: id, TotalMem: totalMem, FreeMem: totalMem}
+	p.nodes[id] = n
+	p.order = append(p.order, id)
+	sort.Ints(p.order)
+	return n
+}
+
+// Node returns the node with the given id, or nil.
+func (p *Plane) Node(id int) *Node { return p.nodes[id] }
+
+// Nodes returns all nodes in id order.
+func (p *Plane) Nodes() []*Node {
+	out := make([]*Node, 0, len(p.order))
+	for _, id := range p.order {
+		out = append(out, p.nodes[id])
+	}
+	return out
+}
+
+// Reservations returns all live reservations in id order.
+func (p *Plane) Reservations() []*Reservation {
+	ids := make([]int, 0, len(p.resv))
+	for id := range p.resv {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]*Reservation, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, p.resv[id])
+	}
+	return out
+}
+
+// Reserve allocates size bytes for borrower using policy, assigning roles.
+func (p *Plane) Reserve(borrower int, size uint64, class QoSClass, policy Policy) (*Reservation, error) {
+	b, ok := p.nodes[borrower]
+	if !ok {
+		return nil, ErrUnknownNode
+	}
+	if b.Role == RoleLender {
+		return nil, ErrRoleConflict
+	}
+	var candidates []*Node
+	for _, id := range p.order {
+		n := p.nodes[id]
+		if n.ID == borrower || n.Role == RoleBorrower {
+			continue
+		}
+		if n.FreeMem >= size {
+			candidates = append(candidates, n)
+		}
+	}
+	idx := policy.Pick(candidates, size, class)
+	if idx < 0 || idx >= len(candidates) {
+		return nil, ErrNoLender
+	}
+	lender := candidates[idx]
+	if lender.ID == borrower {
+		return nil, ErrSelfLending
+	}
+	lender.FreeMem -= size
+	lender.Role = RoleLender
+	b.Role = RoleBorrower
+	p.nextID++
+	r := &Reservation{ID: p.nextID, Borrower: borrower, Lender: lender.ID, Size: size, Class: class}
+	p.resv[r.ID] = r
+	return r, nil
+}
+
+// Release frees a reservation and demotes roles that are no longer held.
+func (p *Plane) Release(id int) error {
+	r, ok := p.resv[id]
+	if !ok {
+		return ErrNotFound
+	}
+	delete(p.resv, id)
+	p.nodes[r.Lender].FreeMem += r.Size
+	lends, borrows := false, false
+	for _, other := range p.resv {
+		if other.Lender == r.Lender {
+			lends = true
+		}
+		if other.Borrower == r.Borrower {
+			borrows = true
+		}
+	}
+	if !lends {
+		p.nodes[r.Lender].Role = RoleIdle
+	}
+	if !borrows {
+		p.nodes[r.Borrower].Role = RoleIdle
+	}
+	return nil
+}
+
+// QoSAware places by measured latency sensitivity: latency-tolerant
+// applications take any lender (delegating to Fallback), while
+// latency-sensitive ones are refused remote placement altogether — the
+// control plane should keep them on local memory (or migrate them there,
+// see internal/migrate) during periods of elevated network latency.
+type QoSAware struct {
+	// Fallback picks the lender for tolerant classes (FirstFit if nil).
+	Fallback Policy
+}
+
+// Pick implements Policy.
+func (q QoSAware) Pick(c []*Node, size uint64, class QoSClass) int {
+	if class == ClassLatencySensitive {
+		return -1
+	}
+	fb := q.Fallback
+	if fb == nil {
+		fb = FirstFit{}
+	}
+	return fb.Pick(c, size, class)
+}
+
+// Name implements Policy.
+func (QoSAware) Name() string { return "qos-aware" }

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"thymesim/internal/cluster"
+	"thymesim/internal/metrics"
+	"thymesim/internal/ocapi"
+	"thymesim/internal/sim"
+	"thymesim/internal/workloads/latmem"
+)
+
+// InterconnectResult is the §V comparison the paper defers to future
+// work: the same characterization under ThymesisFlow's
+// OpenCAPI-over-Ethernet framing vs a CXL-like native fabric (smaller
+// per-packet framing, shallower port/serializer pipelines).
+type InterconnectResult struct {
+	// Per profile: uncontended dependent-load latency and saturated
+	// STREAM bandwidth.
+	Rows  []InterconnectRow
+	Table *metrics.Table
+}
+
+// InterconnectRow is one profile's measurements.
+type InterconnectRow struct {
+	Name         string
+	ChaseUs      float64
+	StreamGBs    float64
+	DelayedChase float64 // per-hop at PERIOD=250 — does framing change delay sensitivity?
+}
+
+// RunInterconnectComparison measures both profiles.
+func (o Options) RunInterconnectComparison() *InterconnectResult {
+	profiles := []struct {
+		name   string
+		mutate func(*cluster.Config)
+	}{
+		{"opencapi-ethernet", func(c *cluster.Config) {
+			c.Profile = ocapi.DefaultProfile
+		}},
+		{"cxl-native", func(c *cluster.Config) {
+			c.Profile = ocapi.CXLProfile
+			// CXL ports avoid the FPGA serializer depth and the OpenCAPI
+			// transport layer's latency.
+			c.NICPipeline = 80 * sim.Nanosecond
+			c.PortLatency = 80 * sim.Nanosecond
+		}},
+	}
+	res := &InterconnectResult{
+		Table: &metrics.Table{
+			Title:   "Interconnect comparison (§V): OpenCAPI-over-Ethernet vs CXL-like",
+			Columns: []string{"profile", "dependent load (us)", "STREAM (GB/s)", "dependent load @P=250 (us)"},
+		},
+	}
+	for _, prof := range profiles {
+		row := InterconnectRow{Name: prof.name}
+		row.ChaseUs = o.profileChase(1, prof.mutate)
+		row.DelayedChase = o.profileChase(250, prof.mutate)
+		cfg := o.TestbedConfig(1)
+		prof.mutate(&cfg)
+		tb := cluster.NewTestbed(cfg)
+		m := o.runStream(tb, tb.NewRemoteHierarchy(), tb.RemoteAddr(0))
+		row.StreamGBs = m.BandwidthBps / 1e9
+		res.Rows = append(res.Rows, row)
+		res.Table.AddRow(row.Name,
+			metricsFormat(row.ChaseUs),
+			metricsFormat(row.StreamGBs),
+			metricsFormat(row.DelayedChase))
+	}
+	return res
+}
+
+func (o Options) profileChase(period int64, mutate func(*cluster.Config)) float64 {
+	cfg := o.TestbedConfig(period)
+	mutate(&cfg)
+	tb := cluster.NewTestbed(cfg)
+	h := tb.NewRemoteHierarchy()
+	lCfg := latmem.DefaultConfig(tb.RemoteAddr(0))
+	lCfg.BufferBytes = 1 << 18
+	lCfg.Hops = 400
+	r := latmem.New(tb.K, h, lCfg)
+	var out latmem.Result
+	tb.K.At(0, func() { r.Run(func(res latmem.Result) { out = res }) })
+	tb.K.Run()
+	return out.PerHop.Micros()
+}

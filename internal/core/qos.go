@@ -1,0 +1,116 @@
+package core
+
+import (
+	"strconv"
+
+	"thymesim/internal/cluster"
+	"thymesim/internal/metrics"
+	"thymesim/internal/sim"
+	"thymesim/internal/workloads/latmem"
+	"thymesim/internal/workloads/stream"
+)
+
+// QoSResult quantifies the packet-prioritization mechanism §IV-D calls
+// for: a latency-sensitive pointer chase sharing the borrower NIC with a
+// bulk STREAM under injected delay, with and without priority classes at
+// the injector.
+type QoSResult struct {
+	// ChaseAloneUs is the chase's per-hop latency with an idle NIC.
+	ChaseAloneUs float64
+	// ChaseFIFOUs is per-hop when sharing a single-class (FIFO) injector
+	// with the bulk flow — the paper's unmodified hardware.
+	ChaseFIFOUs float64
+	// ChasePrioUs is per-hop when the chase is class 0 and the bulk flow
+	// class 1 at a two-class injector.
+	ChasePrioUs float64
+	// BulkFIFOBps / BulkPrioBps report what prioritization costs the bulk
+	// flow.
+	BulkFIFOBps float64
+	BulkPrioBps float64
+	Table       *metrics.Table
+}
+
+// RunQoSPriority measures the experiment at the given injector PERIOD.
+func (o Options) RunQoSPriority(period int64) *QoSResult {
+	res := &QoSResult{}
+	res.ChaseAloneUs = o.chaseUs(period, false, false)
+
+	res.ChaseFIFOUs, res.BulkFIFOBps = o.chaseWithBulk(period, 1)
+	res.ChasePrioUs, res.BulkPrioBps = o.chaseWithBulk(period, 2)
+
+	res.Table = &metrics.Table{
+		Title:   "QoS packet prioritization at the delay injector",
+		Columns: []string{"configuration", "chase per-hop (us)", "bulk STREAM (GB/s)"},
+	}
+	res.Table.AddRow("chase alone", fmtF(res.ChaseAloneUs), "-")
+	res.Table.AddRow("shared, FIFO injector", fmtF(res.ChaseFIFOUs), fmtF(res.BulkFIFOBps/1e9))
+	res.Table.AddRow("shared, priority injector", fmtF(res.ChasePrioUs), fmtF(res.BulkPrioBps/1e9))
+	return res
+}
+
+func fmtF(v float64) string {
+	return metricsFormat(v)
+}
+
+// chaseUs measures the pointer chase alone.
+func (o Options) chaseUs(period int64, _, _ bool) float64 {
+	tb := o.Testbed(period)
+	h := tb.NewRemoteHierarchy()
+	cfg := latmem.DefaultConfig(tb.RemoteAddr(0))
+	cfg.BufferBytes = 1 << 18
+	cfg.Hops = 300
+	r := latmem.New(tb.K, h, cfg)
+	var out latmem.Result
+	tb.K.At(0, func() { r.Run(func(res latmem.Result) { out = res }) })
+	tb.K.Run()
+	return out.PerHop.Micros()
+}
+
+// chaseWithBulk runs the chase (class 0) against a saturating STREAM
+// (class 1) with the given number of injector classes.
+func (o Options) chaseWithBulk(period int64, classes int) (chaseUs float64, bulkBps float64) {
+	cfg := o.TestbedConfig(period)
+	cfg.InjectClasses = classes
+	tb := cluster.NewTestbed(cfg)
+
+	// Bulk flow: repeated STREAM keeping the injector saturated for the
+	// whole chase.
+	bulkH := tb.NewRemoteHierarchyPrio(1)
+	sCfg := stream.DefaultConfig(tb.RemoteAddr(1 << 30))
+	sCfg.Elements = o.StreamElements
+	sCfg.Iterations = 50
+	bulk := stream.New(tb.K, bulkH, sCfg)
+
+	chaseH := tb.NewRemoteHierarchyPrio(0)
+	lCfg := latmem.DefaultConfig(tb.RemoteAddr(0))
+	lCfg.BufferBytes = 1 << 18
+	lCfg.Hops = 300
+	chase := latmem.New(tb.K, chaseH, lCfg)
+
+	var chaseRes latmem.Result
+	tb.K.At(0, func() {
+		// The bulk flow exists only as background pressure; the run stops
+		// when the chase completes.
+		bulk.Run(func([]stream.Result) {})
+		chase.Run(func(r latmem.Result) {
+			chaseRes = r
+			tb.K.Stop()
+		})
+	})
+	tb.K.Run()
+	// Bulk bandwidth over the chase window: bytes moved so far / time.
+	bulkBytes := bulkH.Stats().BytesMoved
+	return chaseRes.PerHop.Micros(), sim.PerSecond(float64(bulkBytes), sim.Duration(tb.K.Now()))
+}
+
+// metricsFormat renders a float compactly for tables.
+func metricsFormat(v float64) string {
+	prec := 4
+	switch {
+	case v >= 100:
+		prec = 0
+	case v >= 1:
+		prec = 2
+	}
+	return strconv.FormatFloat(v, 'f', prec, 64)
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"thymesim/internal/cluster"
+	"thymesim/internal/memport"
+	"thymesim/internal/sim"
+	"thymesim/internal/workloads/graph500"
+	"thymesim/internal/workloads/kvstore"
+	"thymesim/internal/workloads/stream"
+)
+
+// StreamMeasurement is one STREAM execution's summary.
+type StreamMeasurement struct {
+	BandwidthBps float64
+	FillLatUs    float64
+	Elapsed      sim.Duration
+	PerKernel    []stream.Result
+}
+
+// runStream executes STREAM on the given hierarchy (remote or local) and
+// returns its summary. It runs inside a fresh kernel pass: callers own the
+// testbed and must not have other traffic scheduled unless intentionally
+// creating contention.
+func (o Options) runStream(tb *cluster.Testbed, h *memport.Hierarchy, base uint64) StreamMeasurement {
+	cfg := stream.DefaultConfig(base)
+	cfg.Elements = o.StreamElements
+	r := stream.New(tb.K, h, cfg)
+	var out []stream.Result
+	start := tb.K.Now()
+	tb.K.At(start, func() { r.Run(func(res []stream.Result) { out = res }) })
+	tb.K.Run()
+	bw, lat := stream.Summary(out)
+	var elapsed sim.Duration
+	for _, res := range out {
+		elapsed += res.Elapsed
+	}
+	return StreamMeasurement{BandwidthBps: bw, FillLatUs: lat, Elapsed: elapsed, PerKernel: out}
+}
+
+// StreamRemote runs STREAM against disaggregated memory at the given
+// PERIOD.
+func (o Options) StreamRemote(period int64) StreamMeasurement {
+	tb := o.Testbed(period)
+	return o.runStream(tb, tb.NewRemoteHierarchy(), tb.RemoteAddr(0))
+}
+
+// StreamLocal runs the local-memory baseline.
+func (o Options) StreamLocal() StreamMeasurement {
+	tb := o.Testbed(1)
+	return o.runStream(tb, tb.NewLocalHierarchy(), 0)
+}
+
+// GraphMeasurement summarizes a Graph500 execution.
+type GraphMeasurement struct {
+	BFSTime  sim.Duration
+	SSSPTime sim.Duration
+	BFSTeps  float64
+	SSSPTeps float64
+}
+
+func (o Options) graphConfig(base uint64) graph500.Config {
+	cfg := graph500.DefaultConfig(base)
+	cfg.Scale = o.GraphScale
+	cfg.EdgeFactor = o.GraphEdgeFactor
+	cfg.Roots = o.GraphRoots
+	cfg.Seed = o.Seed
+	cfg.Check = o.GraphScale <= 12 // validation cost grows with scale
+	return cfg
+}
+
+func (o Options) runGraph(tb *cluster.Testbed, h *memport.Hierarchy, base uint64) GraphMeasurement {
+	r := graph500.New(tb.K, h, o.graphConfig(base))
+	var out *graph500.RunResult
+	tb.K.At(tb.K.Now(), func() { r.Run(func(res *graph500.RunResult) { out = res }) })
+	tb.K.Run()
+	m := GraphMeasurement{BFSTime: out.MeanBFSTime, SSSPTime: out.MeanSSSPTime}
+	if len(out.BFS) > 0 {
+		m.BFSTeps = out.BFS[0].TEPS
+	}
+	if len(out.SSSP) > 0 {
+		m.SSSPTeps = out.SSSP[0].TEPS
+	}
+	return m
+}
+
+// GraphRemote runs Graph500 against disaggregated memory.
+func (o Options) GraphRemote(period int64) GraphMeasurement {
+	tb := o.Testbed(period)
+	return o.runGraph(tb, tb.NewRemoteHierarchy(), tb.RemoteAddr(0))
+}
+
+// GraphLocal runs the local baseline.
+func (o Options) GraphLocal() GraphMeasurement {
+	tb := o.Testbed(1)
+	return o.runGraph(tb, tb.NewLocalHierarchy(), 0)
+}
+
+// KVMeasurement summarizes a Memtier run.
+type KVMeasurement struct {
+	Throughput float64
+	MeanLatUs  float64
+	P99LatUs   float64
+}
+
+func (o Options) kvBenchConfig() kvstore.BenchConfig {
+	cfg := kvstore.DefaultBenchConfig()
+	cfg.Threads = o.KVThreads
+	cfg.ConnsPerThread = o.KVConns
+	cfg.RequestsPerClient = o.KVRequests
+	cfg.KeySpace = o.KVKeySpace
+	cfg.ValueBytes = o.KVValueBytes
+	cfg.Seed = o.Seed ^ 0xFEED
+	return cfg
+}
+
+func (o Options) runKV(tb *cluster.Testbed, h *memport.Hierarchy, base uint64) KVMeasurement {
+	scfg := kvstore.DefaultConfig(base)
+	store := kvstore.NewStore(scfg)
+	srv := kvstore.NewServer(tb.K, h, store, kvstore.DefaultServerConfig())
+	var out kvstore.BenchResult
+	tb.K.At(tb.K.Now(), func() {
+		kvstore.RunBench(tb.K, srv, o.kvBenchConfig(), func(r kvstore.BenchResult) { out = r })
+	})
+	tb.K.Run()
+	return KVMeasurement{
+		Throughput: out.Throughput,
+		MeanLatUs:  out.LatencyUs.Mean(),
+		P99LatUs:   out.LatencyUs.Quantile(0.99),
+	}
+}
+
+// KVRemote runs Redis+Memtier with the store's heap in disaggregated
+// memory.
+func (o Options) KVRemote(period int64) KVMeasurement {
+	tb := o.Testbed(period)
+	return o.runKV(tb, tb.NewRemoteHierarchy(), tb.RemoteAddr(0))
+}
+
+// KVLocal runs the local baseline.
+func (o Options) KVLocal() KVMeasurement {
+	tb := o.Testbed(1)
+	return o.runKV(tb, tb.NewLocalHierarchy(), 0)
+}

@@ -1,0 +1,179 @@
+// Package dram models a node's local memory subsystem: multiple interleaved
+// channels, each with a fixed access latency and a data bus whose bandwidth
+// is shared by everything using the channel. It is the substrate for both
+// sides of the paper's contention experiments: the lender's memory serves
+// remote (NIC) traffic and any co-located local applications (MCLN,
+// Fig. 7), and the memory-bus-vs-network bandwidth ratio is the mechanism
+// behind the paper's third key finding.
+package dram
+
+import (
+	"fmt"
+
+	"thymesim/internal/ocapi"
+	"thymesim/internal/sim"
+)
+
+// Config describes a memory subsystem.
+type Config struct {
+	// Channels is the number of interleaved memory channels.
+	Channels int
+	// AccessLatency is the fixed row/column access time per request.
+	AccessLatency sim.Duration
+	// BandwidthBps is the aggregate data-bus bandwidth in bytes/second,
+	// divided evenly across channels.
+	BandwidthBps float64
+	// QueueDepth bounds outstanding requests per channel; further requests
+	// wait (memory controller queue).
+	QueueDepth int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Channels <= 0 {
+		return fmt.Errorf("dram: channels = %d", c.Channels)
+	}
+	if c.AccessLatency < 0 {
+		return fmt.Errorf("dram: negative access latency")
+	}
+	if c.BandwidthBps <= 0 {
+		return fmt.Errorf("dram: bandwidth = %v", c.BandwidthBps)
+	}
+	if c.QueueDepth <= 0 {
+		return fmt.Errorf("dram: queue depth = %d", c.QueueDepth)
+	}
+	return nil
+}
+
+// AC922Config approximates one IBM AC922 node: 8 DDR4 channels, ~140 GB/s
+// aggregate, ~90 ns device access.
+func AC922Config() Config {
+	return Config{
+		Channels:      8,
+		AccessLatency: 90 * sim.Nanosecond,
+		BandwidthBps:  140e9,
+		QueueDepth:    32,
+	}
+}
+
+// PoolConfig approximates a CPU-less memory pool device (§V discussion):
+// a single controller with modest bandwidth, so that contention shifts from
+// the network to the pool itself.
+func PoolConfig(bandwidthBps float64) Config {
+	return Config{
+		Channels:      2,
+		AccessLatency: 120 * sim.Nanosecond,
+		BandwidthBps:  bandwidthBps,
+		QueueDepth:    32,
+	}
+}
+
+// DRAM is the memory subsystem instance.
+type DRAM struct {
+	k        *sim.Kernel
+	cfg      Config
+	channels []*channel
+
+	reads  uint64
+	writes uint64
+	bytes  uint64
+}
+
+type channel struct {
+	bus   *sim.Server
+	slots *sim.CreditPool
+}
+
+// New builds a memory subsystem.
+func New(k *sim.Kernel, cfg Config) *DRAM {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	d := &DRAM{k: k, cfg: cfg}
+	for i := 0; i < cfg.Channels; i++ {
+		d.channels = append(d.channels, &channel{
+			bus:   sim.NewServer(k),
+			slots: sim.NewCreditPool(k, cfg.QueueDepth),
+		})
+	}
+	return d
+}
+
+// Config returns the active configuration.
+func (d *DRAM) Config() Config { return d.cfg }
+
+// Reads returns the number of completed read requests.
+func (d *DRAM) Reads() uint64 { return d.reads }
+
+// Writes returns the number of completed write requests.
+func (d *DRAM) Writes() uint64 { return d.writes }
+
+// Bytes returns the cumulative bytes transferred.
+func (d *DRAM) Bytes() uint64 { return d.bytes }
+
+// channelFor interleaves cache lines across channels.
+func (d *DRAM) channelFor(addr uint64) *channel {
+	line := addr / ocapi.CacheLineSize
+	return d.channels[line%uint64(len(d.channels))]
+}
+
+// burstTime is the data-bus occupancy of one request on one channel.
+func (d *DRAM) burstTime(bytes int) sim.Duration {
+	perChan := d.cfg.BandwidthBps / float64(d.cfg.Channels)
+	return sim.Duration(float64(bytes) / perChan * 1e12)
+}
+
+// Access performs a memory request of the given size at addr and calls done
+// when the data has transferred. Concurrent requests to different channels
+// proceed in parallel; requests to one channel share its bus.
+func (d *DRAM) Access(addr uint64, bytes int, write bool, done func()) {
+	if bytes <= 0 {
+		panic("dram: non-positive access size")
+	}
+	ch := d.channelFor(addr)
+	ch.slots.Acquire(func() {
+		// Device access latency, then bus occupancy.
+		d.k.After(d.cfg.AccessLatency, func() {
+			ch.bus.Serve(d.burstTime(bytes), func() {
+				if write {
+					d.writes++
+				} else {
+					d.reads++
+				}
+				d.bytes += uint64(bytes)
+				ch.slots.Release()
+				if done != nil {
+					done()
+				}
+			})
+		})
+	})
+}
+
+// ReadLine reads one cache line.
+func (d *DRAM) ReadLine(addr uint64, done func()) {
+	d.Access(addr, ocapi.CacheLineSize, false, done)
+}
+
+// WriteLine writes one cache line.
+func (d *DRAM) WriteLine(addr uint64, done func()) {
+	d.Access(addr, ocapi.CacheLineSize, true, done)
+}
+
+// Utilization returns the mean bus utilization across channels.
+func (d *DRAM) Utilization() float64 {
+	var sum float64
+	for _, ch := range d.channels {
+		sum += ch.bus.Utilization()
+	}
+	return sum / float64(len(d.channels))
+}
+
+// DeliveredBps returns achieved bandwidth since simulation start.
+func (d *DRAM) DeliveredBps() float64 {
+	now := d.k.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(d.bytes) / now.Seconds()
+}

@@ -1,0 +1,158 @@
+package fabric
+
+import (
+	"fmt"
+
+	"thymesim/internal/axis"
+	"thymesim/internal/cache"
+	"thymesim/internal/dram"
+	"thymesim/internal/memport"
+	"thymesim/internal/ocapi"
+	"thymesim/internal/sim"
+	"thymesim/internal/tfnic"
+)
+
+// BorrowBase is where hot-plugged windows begin in every borrower's
+// physical address space.
+const BorrowBase uint64 = 0x1000_0000_0000
+
+// DCConfig parameterizes a switched multi-node deployment.
+type DCConfig struct {
+	Nodes  int
+	Switch SwitchConfig
+	NIC    tfnic.Config // NodeID is overwritten per node
+	DRAM   dram.Config
+	LLC    cache.Config
+	// PortLatency is the CPU<->NIC transport per direction.
+	PortLatency sim.Duration
+	MSHRs       int
+	TagSpace    int
+	// Gate optionally installs a delay-injection gate at every borrower
+	// egress (nil = vanilla).
+	Gate func(node int) axis.Gate
+}
+
+// DefaultDCConfig returns an N-node rack with AC922-like nodes.
+func DefaultDCConfig(nodes int) DCConfig {
+	return DCConfig{
+		Nodes:       nodes,
+		Switch:      DefaultSwitchConfig(nodes),
+		NIC:         tfnic.DefaultConfig(0),
+		DRAM:        dram.AC922Config(),
+		LLC:         cache.Config{SizeBytes: 64 << 10, Ways: 4, LineSize: ocapi.CacheLineSize},
+		PortLatency: 150 * sim.Nanosecond,
+		MSHRs:       memport.DefaultMSHRs,
+		TagSpace:    256,
+	}
+}
+
+// Validate checks the configuration.
+func (c DCConfig) Validate() error {
+	if c.Nodes < 2 {
+		return fmt.Errorf("fabric: nodes = %d", c.Nodes)
+	}
+	if c.Nodes > c.Switch.Ports {
+		return fmt.Errorf("fabric: %d nodes exceed %d switch ports", c.Nodes, c.Switch.Ports)
+	}
+	if c.MSHRs <= 0 || c.TagSpace < c.MSHRs {
+		return fmt.Errorf("fabric: MSHRs=%d tags=%d", c.MSHRs, c.TagSpace)
+	}
+	if err := c.Switch.Validate(); err != nil {
+		return err
+	}
+	if err := c.DRAM.Validate(); err != nil {
+		return err
+	}
+	return c.LLC.Validate()
+}
+
+// DCNode is one machine in the deployment.
+type DCNode struct {
+	ID  int
+	NIC *tfnic.NIC
+	Mem *dram.DRAM
+	// nextWindow tracks where the next borrow window lands in this
+	// borrower's address space; tagCursor hands out disjoint tag ranges
+	// to the node's backends.
+	nextWindow uint64
+	tagCursor  uint32
+	backends   []*memport.RemoteBackend
+}
+
+// Datacenter is a switched multi-node disaggregated-memory deployment.
+type Datacenter struct {
+	K      *sim.Kernel
+	Switch *Switch
+	Nodes  []*DCNode
+	cfg    DCConfig
+}
+
+// NewDatacenter wires cfg.Nodes machines to one switch.
+func NewDatacenter(cfg DCConfig) *Datacenter {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	k := sim.NewKernel()
+	d := &Datacenter{K: k, cfg: cfg}
+	d.Switch = NewSwitch(k, cfg.Switch)
+	for i := 0; i < cfg.Nodes; i++ {
+		nicCfg := cfg.NIC
+		nicCfg.NodeID = i
+		var gate axis.Gate
+		if cfg.Gate != nil {
+			gate = cfg.Gate(i)
+		}
+		mem := dram.New(k, cfg.DRAM)
+		nic := tfnic.New(k, nicCfg, gate, mem)
+		node := &DCNode{ID: i, NIC: nic, Mem: mem, nextWindow: BorrowBase}
+		nic.OnDeliver = node.deliver
+		d.Switch.AttachNIC(i, NICPorts{TxQ: nic.TxQ, RxQ: nic.RxQ})
+		d.Nodes = append(d.Nodes, node)
+	}
+	return d
+}
+
+// Borrow programs a window of size bytes on the borrower's NIC mapping to
+// lender memory, and returns the borrower-side base address of the window.
+func (d *Datacenter) Borrow(borrower, lender int, size uint64) (uint64, error) {
+	if borrower == lender {
+		return 0, fmt.Errorf("fabric: node %d cannot borrow from itself", borrower)
+	}
+	b := d.Nodes[borrower]
+	base := b.nextWindow
+	w := tfnic.Window{
+		BorrowerBase: base,
+		LenderBase:   0x20_0000_0000 + uint64(borrower)<<40,
+		Size:         size,
+		LenderNode:   lender,
+	}
+	if err := b.NIC.Translator().AddWindow(w); err != nil {
+		return 0, err
+	}
+	b.nextWindow += size
+	return base, nil
+}
+
+// deliver routes a response to the backend owning its tag range.
+func (n *DCNode) deliver(p ocapi.Packet) {
+	for _, b := range n.backends {
+		if b.Owns(p.Tag) {
+			b.Deliver(p)
+			return
+		}
+	}
+	panic(fmt.Sprintf("fabric: node %d received response with unowned tag %d", n.ID, p.Tag))
+}
+
+// NewHierarchy returns a CPU-side hierarchy on the given borrower whose
+// misses traverse the switched fabric to the given lender. Each call
+// creates a dedicated backend with a disjoint tag range so several
+// hierarchies (and lenders) can share one NIC.
+func (d *Datacenter) NewHierarchy(borrower, lender int) *memport.Hierarchy {
+	node := d.Nodes[borrower]
+	base := node.tagCursor
+	node.tagCursor += uint32(d.cfg.TagSpace)
+	backend := memport.NewRemoteBackendTags(d.K, node.NIC, base, d.cfg.TagSpace, d.cfg.PortLatency, uint16(borrower), uint16(lender))
+	node.backends = append(node.backends, backend)
+	return memport.NewHierarchy(d.K, cache.New(d.cfg.LLC), backend, d.cfg.MSHRs)
+}

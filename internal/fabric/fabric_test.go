@@ -1,0 +1,254 @@
+package fabric
+
+import (
+	"testing"
+
+	"thymesim/internal/axis"
+	"thymesim/internal/memport"
+	"thymesim/internal/ocapi"
+	"thymesim/internal/sim"
+)
+
+func TestSwitchConfigValidation(t *testing.T) {
+	if err := DefaultSwitchConfig(4).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []SwitchConfig{
+		{Ports: 1, LinkBandwidthBps: 1, OutputQueue: 1},
+		{Ports: 2, LinkBandwidthBps: 0, OutputQueue: 1},
+		{Ports: 2, LinkBandwidthBps: 1, OutputQueue: 0},
+		{Ports: 2, LinkBandwidthBps: 1, OutputQueue: 1, SwitchLatency: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSwitchForwardsByPacketDst(t *testing.T) {
+	k := sim.NewKernel()
+	sw := NewSwitch(k, DefaultSwitchConfig(3))
+	mk := func(dst uint16) axis.Beat {
+		p := ocapi.Packet{Op: ocapi.OpProbe, Src: 0, Dst: dst}
+		return axis.Beat{Bytes: p.WireBytes(), Meta: p}
+	}
+	k.At(0, func() {
+		sw.ports[0].In.Push(mk(1))
+		sw.ports[0].In.Push(mk(2))
+		sw.ports[0].In.Push(mk(1))
+	})
+	k.Run()
+	if sw.ports[1].Out.Len() != 2 || sw.ports[2].Out.Len() != 1 {
+		t.Fatalf("out lens = %d/%d", sw.ports[1].Out.Len(), sw.ports[2].Out.Len())
+	}
+	if sw.Forwarded() != 3 {
+		t.Fatalf("forwarded = %d", sw.Forwarded())
+	}
+}
+
+func TestSwitchDropsUnroutable(t *testing.T) {
+	k := sim.NewKernel()
+	sw := NewSwitch(k, DefaultSwitchConfig(2))
+	k.At(0, func() {
+		p := ocapi.Packet{Op: ocapi.OpProbe, Src: 0, Dst: 99}
+		sw.ports[0].In.Push(axis.Beat{Bytes: 10, Meta: p})
+		sw.ports[0].In.Push(axis.Beat{Bytes: 10, Meta: "garbage"})
+	})
+	k.Run()
+	if sw.Dropped() != 2 {
+		t.Fatalf("dropped = %d", sw.Dropped())
+	}
+}
+
+func TestSwitchLatencyApplied(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := DefaultSwitchConfig(2)
+	cfg.SwitchLatency = sim.Duration(sim.Microsecond)
+	sw := NewSwitch(k, cfg)
+	var at sim.Time
+	sw.ports[1].Out.OnData(func() { at = k.Now() })
+	k.At(0, func() {
+		p := ocapi.Packet{Op: ocapi.OpProbe, Src: 0, Dst: 1}
+		sw.ports[0].In.Push(axis.Beat{Bytes: 10, Meta: p})
+	})
+	k.Run()
+	if at != sim.Time(sim.Microsecond) {
+		t.Fatalf("forwarded at %v, want 1us", at)
+	}
+}
+
+func TestDCConfigValidation(t *testing.T) {
+	if err := DefaultDCConfig(4).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultDCConfig(4)
+	bad.Nodes = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("1 node accepted")
+	}
+	bad = DefaultDCConfig(4)
+	bad.Switch.Ports = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("ports < nodes accepted")
+	}
+}
+
+// dcRead reads n distinct lines from lender memory through the fabric and
+// returns the elapsed simulated time.
+func dcRead(t *testing.T, d *Datacenter, h *memport.Hierarchy, base uint64, n int) {
+	t.Helper()
+	done := 0
+	d.K.At(d.K.Now(), func() {
+		for i := 0; i < n; i++ {
+			h.Access(base+uint64(i)*ocapi.CacheLineSize, 8, false, func() { done++ })
+		}
+	})
+	d.K.Run()
+	if done != n {
+		t.Fatalf("completed %d/%d", done, n)
+	}
+}
+
+func TestDatacenterBorrowAndAccess(t *testing.T) {
+	d := NewDatacenter(DefaultDCConfig(3))
+	base, err := d.Borrow(0, 1, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := d.NewHierarchy(0, 1)
+	dcRead(t, d, h, base, 100)
+	if d.Nodes[1].Mem.Reads() != 100 {
+		t.Fatalf("lender reads = %d", d.Nodes[1].Mem.Reads())
+	}
+	if d.Nodes[2].Mem.Reads() != 0 {
+		t.Fatalf("bystander touched: %d", d.Nodes[2].Mem.Reads())
+	}
+	if d.Switch.Forwarded() == 0 {
+		t.Fatal("traffic bypassed the switch")
+	}
+}
+
+func TestDatacenterSelfBorrowRejected(t *testing.T) {
+	d := NewDatacenter(DefaultDCConfig(2))
+	if _, err := d.Borrow(0, 0, 1<<20); err == nil {
+		t.Fatal("self borrow accepted")
+	}
+}
+
+func TestDatacenterMultipleBorrowersShareLenderLink(t *testing.T) {
+	// Incast: two borrowers streaming from the same lender must each see
+	// roughly half the single-borrower bandwidth (the lender's switch
+	// port is the shared bottleneck).
+	run := func(borrowers int) float64 {
+		d := NewDatacenter(DefaultDCConfig(4))
+		type flow struct {
+			h    *memport.Hierarchy
+			base uint64
+		}
+		var flows []flow
+		for b := 0; b < borrowers; b++ {
+			base, err := d.Borrow(b, 3, 1<<30)
+			if err != nil {
+				t.Fatal(err)
+			}
+			flows = append(flows, flow{d.NewHierarchy(b, 3), base})
+		}
+		const lines = 1500
+		done := 0
+		d.K.At(0, func() {
+			for _, f := range flows {
+				f := f
+				for i := 0; i < lines; i++ {
+					f.h.Access(f.base+uint64(i)*ocapi.CacheLineSize, 8, false, func() { done++ })
+				}
+			}
+		})
+		end := d.K.Run()
+		if done != borrowers*lines {
+			t.Fatalf("done = %d", done)
+		}
+		// Per-borrower bandwidth.
+		return float64(lines*ocapi.CacheLineSize) / sim.Time(end).Seconds()
+	}
+	alone := run(1)
+	shared := run(2)
+	ratio := shared / alone
+	if ratio < 0.35 || ratio > 0.7 {
+		t.Fatalf("incast ratio = %v, want ~0.5", ratio)
+	}
+}
+
+func TestDatacenterDisjointPairsDoNotInterfere(t *testing.T) {
+	run := func(pairs int) sim.Time {
+		d := NewDatacenter(DefaultDCConfig(4))
+		done := 0
+		var hs []*memport.Hierarchy
+		var bases []uint64
+		for p := 0; p < pairs; p++ {
+			base, err := d.Borrow(2*p, 2*p+1, 1<<30)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hs = append(hs, d.NewHierarchy(2*p, 2*p+1))
+			bases = append(bases, base)
+		}
+		const lines = 800
+		d.K.At(0, func() {
+			for i, h := range hs {
+				h, base := h, bases[i]
+				for j := 0; j < lines; j++ {
+					h.Access(base+uint64(j)*ocapi.CacheLineSize, 8, false, func() { done++ })
+				}
+			}
+		})
+		end := d.K.Run()
+		if done != pairs*lines {
+			t.Fatalf("done = %d", done)
+		}
+		return end
+	}
+	one := run(1)
+	two := run(2)
+	// Disjoint pairs through an output-queued switch: no shared
+	// bottleneck, so wall time barely changes.
+	if float64(two) > 1.2*float64(one) {
+		t.Fatalf("disjoint pairs interfered: %v vs %v", two, one)
+	}
+}
+
+func TestDatacenterWithInjectionGate(t *testing.T) {
+	// Install a pathological gate on node 0 only: its traffic crawls,
+	// node 2's traffic is unaffected.
+	cfg := DefaultDCConfig(4)
+	cfg.Gate = func(node int) axis.Gate {
+		if node == 0 {
+			return slowGate{}
+		}
+		return nil
+	}
+	d := NewDatacenter(cfg)
+	b0, _ := d.Borrow(0, 1, 1<<30)
+	b2, _ := d.Borrow(2, 3, 1<<30)
+	h0 := d.NewHierarchy(0, 1)
+	h2 := d.NewHierarchy(2, 3)
+	var t0, t2 sim.Time
+	d.K.At(0, func() {
+		h0.Access(b0, 8, false, func() { t0 = d.K.Now() })
+		h2.Access(b2, 8, false, func() { t2 = d.K.Now() })
+	})
+	d.K.Run()
+	if t0 <= t2+sim.Time(50*sim.Microsecond) {
+		t.Fatalf("gated node not delayed: %v vs %v", t0, t2)
+	}
+}
+
+// slowGate quantizes transfers onto a 100us grid (Next must be idempotent
+// per the axis.Gate contract).
+type slowGate struct{}
+
+func (slowGate) Next(now sim.Time) sim.Time {
+	const q = sim.Time(100 * sim.Microsecond)
+	return (now + q - 1) / q * q
+}
+func (slowGate) Commit(sim.Time) {}

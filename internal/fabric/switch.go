@@ -1,0 +1,181 @@
+// Package fabric models the switched datacenter network that beyond-rack
+// memory disaggregation requires (§II-B): an output-queued switch with
+// per-port links, so that multiple borrower-lender pairs share paths and
+// congestion manifests as increased, variable remote-memory latency — the
+// failure mode the paper's delay injector emulates on the point-to-point
+// prototype.
+package fabric
+
+import (
+	"fmt"
+
+	"thymesim/internal/axis"
+	"thymesim/internal/netlink"
+	"thymesim/internal/ocapi"
+	"thymesim/internal/sim"
+)
+
+// SwitchConfig parameterizes the switch.
+type SwitchConfig struct {
+	// Ports is the number of switch ports.
+	Ports int
+	// LinkBandwidthBps and LinkPropagation describe each port's cable.
+	LinkBandwidthBps float64
+	LinkPropagation  sim.Duration
+	// SwitchLatency is the fixed forwarding latency (lookup + crossbar).
+	SwitchLatency sim.Duration
+	// OutputQueue bounds each output port's queue in beats; when full,
+	// upstream backpressure applies (PFC-style lossless fabric).
+	OutputQueue int
+}
+
+// DefaultSwitchConfig returns a 100 Gb/s, shallow-buffer ToR-like switch.
+func DefaultSwitchConfig(ports int) SwitchConfig {
+	return SwitchConfig{
+		Ports:            ports,
+		LinkBandwidthBps: netlink.DefaultBandwidthBps,
+		LinkPropagation:  netlink.DefaultPropagation,
+		SwitchLatency:    300 * sim.Nanosecond,
+		OutputQueue:      256,
+	}
+}
+
+// Validate checks the configuration.
+func (c SwitchConfig) Validate() error {
+	if c.Ports < 2 {
+		return fmt.Errorf("fabric: ports = %d", c.Ports)
+	}
+	if c.LinkBandwidthBps <= 0 {
+		return fmt.Errorf("fabric: bandwidth = %v", c.LinkBandwidthBps)
+	}
+	if c.SwitchLatency < 0 || c.LinkPropagation < 0 {
+		return fmt.Errorf("fabric: negative latency")
+	}
+	if c.OutputQueue <= 0 {
+		return fmt.Errorf("fabric: output queue = %d", c.OutputQueue)
+	}
+	return nil
+}
+
+// Port is one switch port's endpoint-facing FIFO pair: the attached device
+// writes to In (toward the switch) and reads from Out.
+type Port struct {
+	In  *axis.FIFO
+	Out *axis.FIFO
+}
+
+// Switch is an output-queued crossbar. Beats are routed by the node id in
+// their ocapi.Packet metadata: attach each node's NIC to the port matching
+// its id (port i serves node i).
+type Switch struct {
+	k     *sim.Kernel
+	cfg   SwitchConfig
+	ports []Port
+
+	forwarded uint64
+	dropped   uint64
+	// occupancy peaks per output for congestion diagnostics; outInflight
+	// counts beats in the forwarding pipeline per output so concurrent
+	// input ports cannot jointly overflow an output queue.
+	peakOcc     []int
+	outInflight []int
+}
+
+// NewSwitch builds the switch and its port FIFOs; devices are attached by
+// connecting their NIC TxQ/RxQ to a port via netlink channels (see
+// AttachNIC).
+func NewSwitch(k *sim.Kernel, cfg SwitchConfig) *Switch {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	s := &Switch{k: k, cfg: cfg, peakOcc: make([]int, cfg.Ports), outInflight: make([]int, cfg.Ports)}
+	outs := make([]*axis.FIFO, cfg.Ports)
+	for i := 0; i < cfg.Ports; i++ {
+		in := axis.NewFIFO(fmt.Sprintf("sw-in%d", i), cfg.OutputQueue)
+		out := axis.NewFIFO(fmt.Sprintf("sw-out%d", i), cfg.OutputQueue)
+		s.ports = append(s.ports, Port{In: in, Out: out})
+		outs[i] = out
+	}
+	// One forwarding engine per input port: parse destination, apply
+	// switch latency, enqueue at the output (blocking when full).
+	for i := 0; i < cfg.Ports; i++ {
+		in := s.ports[i].In
+		s.forwardLoop(in, outs)
+	}
+	return s
+}
+
+// forwardLoop moves beats from one input to their output queues. The
+// lookup/crossbar latency is fully pipelined: a beat leaves the input as
+// soon as its output has credit (counting in-flight beats), and lands at
+// the output SwitchLatency later.
+func (s *Switch) forwardLoop(in *axis.FIFO, outs []*axis.FIFO) {
+	inflight := s.outInflight
+	var kick func()
+	kick = func() {
+		for in.Len() > 0 {
+			head, _ := in.Peek()
+			dst := s.dstOf(head)
+			if dst < 0 || dst >= len(outs) {
+				in.Pop()
+				s.dropped++
+				continue
+			}
+			out := outs[dst]
+			if out.Space()-inflight[dst] <= 0 {
+				return // head-of-line blocked; out's OnSpace rekicks
+			}
+			b, _ := in.Pop()
+			inflight[dst]++
+			s.k.After(s.cfg.SwitchLatency, func() {
+				inflight[dst]--
+				s.forwarded++
+				out.Push(b)
+				if out.Len() > s.peakOcc[dst] {
+					s.peakOcc[dst] = out.Len()
+				}
+			})
+		}
+	}
+	in.OnData(kick)
+	for _, out := range outs {
+		out.OnSpace(kick)
+	}
+}
+
+// dstOf extracts the destination port from a beat's packet metadata.
+func (s *Switch) dstOf(b axis.Beat) int {
+	p, ok := b.Meta.(ocapi.Packet)
+	if !ok {
+		return -1
+	}
+	return int(p.Dst)
+}
+
+// Forwarded returns the number of beats switched.
+func (s *Switch) Forwarded() uint64 { return s.forwarded }
+
+// Dropped returns the number of unroutable beats discarded.
+func (s *Switch) Dropped() uint64 { return s.dropped }
+
+// PeakOccupancy returns the deepest queue observed at the given output.
+func (s *Switch) PeakOccupancy(port int) int { return s.peakOcc[port] }
+
+// NICPorts is the FIFO surface a NIC exposes (satisfied by *tfnic.NIC via
+// its exported TxQ/RxQ fields wrapped by the caller).
+type NICPorts struct {
+	TxQ *axis.FIFO
+	RxQ *axis.FIFO
+}
+
+// AttachNIC cables a NIC to switch port i with a full-duplex link.
+func (s *Switch) AttachNIC(i int, nic NICPorts) *netlink.Link {
+	if i < 0 || i >= len(s.ports) {
+		panic(fmt.Sprintf("fabric: port %d out of range", i))
+	}
+	p := s.ports[i]
+	return netlink.NewLink(s.k,
+		nic.TxQ, p.In, // NIC -> switch
+		p.Out, nic.RxQ, // switch -> NIC
+		s.cfg.LinkBandwidthBps, s.cfg.LinkPropagation)
+}

@@ -1,0 +1,73 @@
+package inject_test
+
+import (
+	"testing"
+
+	"thymesim/internal/cluster"
+	"thymesim/internal/control"
+	"thymesim/internal/inject"
+	"thymesim/internal/ocapi"
+	"thymesim/internal/sim"
+)
+
+// Integration: an outage stalls remote traffic, which resumes afterwards
+// with no losses — the CPU rides it out, as the paper observes for
+// delays under the detection threshold.
+func TestOutageStallsAndRecovers(t *testing.T) {
+	outage := inject.Window{Start: sim.Time(sim.Microsecond), Duration: 200 * sim.Microsecond}
+	cfg := cluster.DefaultConfig(0)
+	cfg.Gate = inject.NewOutageGate([]inject.Window{outage}, inject.DefaultFPGACycle)
+	tb := cluster.NewTestbed(cfg)
+	h := tb.NewRemoteHierarchy()
+	var completions []sim.Time
+	tb.K.At(0, func() {
+		for i := 0; i < 200; i++ {
+			h.Access(tb.RemoteAddr(uint64(i)*ocapi.CacheLineSize), 8, false, func() {
+				completions = append(completions, tb.K.Now())
+			})
+		}
+	})
+	tb.K.Run()
+	if len(completions) != 200 {
+		t.Fatalf("completions = %d (requests lost in outage)", len(completions))
+	}
+	// No fill completes in the dead zone (outage start + response drain
+	// margin .. outage end).
+	deadLo := outage.Start.Add(5 * sim.Microsecond)
+	deadHi := outage.End()
+	for _, c := range completions {
+		if c > deadLo && c < deadHi {
+			t.Fatalf("completion at %v inside outage [%v, %v]", c, deadLo, deadHi)
+		}
+	}
+	// And some complete after the outage (recovery).
+	last := completions[len(completions)-1]
+	if last < deadHi {
+		t.Fatalf("no post-outage recovery: last completion %v", last)
+	}
+}
+
+// Integration: an outage longer than the detection timeout kills the
+// attach (the Fig. 4 failure mode from a reliability fault rather than
+// congestion); a short outage merely delays it.
+func TestOutageVsAttachTimeout(t *testing.T) {
+	attach := func(outageDur sim.Duration) control.AttachResult {
+		cfg := cluster.DefaultConfig(0)
+		cfg.Gate = inject.NewOutageGate([]inject.Window{{Start: sim.Time(10 * sim.Microsecond), Duration: outageDur}}, inject.DefaultFPGACycle)
+		tb := cluster.NewTestbed(cfg)
+		var res control.AttachResult
+		tb.K.At(0, func() {
+			control.Attach(tb, control.DefaultAttachConfig(), func(r control.AttachResult) { res = r })
+		})
+		tb.K.Run()
+		return res
+	}
+	short := attach(500 * sim.Microsecond) // well under the 5ms deadline
+	if !short.OK {
+		t.Fatalf("short outage killed attach: %+v", short)
+	}
+	long := attach(10 * sim.Millisecond) // spans the whole deadline
+	if long.OK {
+		t.Fatalf("attach survived a %v outage: %+v", 10*sim.Millisecond, long)
+	}
+}

@@ -1,0 +1,54 @@
+package inject
+
+import (
+	"testing"
+)
+
+func TestOutageGateBlocksWindow(t *testing.T) {
+	g := NewOutageGate([]Window{{Start: 100, Duration: 50}}, 1)
+	if n := g.Next(50); n != 50 {
+		t.Fatalf("pre-outage Next = %v", n)
+	}
+	if n := g.Next(120); n != 150 {
+		t.Fatalf("mid-outage Next = %v, want 150", n)
+	}
+	if n := g.Next(150); n != 150 {
+		t.Fatalf("post-outage Next = %v", n)
+	}
+	if g.Blocked() != 1 {
+		t.Fatalf("blocked = %d", g.Blocked())
+	}
+}
+
+func TestOutageGateSequentialWindows(t *testing.T) {
+	g := NewOutageGate([]Window{
+		{Start: 100, Duration: 10},
+		{Start: 105 + 5, Duration: 10}, // starts exactly at first end
+	}, 1)
+	// A request at 102 skips to 110, which is inside the second window,
+	// so it skips to 120.
+	if n := g.Next(102); n != 120 {
+		t.Fatalf("chained outages Next = %v, want 120", n)
+	}
+}
+
+func TestOutageGateValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewOutageGate([]Window{{Start: 0, Duration: 0}}, 1) },
+		func() {
+			NewOutageGate([]Window{
+				{Start: 0, Duration: 100},
+				{Start: 50, Duration: 10},
+			}, 1)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

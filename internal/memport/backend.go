@@ -1,0 +1,189 @@
+package memport
+
+import (
+	"thymesim/internal/dram"
+	"thymesim/internal/ocapi"
+	"thymesim/internal/sim"
+)
+
+// DRAMBackend services lines against local memory — the baseline
+// ("local") configuration of the paper's Table I.
+type DRAMBackend struct {
+	mem *dram.DRAM
+}
+
+// NewDRAMBackend wraps a DRAM instance.
+func NewDRAMBackend(mem *dram.DRAM) *DRAMBackend { return &DRAMBackend{mem: mem} }
+
+// ReadLine implements LineBackend.
+func (b *DRAMBackend) ReadLine(addr uint64, done func()) { b.mem.ReadLine(addr, done) }
+
+// WriteLine implements LineBackend.
+func (b *DRAMBackend) WriteLine(addr uint64, done func()) { b.mem.WriteLine(addr, done) }
+
+// Sender is the slice of the NIC the remote backend needs (satisfied by
+// *tfnic.NIC).
+type Sender interface {
+	TrySend(p ocapi.Packet) bool
+	OnCmdSpace(fn func())
+}
+
+// RemoteBackend services lines across the ThymesisFlow datapath: each miss
+// becomes an OpenCAPI read/write command through the borrower NIC (and
+// therefore through the delay injector), as in Fig. 1.
+type RemoteBackend struct {
+	k    *sim.Kernel
+	nic  Sender
+	tags *ocapi.TagAllocator
+	// tagBase offsets this backend's tags so several backends can share
+	// one NIC with disjoint tag ranges (multi-lender borrowing).
+	tagBase  uint32
+	tagCount uint32
+	// portLatency is the CPU-to-NIC OpenCAPI transport cost, applied per
+	// direction.
+	portLatency sim.Duration
+	src, dst    uint16
+	prio        uint8
+
+	pending   map[uint32]func()
+	pendWrite map[uint32]bool
+	// sendQ holds requests waiting for a tag or for NIC command-queue
+	// space; sendCbs parallels it with completion callbacks.
+	sendQ   []ocapi.Packet
+	sendCbs []func()
+
+	reads, writes uint64
+}
+
+// NewRemoteBackend builds the borrower-side remote memory backend. tags
+// bounds outstanding OpenCAPI commands (set it >= the MSHR window plus
+// writeback slack).
+func NewRemoteBackend(k *sim.Kernel, nic Sender, tagSpace int, portLatency sim.Duration, src, dst uint16) *RemoteBackend {
+	return NewRemoteBackendTags(k, nic, 0, tagSpace, portLatency, src, dst)
+}
+
+// NewRemoteBackendTags is NewRemoteBackend with an explicit tag range
+// [tagBase, tagBase+tagSpace): backends sharing a NIC must use disjoint
+// ranges so responses route unambiguously.
+func NewRemoteBackendTags(k *sim.Kernel, nic Sender, tagBase uint32, tagSpace int, portLatency sim.Duration, src, dst uint16) *RemoteBackend {
+	b := &RemoteBackend{
+		k:           k,
+		nic:         nic,
+		tags:        ocapi.NewTagAllocator(tagSpace),
+		tagBase:     tagBase,
+		tagCount:    uint32(tagSpace),
+		portLatency: portLatency,
+		src:         src,
+		dst:         dst,
+		pending:     make(map[uint32]func()),
+		pendWrite:   make(map[uint32]bool),
+	}
+	nic.OnCmdSpace(b.pump)
+	return b
+}
+
+// SetPriority assigns the QoS class stamped on this backend's requests
+// (0 = highest). It takes effect for subsequently issued commands.
+func (b *RemoteBackend) SetPriority(p uint8) { b.prio = p }
+
+// Priority returns the backend's QoS class.
+func (b *RemoteBackend) Priority() uint8 { return b.prio }
+
+// Owns reports whether a response tag belongs to this backend's range and
+// is outstanding.
+func (b *RemoteBackend) Owns(tag uint32) bool {
+	if tag < b.tagBase || tag >= b.tagBase+b.tagCount {
+		return false
+	}
+	_, ok := b.pending[tag]
+	return ok
+}
+
+// Reads returns completed line reads.
+func (b *RemoteBackend) Reads() uint64 { return b.reads }
+
+// Writes returns completed line writes.
+func (b *RemoteBackend) Writes() uint64 { return b.writes }
+
+// Outstanding returns commands in flight.
+func (b *RemoteBackend) Outstanding() int { return b.tags.Outstanding() }
+
+// QueuedSends returns requests waiting to enter the NIC.
+func (b *RemoteBackend) QueuedSends() int { return len(b.sendQ) }
+
+// ReadLine implements LineBackend.
+func (b *RemoteBackend) ReadLine(addr uint64, done func()) {
+	b.issue(ocapi.OpReadBlock, addr, done)
+}
+
+// WriteLine implements LineBackend.
+func (b *RemoteBackend) WriteLine(addr uint64, done func()) {
+	b.issue(ocapi.OpWriteBlock, addr, done)
+}
+
+func (b *RemoteBackend) issue(op ocapi.Op, addr uint64, done func()) {
+	// CPU -> NIC transport latency, then queue for a tag + NIC entry.
+	b.k.After(b.portLatency, func() {
+		p := ocapi.Packet{
+			Op:     op,
+			Addr:   ocapi.LineAlign(addr),
+			Size:   ocapi.CacheLineSize,
+			Src:    b.src,
+			Dst:    b.dst,
+			Issued: b.k.Now(),
+			Prio:   b.prio,
+		}
+		b.sendQ = append(b.sendQ, p)
+		b.sendCbs = append(b.sendCbs, done)
+		b.pump()
+	})
+}
+
+// pump drains the send queue while tags and NIC space allow.
+func (b *RemoteBackend) pump() {
+	for len(b.sendQ) > 0 {
+		raw, ok := b.tags.Alloc()
+		if !ok {
+			return
+		}
+		tag := b.tagBase + raw
+		p := b.sendQ[0]
+		p.Tag = tag
+		if !b.nic.TrySend(p) {
+			b.tags.Release(raw)
+			return
+		}
+		done := b.sendCbs[0]
+		b.sendQ = b.sendQ[1:]
+		b.sendCbs = b.sendCbs[1:]
+		b.pending[tag] = done
+		b.pendWrite[tag] = p.Op == ocapi.OpWriteBlock
+	}
+}
+
+// tagsRelease returns a tag's allocator slot.
+func (b *RemoteBackend) tagsRelease(tag uint32) { b.tags.Release(tag - b.tagBase) }
+
+// Deliver completes a response from the NIC; wire it to NIC.OnDeliver.
+func (b *RemoteBackend) Deliver(p ocapi.Packet) {
+	done, ok := b.pending[p.Tag]
+	if !ok {
+		panic("memport: response for unknown tag")
+	}
+	delete(b.pending, p.Tag)
+	isWrite := b.pendWrite[p.Tag]
+	delete(b.pendWrite, p.Tag)
+	// NIC -> CPU transport latency before the fill reaches the cache.
+	b.k.After(b.portLatency, func() {
+		if isWrite {
+			b.writes++
+		} else {
+			b.reads++
+		}
+		b.tagsRelease(p.Tag)
+		b.pump()
+		if done != nil {
+			done()
+		}
+	})
+}

@@ -1,0 +1,130 @@
+package memport
+
+import (
+	"fmt"
+
+	"thymesim/internal/ocapi"
+	"thymesim/internal/sim"
+)
+
+// FastPort is an O(1)-per-access analytic model of the remote datapath,
+// used for large workload sweeps (full-scale Graph500, long Memtier runs)
+// where driving every cache line through the event-level pipeline would be
+// needlessly slow. It models the two mechanisms that dominate end-to-end
+// behaviour:
+//
+//  1. the delay injector's release grid: successive requests leave the NIC
+//     no faster than one per SlotInterval, aligned to the grid, and
+//  2. the MSHR window: at most Window line fills outstanding.
+//
+// It is validated against the event-level model by cross-checking tests in
+// this package (same parameters, same access stream, bandwidth and latency
+// within tolerance).
+type FastPort struct {
+	baseRTT sim.Duration
+	slot    sim.Duration
+	window  int
+
+	// ring holds completion times of the last `window` fills.
+	ring    []sim.Time
+	head    int
+	inUse   int
+	lastRel sim.Time
+
+	lines   uint64
+	latSum  sim.Duration
+	firstAt sim.Time
+	lastAt  sim.Time
+}
+
+// NewFastPort builds the analytic port. baseRTT is the uncontended
+// line-fill round trip; slotInterval is PERIOD × FPGA cycle (0 or the
+// cycle time for vanilla behaviour); window is the MSHR count.
+func NewFastPort(baseRTT, slotInterval sim.Duration, window int) *FastPort {
+	if baseRTT <= 0 || slotInterval < 0 || window <= 0 {
+		panic(fmt.Sprintf("memport: bad FastPort params rtt=%v slot=%v window=%d", baseRTT, slotInterval, window))
+	}
+	return &FastPort{
+		baseRTT: baseRTT,
+		slot:    slotInterval,
+		window:  window,
+		ring:    make([]sim.Time, window),
+		lastRel: -1,
+	}
+}
+
+// Access issues one line fill at virtual time now and returns its
+// completion time. Callers model dependent accesses by passing the
+// previous completion as the next now, and independent accesses by
+// reusing the same now.
+func (f *FastPort) Access(now sim.Time) sim.Time {
+	// MSHR window: wait for the oldest outstanding fill if full. ring is
+	// ordered because releases are monotone.
+	if f.inUse == f.window {
+		oldest := f.ring[f.head]
+		if oldest > now {
+			now = oldest
+		}
+		f.head = (f.head + 1) % f.window
+		f.inUse--
+	}
+	// Injector release grid: align up to the next unused slot.
+	rel := now
+	if f.slot > 0 {
+		s := int64(f.slot)
+		idx := int64(rel) / s
+		if sim.Time(idx)*sim.Time(s) < rel {
+			idx++
+		}
+		if last := f.lastRel; last >= 0 {
+			lastIdx := int64(last) / s
+			if idx <= lastIdx {
+				idx = lastIdx + 1
+			}
+		}
+		rel = sim.Time(idx) * sim.Time(s)
+	}
+	f.lastRel = rel
+	complete := rel.Add(f.baseRTT)
+	f.ring[(f.head+f.inUse)%f.window] = complete
+	f.inUse++
+	if f.lines == 0 {
+		f.firstAt = now
+	}
+	f.lastAt = complete
+	f.lines++
+	f.latSum += complete.Sub(now)
+	return complete
+}
+
+// Lines returns the number of fills issued.
+func (f *FastPort) Lines() uint64 { return f.lines }
+
+// MeanLatency returns the mean issue-to-completion latency.
+func (f *FastPort) MeanLatency() sim.Duration {
+	if f.lines == 0 {
+		return 0
+	}
+	return f.latSum / sim.Duration(f.lines)
+}
+
+// BandwidthBps returns achieved line bandwidth over the active span.
+func (f *FastPort) BandwidthBps() float64 {
+	if f.lines < 2 || f.lastAt <= f.firstAt {
+		return 0
+	}
+	return float64(f.lines*ocapi.CacheLineSize) / f.lastAt.Sub(f.firstAt).Seconds()
+}
+
+// Drain returns the completion time of the last outstanding fill (now if
+// none) — the virtual time at which all issued traffic has landed.
+func (f *FastPort) Drain(now sim.Time) sim.Time {
+	if f.inUse == 0 {
+		return now
+	}
+	last := f.ring[(f.head+f.inUse-1)%f.window]
+	if last > now {
+		return last
+	}
+	return now
+}

@@ -1,0 +1,112 @@
+package memport
+
+import (
+	"testing"
+	"testing/quick"
+
+	"thymesim/internal/ocapi"
+	"thymesim/internal/sim"
+)
+
+func TestFastPortDependentChain(t *testing.T) {
+	// Dependent accesses with no injection pay one RTT each.
+	p := NewFastPort(sim.Duration(sim.Microsecond), 0, 16)
+	now := sim.Time(0)
+	for i := 0; i < 10; i++ {
+		now = p.Access(now)
+	}
+	if now != sim.Time(10*sim.Microsecond) {
+		t.Fatalf("chain end = %v, want 10us", now)
+	}
+	if p.MeanLatency() != sim.Duration(sim.Microsecond) {
+		t.Fatalf("mean latency = %v", p.MeanLatency())
+	}
+}
+
+func TestFastPortSlotGridThrottlesIndependentStream(t *testing.T) {
+	// Independent accesses issued at t=0 release one per slot.
+	slot := sim.Duration(40 * sim.Nanosecond) // PERIOD=10 @ 4ns
+	p := NewFastPort(sim.Duration(sim.Microsecond), slot, 1<<20)
+	var last sim.Time
+	const n = 100
+	for i := 0; i < n; i++ {
+		last = p.Access(0)
+	}
+	want := sim.Time((n-1)*int(slot)) + sim.Time(sim.Microsecond)
+	if last != want {
+		t.Fatalf("last completion = %v, want %v", last, want)
+	}
+}
+
+func TestFastPortWindowCausesBDP(t *testing.T) {
+	// Saturated: bandwidth = window*line/latency; latency = window*slot.
+	const window = 64
+	slot := sim.Duration(400 * sim.Nanosecond) // PERIOD=100
+	p := NewFastPort(sim.Duration(sim.Microsecond), slot, window)
+	for i := 0; i < 20000; i++ {
+		p.Access(0)
+	}
+	bw := p.BandwidthBps()
+	lat := p.MeanLatency()
+	bdp := bw * lat.Seconds()
+	wantBDP := float64(window * ocapi.CacheLineSize)
+	if bdp < 0.85*wantBDP || bdp > 1.15*wantBDP {
+		t.Fatalf("BDP = %v, want ~%v (bw=%v lat=%v)", bdp, wantBDP, bw, lat)
+	}
+}
+
+func TestFastPortDrain(t *testing.T) {
+	p := NewFastPort(sim.Duration(sim.Microsecond), 0, 4)
+	if d := p.Drain(100); d != 100 {
+		t.Fatalf("empty drain = %v", d)
+	}
+	c := p.Access(0)
+	if d := p.Drain(0); d != c {
+		t.Fatalf("drain = %v, want %v", d, c)
+	}
+}
+
+func TestFastPortValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewFastPort(0, 0, 1) },
+		func() { NewFastPort(1, -1, 1) },
+		func() { NewFastPort(1, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: completion times are monotone non-decreasing for monotone
+// issue times, and never precede issue + baseRTT.
+func TestFastPortMonotoneProperty(t *testing.T) {
+	f := func(gaps []uint16, window8, slot8 uint8) bool {
+		window := int(window8%32) + 1
+		slot := sim.Duration(slot8) * sim.Nanosecond
+		base := sim.Duration(500 * sim.Nanosecond)
+		p := NewFastPort(base, slot, window)
+		now := sim.Time(0)
+		var prev sim.Time
+		for _, g := range gaps {
+			now = now.Add(sim.Duration(g))
+			c := p.Access(now)
+			if c < prev {
+				return false
+			}
+			if c < now.Add(base) {
+				return false
+			}
+			prev = c
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

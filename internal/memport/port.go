@@ -1,0 +1,147 @@
+// Package memport is the CPU-side memory interface workloads run against.
+//
+// A Hierarchy combines the LLC model with a line-granular backend (local
+// DRAM or the remote ThymesisFlow datapath) and enforces the MSHR
+// discipline: at most Window line fills may be outstanding, which is the
+// architectural source of the paper's constant bandwidth-delay product.
+package memport
+
+import (
+	"fmt"
+
+	"thymesim/internal/cache"
+	"thymesim/internal/metrics"
+	"thymesim/internal/ocapi"
+	"thymesim/internal/sim"
+)
+
+// DefaultMSHRs is the modelled outstanding-miss window. 129 lines × 128 B
+// ≈ 16.5 kB, the BDP the paper measures in Fig. 3.
+const DefaultMSHRs = 129
+
+// LineBackend services whole cache lines asynchronously.
+type LineBackend interface {
+	// ReadLine fetches the line at addr and calls done when data arrives.
+	ReadLine(addr uint64, done func())
+	// WriteLine writes the line at addr and calls done (may be nil) when
+	// the write is acknowledged.
+	WriteLine(addr uint64, done func())
+}
+
+// Stats aggregates hierarchy-level counters.
+type Stats struct {
+	Accesses   uint64
+	LineFills  uint64
+	Writebacks uint64
+	BytesMoved uint64 // bytes moved between cache and backend
+}
+
+// Hierarchy is an LLC in front of a LineBackend with an MSHR window.
+type Hierarchy struct {
+	k       *sim.Kernel
+	llc     *cache.Cache
+	backend LineBackend
+	mshr    *sim.CreditPool
+
+	stats    Stats
+	fillLat  *metrics.Histogram // line-fill latency in microseconds
+	onFill   func(sim.Duration)
+	onAccess func(addr uint64, size int, write bool)
+	onMiss   func(lineAddr uint64) // prefetcher hook
+}
+
+// NewHierarchy builds a hierarchy with the given LLC and backend. mshrs
+// bounds outstanding line fills.
+func NewHierarchy(k *sim.Kernel, llc *cache.Cache, backend LineBackend, mshrs int) *Hierarchy {
+	if mshrs <= 0 {
+		panic("memport: mshrs must be positive")
+	}
+	return &Hierarchy{
+		k:       k,
+		llc:     llc,
+		backend: backend,
+		mshr:    sim.NewCreditPool(k, mshrs),
+		fillLat: metrics.NewHistogram(0.001), // 1ns first bucket, in us
+	}
+}
+
+// Stats returns the counters so far.
+func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// CacheStats returns the LLC event counters.
+func (h *Hierarchy) CacheStats() cache.Stats { return h.llc.Stats() }
+
+// FillLatency returns the line-fill latency distribution (microseconds).
+func (h *Hierarchy) FillLatency() *metrics.Histogram { return h.fillLat }
+
+// OutstandingFills returns the MSHRs currently in use.
+func (h *Hierarchy) OutstandingFills() int { return h.mshr.InUse() }
+
+// OnFill registers an observer invoked with every line-fill latency, in
+// completion order — used to capture latency traces for replay.
+func (h *Hierarchy) OnFill(fn func(sim.Duration)) { h.onFill = fn }
+
+// OnAccess registers an observer invoked with every Access call (before
+// cache lookup) — used to capture workload memory traces.
+func (h *Hierarchy) OnAccess(fn func(addr uint64, size int, write bool)) { h.onAccess = fn }
+
+// Access touches [addr, addr+size) with the given intent and calls done
+// when every line is resolved (hits immediately; misses when their fill
+// completes). Writebacks of dirty victims are posted: they consume backend
+// bandwidth but do not delay done.
+func (h *Hierarchy) Access(addr uint64, size int, write bool, done func()) {
+	if size <= 0 {
+		panic(fmt.Sprintf("memport: access size %d", size))
+	}
+	h.stats.Accesses++
+	if h.onAccess != nil {
+		h.onAccess(addr, size, write)
+	}
+	var wg sim.WaitGroup
+	first := ocapi.LineAlign(addr)
+	for a := first; a < addr+uint64(size); a += ocapi.CacheLineSize {
+		res := h.llc.Access(a, write)
+		if res.Writeback {
+			h.stats.Writebacks++
+			h.stats.BytesMoved += ocapi.CacheLineSize
+			h.backend.WriteLine(res.VictimAddr, nil)
+		}
+		if res.Hit {
+			continue
+		}
+		wg.Add(1)
+		lineAddr := a
+		if h.onMiss != nil {
+			h.onMiss(lineAddr)
+		}
+		issued := h.k.Now()
+		h.mshr.Acquire(func() {
+			h.backend.ReadLine(lineAddr, func() {
+				lat := h.k.Now().Sub(issued)
+				h.fillLat.Observe(lat.Micros())
+				if h.onFill != nil {
+					h.onFill(lat)
+				}
+				h.stats.LineFills++
+				h.stats.BytesMoved += ocapi.CacheLineSize
+				h.mshr.Release()
+				wg.Done()
+			})
+		})
+	}
+	if done == nil {
+		done = func() {}
+	}
+	wg.OnZero(done)
+}
+
+// Flush invalidates the cache, accounting dirty lines as writebacks. The
+// flush's backend traffic is not modelled: it is used between benchmark
+// kernels, which are separated by barriers in the harness anyway.
+func (h *Hierarchy) Flush() {
+	wb := h.llc.Flush()
+	for i := 0; i < wb; i++ {
+		h.stats.Writebacks++
+		h.stats.BytesMoved += ocapi.CacheLineSize
+	}
+}

@@ -1,0 +1,125 @@
+package memport
+
+import (
+	"testing"
+
+	"thymesim/internal/cache"
+	"thymesim/internal/ocapi"
+	"thymesim/internal/sim"
+)
+
+func prefetchHierarchy(k *sim.Kernel, degree int) (*Hierarchy, *Prefetcher, *fakeBackend) {
+	fb := &fakeBackend{k: k, latency: sim.Duration(sim.Microsecond)}
+	llc := cache.New(cache.Config{SizeBytes: 64 << 10, Ways: 4, LineSize: ocapi.CacheLineSize})
+	h := NewHierarchy(k, llc, fb, 8)
+	p := AttachPrefetcher(h, degree)
+	return h, p, fb
+}
+
+func TestAttachDegreeZeroDisables(t *testing.T) {
+	k := sim.NewKernel()
+	h, p, _ := prefetchHierarchy(k, 0)
+	if p != nil {
+		t.Fatal("degree 0 returned a prefetcher")
+	}
+	if h.onMiss != nil {
+		t.Fatal("hook installed at degree 0")
+	}
+}
+
+func TestSequentialStreamConfirmsAndRunsAhead(t *testing.T) {
+	k := sim.NewKernel()
+	h, p, fb := prefetchHierarchy(k, 4)
+	// Touch 8 sequential lines: after 2 misses the stream confirms and
+	// the prefetcher runs ahead.
+	k.At(0, func() {
+		var next func(i int)
+		next = func(i int) {
+			if i == 8 {
+				return
+			}
+			h.Access(uint64(i)*ocapi.CacheLineSize, 8, false, func() { next(i + 1) })
+		}
+		next(0)
+	})
+	k.Run()
+	if p.Confirmed() != 1 {
+		t.Fatalf("confirmed = %d", p.Confirmed())
+	}
+	if p.Issued() == 0 {
+		t.Fatal("no prefetches issued")
+	}
+	// Demand misses: first 2 lines miss (confirmation), the rest hit on
+	// prefetched data.
+	if fills := h.Stats().LineFills; fills > 4 {
+		t.Fatalf("demand fills = %d, want few after confirmation", fills)
+	}
+	// Total backend traffic covers all touched lines (demand + prefetch,
+	// no duplicates), plus run-ahead of at most the degree.
+	total := uint64(fb.reads)
+	if total < 8 || total > 8+4 {
+		t.Fatalf("backend reads = %d, want 8..12", total)
+	}
+}
+
+func TestRandomPatternDoesNotPrefetch(t *testing.T) {
+	k := sim.NewKernel()
+	h, p, _ := prefetchHierarchy(k, 4)
+	rng := sim.NewRand(3)
+	k.At(0, func() {
+		for i := 0; i < 50; i++ {
+			h.Access(uint64(rng.Intn(1<<20))&^127, 8, false, nil)
+		}
+	})
+	k.Run()
+	if p.Issued() > 5 {
+		t.Fatalf("random pattern issued %d prefetches", p.Issued())
+	}
+}
+
+func TestPrefetcherSpeedsUpStreamingScan(t *testing.T) {
+	run := func(degree int) sim.Time {
+		k := sim.NewKernel()
+		h, _, _ := prefetchHierarchy(k, degree)
+		k.At(0, func() {
+			var next func(i int)
+			next = func(i int) {
+				if i == 200 {
+					return
+				}
+				// Dependent sequential scan: worst case without prefetch.
+				h.Access(uint64(i)*ocapi.CacheLineSize, 8, false, func() { next(i + 1) })
+			}
+			next(0)
+		})
+		return k.Run()
+	}
+	off := run(0)
+	on := run(8)
+	if float64(on) > 0.5*float64(off) {
+		t.Fatalf("prefetcher gained too little: %v vs %v", on, off)
+	}
+}
+
+func TestPrefetcherTracksMultipleStreams(t *testing.T) {
+	k := sim.NewKernel()
+	h, p, _ := prefetchHierarchy(k, 4)
+	k.At(0, func() {
+		var next func(i int)
+		next = func(i int) {
+			if i == 6 {
+				return
+			}
+			// Interleave two distant sequential streams.
+			a := uint64(i) * ocapi.CacheLineSize
+			b := 1<<30 + uint64(i)*ocapi.CacheLineSize
+			h.Access(a, 8, false, nil)
+			h.Access(b, 8, false, func() { next(i + 1) })
+		}
+		next(0)
+	})
+	k.Run()
+	if p.Confirmed() != 2 {
+		t.Fatalf("confirmed = %d, want 2 streams", p.Confirmed())
+	}
+}

@@ -1,0 +1,88 @@
+package memport
+
+import (
+	"thymesim/internal/sim"
+)
+
+// Op is one memory operation of a replay trace.
+type Op struct {
+	Addr  uint64
+	Size  int32
+	Write bool
+}
+
+// TraceSource yields the memory behaviour of an algorithm as a sequence of
+// phases: operations within a phase are independent (issued up to the
+// window limit), phases are separated by barriers (dependency structure —
+// BFS levels, delta-stepping buckets, a request's pointer-chase steps).
+type TraceSource interface {
+	NumPhases() int
+	// Phase returns the operations of phase i. The slice may be built on
+	// demand and is owned by the replayer until the next call.
+	Phase(i int) []Op
+	// ComputeTime returns the CPU time of phase i, overlapped with its
+	// memory time (the phase takes max(memory, compute)).
+	ComputeTime(i int) sim.Duration
+}
+
+// Replay drives a trace through a hierarchy with the given issue window
+// and calls done with the total elapsed simulated time.
+func Replay(k *sim.Kernel, h *Hierarchy, src TraceSource, window int, done func(sim.Duration)) {
+	if window <= 0 {
+		panic("memport: replay window must be positive")
+	}
+	start := k.Now()
+	phase := 0
+	var runPhase func()
+	runPhase = func() {
+		if phase == src.NumPhases() {
+			done(k.Now().Sub(start))
+			return
+		}
+		ops := src.Phase(phase)
+		compute := src.ComputeTime(phase)
+		phaseStart := k.Now()
+		idx := 0
+		inflight := 0
+		pumping := false
+		finished := false
+		var pump func()
+		finishPhase := func() {
+			finished = true
+			phase++
+			// Overlap compute with memory: the phase cannot end before
+			// its compute completes.
+			minEnd := phaseStart.Add(compute)
+			if k.Now() < minEnd {
+				k.At(minEnd, runPhase)
+			} else {
+				k.Post(runPhase)
+			}
+		}
+		pump = func() {
+			if pumping || finished {
+				return
+			}
+			pumping = true
+			for inflight < window && idx < len(ops) {
+				op := ops[idx]
+				idx++
+				inflight++
+				h.Access(op.Addr, int(op.Size), op.Write, func() {
+					inflight--
+					pump()
+				})
+			}
+			pumping = false
+			if !finished && idx == len(ops) && inflight == 0 {
+				finishPhase()
+			}
+		}
+		if len(ops) == 0 {
+			finishPhase()
+			return
+		}
+		pump()
+	}
+	runPhase()
+}

@@ -1,0 +1,127 @@
+package memport
+
+import (
+	"testing"
+
+	"thymesim/internal/cache"
+	"thymesim/internal/sim"
+)
+
+// sliceTrace adapts explicit phases for tests.
+type sliceTrace struct {
+	phases  [][]Op
+	compute []sim.Duration
+}
+
+func (s *sliceTrace) NumPhases() int   { return len(s.phases) }
+func (s *sliceTrace) Phase(i int) []Op { return s.phases[i] }
+func (s *sliceTrace) ComputeTime(i int) sim.Duration {
+	if s.compute == nil {
+		return 0
+	}
+	return s.compute[i]
+}
+
+func replayHierarchy(k *sim.Kernel, latency sim.Duration) (*Hierarchy, *fakeBackend) {
+	fb := &fakeBackend{k: k, latency: latency}
+	llc := cache.New(cache.Config{SizeBytes: 16 << 10, Ways: 2, LineSize: 128})
+	return NewHierarchy(k, llc, fb, 8), fb
+}
+
+func TestReplayPhasesAreBarriers(t *testing.T) {
+	k := sim.NewKernel()
+	h, fb := replayHierarchy(k, 100*sim.Nanosecond)
+	// Two phases of 4 independent misses each: with window 8 they could
+	// overlap, but the barrier forces 2 x 100ns.
+	tr := &sliceTrace{phases: [][]Op{
+		{{Addr: 0, Size: 8}, {Addr: 4096, Size: 8}, {Addr: 8192, Size: 8}, {Addr: 12288, Size: 8}},
+		{{Addr: 1 << 20, Size: 8}, {Addr: 1<<20 + 4096, Size: 8}},
+	}}
+	var elapsed sim.Duration
+	k.At(0, func() { Replay(k, h, tr, 8, func(d sim.Duration) { elapsed = d }) })
+	k.Run()
+	if elapsed != 200*sim.Nanosecond {
+		t.Fatalf("elapsed = %v, want 200ns (two barriered phases)", elapsed)
+	}
+	if fb.reads != 6 {
+		t.Fatalf("reads = %d", fb.reads)
+	}
+}
+
+func TestReplayWindowLimits(t *testing.T) {
+	k := sim.NewKernel()
+	h, fb := replayHierarchy(k, 100*sim.Nanosecond)
+	ops := make([]Op, 6)
+	for i := range ops {
+		ops[i] = Op{Addr: uint64(i) * 4096, Size: 8}
+	}
+	var elapsed sim.Duration
+	k.At(0, func() {
+		Replay(k, h, &sliceTrace{phases: [][]Op{ops}}, 2, func(d sim.Duration) { elapsed = d })
+	})
+	k.Run()
+	// Window 2 over 6 misses of 100ns each: 3 rounds.
+	if elapsed != 300*sim.Nanosecond {
+		t.Fatalf("elapsed = %v, want 300ns", elapsed)
+	}
+	if fb.maxOut > 2 {
+		t.Fatalf("outstanding = %d, window 2", fb.maxOut)
+	}
+}
+
+func TestReplayComputeOverlap(t *testing.T) {
+	k := sim.NewKernel()
+	h, _ := replayHierarchy(k, 100*sim.Nanosecond)
+	tr := &sliceTrace{
+		phases:  [][]Op{{{Addr: 0, Size: 8}}, {{Addr: 4096, Size: 8}}},
+		compute: []sim.Duration{500 * sim.Nanosecond, 10 * sim.Nanosecond},
+	}
+	var elapsed sim.Duration
+	k.At(0, func() { Replay(k, h, tr, 4, func(d sim.Duration) { elapsed = d }) })
+	k.Run()
+	// Phase 1: max(100ns mem, 500ns compute) = 500ns; phase 2: max(100,
+	// 10) = 100ns.
+	if elapsed != 600*sim.Nanosecond {
+		t.Fatalf("elapsed = %v, want 600ns", elapsed)
+	}
+}
+
+func TestReplayEmptyPhases(t *testing.T) {
+	k := sim.NewKernel()
+	h, _ := replayHierarchy(k, 100*sim.Nanosecond)
+	called := false
+	tr := &sliceTrace{phases: [][]Op{{}, {}, {}}}
+	k.At(0, func() { Replay(k, h, tr, 4, func(sim.Duration) { called = true }) })
+	k.Run()
+	if !called {
+		t.Fatal("empty replay never finished")
+	}
+}
+
+func TestReplayCacheHitsAreFree(t *testing.T) {
+	k := sim.NewKernel()
+	h, fb := replayHierarchy(k, 100*sim.Nanosecond)
+	same := []Op{{Addr: 0, Size: 8}, {Addr: 8, Size: 8}, {Addr: 16, Size: 8}}
+	var elapsed sim.Duration
+	k.At(0, func() {
+		Replay(k, h, &sliceTrace{phases: [][]Op{same}}, 4, func(d sim.Duration) { elapsed = d })
+	})
+	k.Run()
+	if fb.reads != 1 {
+		t.Fatalf("reads = %d, want 1 (same line)", fb.reads)
+	}
+	if elapsed != 100*sim.Nanosecond {
+		t.Fatalf("elapsed = %v", elapsed)
+	}
+}
+
+func TestReplayZeroWindowPanics(t *testing.T) {
+	k := sim.NewKernel()
+	h, _ := replayHierarchy(k, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("zero window did not panic")
+		}
+	}()
+	Replay(k, h, &sliceTrace{}, 0, func(sim.Duration) {})
+}

@@ -1,0 +1,118 @@
+// Package netlink models the network between disaggregated-memory NICs.
+//
+// The paper's prototype replaces the datacenter network with a 100 Gb/s
+// point-to-point copper cable (§III-A); Channel models one direction of
+// such a link with store-and-forward serialization and propagation delay.
+// Link pairs two channels into a full-duplex cable.
+package netlink
+
+import (
+	"fmt"
+
+	"thymesim/internal/axis"
+	"thymesim/internal/sim"
+)
+
+// Default parameters for the prototype's cable.
+const (
+	// DefaultBandwidthBps is 100 Gb/s in bytes per second.
+	DefaultBandwidthBps = 100e9 / 8
+	// DefaultPropagation covers the copper cable plus PHY latency.
+	DefaultPropagation = 100 * sim.Nanosecond
+)
+
+// Channel moves beats from a TX FIFO to an RX FIFO in one direction:
+// serialization time bytes/bandwidth on a shared wire (FIFO order), then
+// propagation delay, then delivery. Delivery into a full RX FIFO applies
+// backpressure by pausing the wire (credit-based link-layer flow control).
+type Channel struct {
+	k           *sim.Kernel
+	tx, rx      *axis.FIFO
+	wire        *sim.Server
+	propagation sim.Duration
+	bytesPerSec float64
+	armed       bool
+	inflight    int // beats past the wire, still propagating
+
+	delivered uint64
+	bytes     uint64
+}
+
+// NewChannel wires a unidirectional channel between tx and rx.
+func NewChannel(k *sim.Kernel, tx, rx *axis.FIFO, bandwidthBps float64, propagation sim.Duration) *Channel {
+	if bandwidthBps <= 0 {
+		panic("netlink: bandwidth must be positive")
+	}
+	if propagation < 0 {
+		panic("netlink: negative propagation")
+	}
+	c := &Channel{
+		k: k, tx: tx, rx: rx,
+		wire:        sim.NewServer(k),
+		propagation: propagation,
+		bytesPerSec: bandwidthBps,
+	}
+	tx.OnData(c.kick)
+	rx.OnSpace(c.kick)
+	return c
+}
+
+// Delivered returns the number of beats delivered to the RX FIFO.
+func (c *Channel) Delivered() uint64 { return c.delivered }
+
+// Bytes returns the cumulative wire bytes delivered.
+func (c *Channel) Bytes() uint64 { return c.bytes }
+
+// Utilization returns the wire's busy fraction since simulation start.
+func (c *Channel) Utilization() float64 { return c.wire.Utilization() }
+
+// SerializationTime returns the wire time for n bytes.
+func (c *Channel) SerializationTime(n int) sim.Duration {
+	return sim.Duration(float64(n) / c.bytesPerSec * 1e12)
+}
+
+func (c *Channel) kick() {
+	if c.armed || c.tx.Len() == 0 {
+		return
+	}
+	// Model link-layer credits: put the head on the wire only when the
+	// receiver can accept it, counting beats already in the propagation
+	// pipe so the receiver cannot be overflowed.
+	if c.rx.Space()-c.inflight <= 0 {
+		return
+	}
+	b, _ := c.tx.Pop()
+	c.armed = true
+	c.inflight++
+	ser := c.SerializationTime(b.Bytes)
+	c.wire.Serve(ser, func() {
+		c.k.After(c.propagation, func() {
+			c.inflight--
+			c.delivered++
+			c.bytes += uint64(b.Bytes)
+			c.rx.Push(b)
+		})
+		c.armed = false
+		c.kick()
+	})
+}
+
+// Link is a full-duplex point-to-point cable: direction A→B and B→A.
+type Link struct {
+	AtoB *Channel
+	BtoA *Channel
+}
+
+// NewLink builds a full-duplex link over the four endpoint FIFOs.
+func NewLink(k *sim.Kernel, txA, rxB, txB, rxA *axis.FIFO, bandwidthBps float64, propagation sim.Duration) *Link {
+	return &Link{
+		AtoB: NewChannel(k, txA, rxB, bandwidthBps, propagation),
+		BtoA: NewChannel(k, txB, rxA, bandwidthBps, propagation),
+	}
+}
+
+// String summarizes delivery counts.
+func (l *Link) String() string {
+	return fmt.Sprintf("link{a->b: %d beats/%d B, b->a: %d beats/%d B}",
+		l.AtoB.Delivered(), l.AtoB.Bytes(), l.BtoA.Delivered(), l.BtoA.Bytes())
+}

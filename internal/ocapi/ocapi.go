@@ -1,0 +1,257 @@
+// Package ocapi models the cache-coherent interconnect protocol that
+// carries borrower cache misses to the disaggregated-memory NIC and across
+// the network, in the style of OpenCAPI (the protocol ThymesisFlow uses on
+// POWER9). Remote memory is accessed in cache-line-sized blocks; each
+// command carries a tag for out-of-order completion, and commands are
+// encapsulated with a network header for transmission (§II-A of the paper).
+package ocapi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"thymesim/internal/sim"
+)
+
+// CacheLineSize is the POWER9 cache-line size in bytes; all remote memory
+// transfers are multiples of it.
+const CacheLineSize = 128
+
+// Wire-format overheads, in bytes. A command or response is encapsulated
+// into a network packet with destination address, checksum, etc. (Fig. 1).
+const (
+	HeaderBytes = 30 // network encapsulation: addressing, checksum, flags
+	CmdBytes    = 16 // OpenCAPI command: opcode, tag, address, size
+)
+
+// Op identifies a protocol operation.
+type Op uint8
+
+// Protocol operations.
+const (
+	OpInvalid    Op = iota
+	OpReadBlock     // read one cache line from remote memory
+	OpWriteBlock    // write one cache line to remote memory
+	OpReadResp      // data response to OpReadBlock
+	OpWriteAck      // completion response to OpWriteBlock
+	OpProbe         // control-plane liveness/config probe (FPGA detection)
+	OpProbeResp     // response to OpProbe
+)
+
+var opNames = map[Op]string{
+	OpInvalid:    "invalid",
+	OpReadBlock:  "read_block",
+	OpWriteBlock: "write_block",
+	OpReadResp:   "read_resp",
+	OpWriteAck:   "write_ack",
+	OpProbe:      "probe",
+	OpProbeResp:  "probe_resp",
+}
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsRequest reports whether the operation originates at the borrower.
+func (o Op) IsRequest() bool {
+	return o == OpReadBlock || o == OpWriteBlock || o == OpProbe
+}
+
+// IsResponse reports whether the operation is a lender-side reply.
+func (o Op) IsResponse() bool {
+	return o == OpReadResp || o == OpWriteAck || o == OpProbeResp
+}
+
+// Packet is one protocol message. Data payloads are modelled by size, not
+// content: workload data lives in real Go memory at the workload layer and
+// only timing flows through the datapath.
+type Packet struct {
+	Op     Op
+	Tag    uint32   // transaction tag for out-of-order completion
+	Addr   uint64   // borrower-side physical address
+	Size   uint32   // payload bytes (CacheLineSize for block ops)
+	Src    uint16   // source node id
+	Dst    uint16   // destination node id
+	Issued sim.Time // when the command entered the NIC (latency accounting)
+	// Prio is the QoS class for egress scheduling: 0 is the highest
+	// priority. It only affects requests (responses bypass the injector).
+	Prio uint8
+}
+
+// Validate checks protocol invariants.
+func (p *Packet) Validate() error {
+	switch p.Op {
+	case OpReadBlock, OpWriteBlock:
+		if p.Size != CacheLineSize {
+			return fmt.Errorf("ocapi: %v size %d, want cache line %d", p.Op, p.Size, CacheLineSize)
+		}
+		if p.Addr%CacheLineSize != 0 {
+			return fmt.Errorf("ocapi: %v address %#x not line-aligned", p.Op, p.Addr)
+		}
+	case OpReadResp:
+		if p.Size != CacheLineSize {
+			return fmt.Errorf("ocapi: read_resp size %d", p.Size)
+		}
+	case OpWriteAck, OpProbe, OpProbeResp:
+		if p.Size != 0 {
+			return fmt.Errorf("ocapi: %v carries unexpected payload %d", p.Op, p.Size)
+		}
+	default:
+		return fmt.Errorf("ocapi: invalid op %v", p.Op)
+	}
+	return nil
+}
+
+// WireBytes returns the packet's size on the network under the default
+// (OpenCAPI-over-Ethernet) profile.
+func (p *Packet) WireBytes() int { return DefaultProfile.WireBytes(p) }
+
+// Profile describes an interconnect's per-packet overheads. The paper's
+// §V discussion contrasts ThymesisFlow's OpenCAPI-over-Ethernet framing
+// with CXL's native switched fabric; profiles make that overhead a
+// first-class parameter.
+type Profile struct {
+	// Name labels the profile in reports.
+	Name string
+	// Header is the network encapsulation per packet (addressing,
+	// checksum, flags).
+	Header int
+	// Cmd is the protocol command/response framing per packet.
+	Cmd int
+}
+
+// DefaultProfile is ThymesisFlow's OpenCAPI-over-Ethernet framing.
+var DefaultProfile = Profile{Name: "opencapi-ethernet", Header: HeaderBytes, Cmd: CmdBytes}
+
+// CXLProfile approximates CXL's native flit framing: no Ethernet
+// encapsulation, 68B flits with ~6B of slotting/CRC overhead per message.
+var CXLProfile = Profile{Name: "cxl-native", Header: 6, Cmd: 10}
+
+// WireBytes returns a packet's size on the wire under this profile.
+func (pr Profile) WireBytes(p *Packet) int {
+	n := pr.Header + pr.Cmd
+	switch p.Op {
+	case OpWriteBlock, OpReadResp:
+		n += int(p.Size)
+	}
+	return n
+}
+
+// Response constructs the reply packet for a request, swapping direction
+// and preserving the tag and issue timestamp.
+func (p *Packet) Response() Packet {
+	r := Packet{Tag: p.Tag, Addr: p.Addr, Src: p.Dst, Dst: p.Src, Issued: p.Issued, Prio: p.Prio}
+	switch p.Op {
+	case OpReadBlock:
+		r.Op = OpReadResp
+		r.Size = CacheLineSize
+	case OpWriteBlock:
+		r.Op = OpWriteAck
+	case OpProbe:
+		r.Op = OpProbeResp
+	default:
+		panic(fmt.Sprintf("ocapi: Response of non-request %v", p.Op))
+	}
+	return r
+}
+
+// encodedLen is the fixed marshalled header length (payload is size-only).
+const encodedLen = 1 + 4 + 8 + 4 + 2 + 2 + 8 + 1
+
+// ErrShortBuffer reports a truncated encoding.
+var ErrShortBuffer = errors.New("ocapi: short buffer")
+
+// MarshalBinary encodes the packet header (big-endian, fixed layout).
+func (p *Packet) MarshalBinary() ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, encodedLen)
+	buf[0] = byte(p.Op)
+	binary.BigEndian.PutUint32(buf[1:], p.Tag)
+	binary.BigEndian.PutUint64(buf[5:], p.Addr)
+	binary.BigEndian.PutUint32(buf[13:], p.Size)
+	binary.BigEndian.PutUint16(buf[17:], p.Src)
+	binary.BigEndian.PutUint16(buf[19:], p.Dst)
+	binary.BigEndian.PutUint64(buf[21:], uint64(p.Issued))
+	buf[29] = p.Prio
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a packet header produced by MarshalBinary.
+func (p *Packet) UnmarshalBinary(buf []byte) error {
+	if len(buf) < encodedLen {
+		return ErrShortBuffer
+	}
+	p.Op = Op(buf[0])
+	p.Tag = binary.BigEndian.Uint32(buf[1:])
+	p.Addr = binary.BigEndian.Uint64(buf[5:])
+	p.Size = binary.BigEndian.Uint32(buf[13:])
+	p.Src = binary.BigEndian.Uint16(buf[17:])
+	p.Dst = binary.BigEndian.Uint16(buf[19:])
+	p.Issued = sim.Time(binary.BigEndian.Uint64(buf[21:]))
+	p.Prio = buf[29]
+	return p.Validate()
+}
+
+// TagAllocator hands out transaction tags from a bounded space, mirroring
+// the AFU tag pool that bounds outstanding OpenCAPI commands.
+type TagAllocator struct {
+	free []uint32
+	out  map[uint32]bool
+}
+
+// NewTagAllocator returns an allocator with n tags (0..n-1).
+func NewTagAllocator(n int) *TagAllocator {
+	if n <= 0 {
+		panic("ocapi: tag space must be positive")
+	}
+	a := &TagAllocator{out: make(map[uint32]bool, n)}
+	for i := n - 1; i >= 0; i-- {
+		a.free = append(a.free, uint32(i))
+	}
+	return a
+}
+
+// Alloc takes a free tag; ok is false when the space is exhausted.
+func (a *TagAllocator) Alloc() (uint32, bool) {
+	if len(a.free) == 0 {
+		return 0, false
+	}
+	t := a.free[len(a.free)-1]
+	a.free = a.free[:len(a.free)-1]
+	a.out[t] = true
+	return t, true
+}
+
+// Release returns a tag; releasing a tag not outstanding panics (protocol
+// corruption).
+func (a *TagAllocator) Release(tag uint32) {
+	if !a.out[tag] {
+		panic(fmt.Sprintf("ocapi: release of non-outstanding tag %d", tag))
+	}
+	delete(a.out, tag)
+	a.free = append(a.free, tag)
+}
+
+// Outstanding returns the number of tags in flight.
+func (a *TagAllocator) Outstanding() int { return len(a.out) }
+
+// LineAlign rounds addr down to a cache-line boundary.
+func LineAlign(addr uint64) uint64 { return addr &^ uint64(CacheLineSize-1) }
+
+// LinesCovering returns how many cache lines the byte range [addr,
+// addr+size) touches.
+func LinesCovering(addr uint64, size int) int {
+	if size <= 0 {
+		return 0
+	}
+	first := LineAlign(addr)
+	last := LineAlign(addr + uint64(size) - 1)
+	return int((last-first)/CacheLineSize) + 1
+}

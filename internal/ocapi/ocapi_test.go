@@ -1,0 +1,199 @@
+package ocapi
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPacketValidate(t *testing.T) {
+	good := Packet{Op: OpReadBlock, Addr: 0x1000, Size: CacheLineSize}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid packet rejected: %v", err)
+	}
+	cases := []Packet{
+		{Op: OpReadBlock, Addr: 0x1001, Size: CacheLineSize}, // misaligned
+		{Op: OpReadBlock, Addr: 0x1000, Size: 64},            // wrong size
+		{Op: OpWriteAck, Size: 8},                            // ack with payload
+		{Op: OpProbe, Size: 1},                               // probe with payload
+		{Op: OpInvalid},
+		{Op: Op(200)},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid packet accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestPacketWireBytes(t *testing.T) {
+	read := Packet{Op: OpReadBlock, Addr: 0, Size: CacheLineSize}
+	if got := read.WireBytes(); got != HeaderBytes+CmdBytes {
+		t.Errorf("read wire = %d", got)
+	}
+	write := Packet{Op: OpWriteBlock, Addr: 0, Size: CacheLineSize}
+	if got := write.WireBytes(); got != HeaderBytes+CmdBytes+CacheLineSize {
+		t.Errorf("write wire = %d", got)
+	}
+	resp := Packet{Op: OpReadResp, Size: CacheLineSize}
+	if got := resp.WireBytes(); got != HeaderBytes+CmdBytes+CacheLineSize {
+		t.Errorf("resp wire = %d", got)
+	}
+	ack := Packet{Op: OpWriteAck}
+	if got := ack.WireBytes(); got != HeaderBytes+CmdBytes {
+		t.Errorf("ack wire = %d", got)
+	}
+}
+
+func TestPacketResponse(t *testing.T) {
+	req := Packet{Op: OpReadBlock, Tag: 7, Addr: 0x2000, Size: CacheLineSize, Src: 1, Dst: 2, Issued: 99}
+	resp := req.Response()
+	if resp.Op != OpReadResp || resp.Tag != 7 || resp.Src != 2 || resp.Dst != 1 || resp.Issued != 99 {
+		t.Fatalf("response = %+v", resp)
+	}
+	if resp.Size != CacheLineSize {
+		t.Fatalf("read response size = %d", resp.Size)
+	}
+	w := Packet{Op: OpWriteBlock, Tag: 3, Addr: 0x80, Size: CacheLineSize, Src: 1, Dst: 2}
+	if r := w.Response(); r.Op != OpWriteAck || r.Size != 0 {
+		t.Fatalf("write response = %+v", r)
+	}
+	p := Packet{Op: OpProbe, Src: 1, Dst: 2}
+	if r := p.Response(); r.Op != OpProbeResp {
+		t.Fatalf("probe response = %+v", r)
+	}
+}
+
+func TestPacketResponseOfResponsePanics(t *testing.T) {
+	resp := Packet{Op: OpReadResp, Size: CacheLineSize}
+	defer func() {
+		if recover() == nil {
+			t.Error("Response of a response did not panic")
+		}
+	}()
+	resp.Response()
+}
+
+func TestPacketMarshalRoundTrip(t *testing.T) {
+	orig := Packet{Op: OpWriteBlock, Tag: 0xDEAD, Addr: 0xA000, Size: CacheLineSize, Src: 3, Dst: 9, Issued: 123456}
+	buf, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Packet
+	if err := got.UnmarshalBinary(buf); err != nil {
+		t.Fatal(err)
+	}
+	if got != orig {
+		t.Fatalf("round trip: got %+v, want %+v", got, orig)
+	}
+	var short Packet
+	if err := short.UnmarshalBinary(buf[:5]); err != ErrShortBuffer {
+		t.Fatalf("short buffer error = %v", err)
+	}
+}
+
+// Property: marshal/unmarshal round-trips every valid block packet.
+func TestPacketRoundTripProperty(t *testing.T) {
+	f := func(tag uint32, lineIdx uint32, src, dst uint16, write bool) bool {
+		op := OpReadBlock
+		if write {
+			op = OpWriteBlock
+		}
+		p := Packet{Op: op, Tag: tag, Addr: uint64(lineIdx) * CacheLineSize, Size: CacheLineSize, Src: src, Dst: dst}
+		buf, err := p.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var got Packet
+		return got.UnmarshalBinary(buf) == nil && got == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpPredicatesAndNames(t *testing.T) {
+	if !OpReadBlock.IsRequest() || OpReadBlock.IsResponse() {
+		t.Error("OpReadBlock predicates wrong")
+	}
+	if !OpReadResp.IsResponse() || OpReadResp.IsRequest() {
+		t.Error("OpReadResp predicates wrong")
+	}
+	if OpReadBlock.String() != "read_block" {
+		t.Errorf("name = %q", OpReadBlock.String())
+	}
+	if Op(99).String() == "" {
+		t.Error("unknown op has empty string")
+	}
+}
+
+func TestTagAllocator(t *testing.T) {
+	a := NewTagAllocator(3)
+	seen := map[uint32]bool{}
+	for i := 0; i < 3; i++ {
+		tag, ok := a.Alloc()
+		if !ok || seen[tag] {
+			t.Fatalf("alloc %d failed or dup: %v %v", i, tag, ok)
+		}
+		seen[tag] = true
+	}
+	if _, ok := a.Alloc(); ok {
+		t.Fatal("alloc beyond capacity succeeded")
+	}
+	if a.Outstanding() != 3 {
+		t.Fatalf("outstanding = %d", a.Outstanding())
+	}
+	a.Release(1)
+	if tag, ok := a.Alloc(); !ok || tag != 1 {
+		t.Fatalf("realloc = %v %v", tag, ok)
+	}
+}
+
+func TestTagAllocatorDoubleReleasePanics(t *testing.T) {
+	a := NewTagAllocator(2)
+	tag, _ := a.Alloc()
+	a.Release(tag)
+	defer func() {
+		if recover() == nil {
+			t.Error("double release did not panic")
+		}
+	}()
+	a.Release(tag)
+}
+
+func TestLineHelpers(t *testing.T) {
+	if LineAlign(0x1234) != 0x1200 {
+		t.Errorf("LineAlign = %#x", LineAlign(0x1234))
+	}
+	if n := LinesCovering(0, 128); n != 1 {
+		t.Errorf("LinesCovering(0,128) = %d", n)
+	}
+	if n := LinesCovering(0, 129); n != 2 {
+		t.Errorf("LinesCovering(0,129) = %d", n)
+	}
+	if n := LinesCovering(127, 2); n != 2 {
+		t.Errorf("LinesCovering(127,2) = %d", n)
+	}
+	if n := LinesCovering(0, 0); n != 0 {
+		t.Errorf("LinesCovering(0,0) = %d", n)
+	}
+}
+
+// Property: LinesCovering is consistent with enumerating lines.
+func TestLinesCoveringProperty(t *testing.T) {
+	f := func(addr32 uint32, size16 uint16) bool {
+		addr, size := uint64(addr32), int(size16)
+		got := LinesCovering(addr, size)
+		if size == 0 {
+			return got == 0
+		}
+		count := 0
+		for a := LineAlign(addr); a < addr+uint64(size); a += CacheLineSize {
+			count++
+		}
+		return got == count
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

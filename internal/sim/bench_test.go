@@ -1,0 +1,63 @@
+package sim
+
+import "testing"
+
+// BenchmarkKernelEventThroughput measures raw event dispatch rate — the
+// ceiling on every simulation in the repository.
+func BenchmarkKernelEventThroughput(b *testing.B) {
+	k := NewKernel()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			k.After(Nanosecond, tick)
+		}
+	}
+	k.After(Nanosecond, tick)
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkKernelHeapChurn measures scheduling with a deep pending queue.
+func BenchmarkKernelHeapChurn(b *testing.B) {
+	k := NewKernel()
+	const depth = 1024
+	for i := 0; i < depth; i++ {
+		k.At(Time(1_000_000+i), func() {})
+	}
+	done := 0
+	var tick func()
+	tick = func() {
+		done++
+		if done < b.N {
+			k.After(1, tick)
+		}
+	}
+	k.At(0, tick)
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkCreditPoolCycle measures acquire/release round trips.
+func BenchmarkCreditPoolCycle(b *testing.B) {
+	k := NewKernel()
+	p := NewCreditPool(k, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !p.TryAcquire() {
+			b.Fatal("pool empty")
+		}
+		p.Release()
+	}
+}
+
+// BenchmarkRandUint64 measures the seeded generator.
+func BenchmarkRandUint64(b *testing.B) {
+	r := NewRand(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}

@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// An event is a callback scheduled at an instant. seq breaks ties so that
+// events at equal timestamps run in scheduling order.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a single-threaded discrete-event scheduler. The zero value is
+// not usable; create kernels with NewKernel.
+type Kernel struct {
+	pq        eventHeap
+	now       Time
+	seq       uint64
+	processed uint64
+	running   bool
+	stopped   bool
+}
+
+// NewKernel returns a kernel whose clock starts at time zero.
+func NewKernel() *Kernel {
+	k := &Kernel{}
+	heap.Init(&k.pq)
+	return k
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Pending reports how many events are scheduled but not yet dispatched.
+func (k *Kernel) Pending() int { return len(k.pq) }
+
+// Processed reports the total number of events dispatched so far.
+func (k *Kernel) Processed() uint64 { return k.processed }
+
+// At schedules fn to run at the absolute instant t. Scheduling into the past
+// panics: it indicates a model bug that would silently corrupt causality.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.pq, event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current instant. Negative d panics.
+func (k *Kernel) After(d Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	k.At(k.now.Add(d), fn)
+}
+
+// Post schedules fn at the current instant, after all events already
+// scheduled for this instant.
+func (k *Kernel) Post(fn func()) { k.At(k.now, fn) }
+
+// Stop makes the currently executing Run/RunUntil return after the current
+// event completes. Pending events remain queued.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// step dispatches the earliest event. It reports false when no events remain.
+func (k *Kernel) step(limit Time) bool {
+	if len(k.pq) == 0 {
+		return false
+	}
+	if k.pq[0].at > limit {
+		return false
+	}
+	e := heap.Pop(&k.pq).(event)
+	k.now = e.at
+	k.processed++
+	e.fn()
+	return true
+}
+
+// Run dispatches events until the queue drains or Stop is called, and
+// returns the final simulated time.
+func (k *Kernel) Run() Time { return k.RunUntil(MaxTime) }
+
+// RunUntil dispatches events with timestamps <= limit, advances the clock to
+// limit if it was reached with events still pending, and returns the final
+// simulated time. Reentrant calls panic.
+func (k *Kernel) RunUntil(limit Time) Time {
+	if k.running {
+		panic("sim: Kernel.Run called reentrantly")
+	}
+	k.running = true
+	k.stopped = false
+	defer func() { k.running = false }()
+	for !k.stopped && k.step(limit) {
+	}
+	if !k.stopped && limit != MaxTime && k.now < limit {
+		k.now = limit
+	}
+	return k.now
+}
+
+// Ticker invokes fn every period until fn returns false. The first firing is
+// one period from now.
+func (k *Kernel) Ticker(period Duration, fn func() bool) {
+	if period <= 0 {
+		panic("sim: Ticker period must be positive")
+	}
+	var tick func()
+	tick = func() {
+		if fn() {
+			k.After(period, tick)
+		}
+	}
+	k.After(period, tick)
+}
+
+// WaitGroup counts outstanding simulated activities and runs a completion
+// callback when the count reaches zero. It mirrors sync.WaitGroup but is
+// kernel-local and single-threaded.
+type WaitGroup struct {
+	n    int
+	done func()
+}
+
+// Add increments the count by delta.
+func (w *WaitGroup) Add(delta int) { w.n += delta }
+
+// Done decrements the count; when it reaches zero the completion callback
+// fires (once). Going negative panics.
+func (w *WaitGroup) Done() {
+	w.n--
+	if w.n < 0 {
+		panic("sim: WaitGroup count below zero")
+	}
+	if w.n == 0 && w.done != nil {
+		fn := w.done
+		w.done = nil
+		fn()
+	}
+}
+
+// OnZero registers the completion callback. If the count is already zero the
+// callback fires immediately.
+func (w *WaitGroup) OnZero(fn func()) {
+	if w.n == 0 {
+		fn()
+		return
+	}
+	w.done = fn
+}

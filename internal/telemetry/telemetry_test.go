@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"thymesim/internal/sim"
+)
+
+func TestSamplerCollectsAtInterval(t *testing.T) {
+	k := sim.NewKernel()
+	s := NewSampler(k, sim.Duration(sim.Microsecond))
+	v := 0.0
+	s.Register("counter", func() float64 { v++; return v })
+	s.Start()
+	// Something must keep the clock moving; run bounded.
+	k.RunUntil(sim.Time(10 * sim.Microsecond))
+	s.Stop()
+	k.RunUntil(sim.Time(20 * sim.Microsecond))
+	series := s.Series("counter")
+	if series == nil {
+		t.Fatal("series missing")
+	}
+	if s.Samples() < 10 || s.Samples() > 11 {
+		t.Fatalf("samples = %d, want ~10", s.Samples())
+	}
+	// x values advance by 1us.
+	for i := 1; i < series.Len(); i++ {
+		if series.Points[i].X-series.Points[i-1].X != 1 {
+			t.Fatalf("sampling interval wrong: %v", series.Points)
+		}
+	}
+	// y values reflect probe reads in order.
+	if series.Points[0].Y != 1 {
+		t.Fatalf("first sample = %v", series.Points[0].Y)
+	}
+}
+
+func TestSamplerMultipleProbesAndCSV(t *testing.T) {
+	k := sim.NewKernel()
+	s := NewSampler(k, sim.Duration(sim.Microsecond))
+	s.Register("b-probe", func() float64 { return 2 })
+	s.Register("a-probe", func() float64 { return 1 })
+	s.Start()
+	k.RunUntil(sim.Time(3 * sim.Microsecond))
+	s.Stop()
+	k.Run()
+	if got := s.Names(); got[0] != "a-probe" || got[1] != "b-probe" {
+		t.Fatalf("names = %v", got)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "probe,time_us,value\n") {
+		t.Fatalf("csv header: %q", out)
+	}
+	if !strings.Contains(out, "a-probe,1,1") || !strings.Contains(out, "b-probe,2,2") {
+		t.Fatalf("csv rows: %q", out)
+	}
+}
+
+func TestSamplerValidation(t *testing.T) {
+	k := sim.NewKernel()
+	for _, fn := range []func(){
+		func() { NewSampler(k, 0) },
+		func() {
+			s := NewSampler(k, 1)
+			s.Start() // no probes
+		},
+		func() {
+			s := NewSampler(k, 1)
+			s.Register("x", func() float64 { return 0 })
+			s.Register("x", func() float64 { return 0 })
+		},
+		func() {
+			s := NewSampler(k, 1)
+			s.Register("x", func() float64 { return 0 })
+			s.Start()
+			s.Register("y", func() float64 { return 0 })
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+	if s := NewSampler(k, 1); s.Series("missing") != nil {
+		t.Error("missing series not nil")
+	}
+}

@@ -1,0 +1,282 @@
+package tfnic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"thymesim/internal/axis"
+	"thymesim/internal/dram"
+	"thymesim/internal/inject"
+	"thymesim/internal/ocapi"
+	"thymesim/internal/sim"
+)
+
+func TestTranslatorBasics(t *testing.T) {
+	var tr Translator
+	w := Window{BorrowerBase: 0x1000, LenderBase: 0x8000, Size: 0x1000, LenderNode: 2}
+	if err := tr.AddWindow(w); err != nil {
+		t.Fatal(err)
+	}
+	node, addr, ok := tr.Translate(0x1080)
+	if !ok || node != 2 || addr != 0x8080 {
+		t.Fatalf("translate = %d %#x %v", node, addr, ok)
+	}
+	if _, _, ok := tr.Translate(0x0FFF); ok {
+		t.Fatal("below window translated")
+	}
+	if _, _, ok := tr.Translate(0x2000); ok {
+		t.Fatal("past window translated")
+	}
+	// Edges.
+	if _, a, ok := tr.Translate(0x1000); !ok || a != 0x8000 {
+		t.Fatal("window base mistranslated")
+	}
+	if _, a, ok := tr.Translate(0x1FFF); !ok || a != 0x8FFF {
+		t.Fatal("window last byte mistranslated")
+	}
+}
+
+func TestTranslatorRejectsBadWindows(t *testing.T) {
+	var tr Translator
+	if err := tr.AddWindow(Window{BorrowerBase: 0, LenderBase: 0, Size: 0}); err == nil {
+		t.Error("empty window accepted")
+	}
+	if err := tr.AddWindow(Window{BorrowerBase: 5, LenderBase: 0, Size: 128}); err == nil {
+		t.Error("unaligned base accepted")
+	}
+	if err := tr.AddWindow(Window{BorrowerBase: 0, LenderBase: 0, Size: 100}); err == nil {
+		t.Error("unaligned size accepted")
+	}
+	must := func(w Window) {
+		if err := tr.AddWindow(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(Window{BorrowerBase: 0x1000, LenderBase: 0, Size: 0x1000})
+	if err := tr.AddWindow(Window{BorrowerBase: 0x1800, LenderBase: 0, Size: 0x1000}); err == nil {
+		t.Error("overlapping window accepted")
+	}
+	must(Window{BorrowerBase: 0x2000, LenderBase: 0, Size: 0x1000}) // adjacent OK
+}
+
+func TestTranslatorRemove(t *testing.T) {
+	var tr Translator
+	if err := tr.AddWindow(Window{BorrowerBase: 0x1000, LenderBase: 0, Size: 0x1000}); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.RemoveWindow(0x1000) {
+		t.Fatal("remove failed")
+	}
+	if tr.RemoveWindow(0x1000) {
+		t.Fatal("double remove succeeded")
+	}
+	if _, _, ok := tr.Translate(0x1000); ok {
+		t.Fatal("translated after removal")
+	}
+	if len(tr.Windows()) != 0 {
+		t.Fatal("windows not empty")
+	}
+}
+
+// Property: translation is a bijection offset-preserving map inside each
+// window and fails outside all windows.
+func TestTranslatorOffsetProperty(t *testing.T) {
+	f := func(off uint16) bool {
+		var tr Translator
+		w := Window{BorrowerBase: 0x10000, LenderBase: 0x50000, Size: 0x10000, LenderNode: 1}
+		if err := tr.AddWindow(w); err != nil {
+			return false
+		}
+		addr := w.BorrowerBase + uint64(off)
+		_, la, ok := tr.Translate(addr)
+		return ok && la-w.LenderBase == uint64(off)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// loopNICs wires a borrower and lender NIC back to back with ideal links
+// (direct FIFO moves) and returns both plus the kernel.
+func loopNICs(t *testing.T, gate axis.Gate) (*sim.Kernel, *NIC, *NIC) {
+	t.Helper()
+	k := sim.NewKernel()
+	mem := dram.New(k, dram.Config{Channels: 2, AccessLatency: 50 * sim.Nanosecond, BandwidthBps: 20e9, QueueDepth: 16})
+	b := New(k, DefaultConfig(0), gate, nil)
+	l := New(k, DefaultConfig(1), nil, mem)
+	// Ideal wire: anything in TxQ moves to the peer RxQ immediately.
+	connect := func(tx, rx *axis.FIFO) {
+		move := func() {
+			for tx.Len() > 0 && rx.Space() > 0 {
+				beat, _ := tx.Pop()
+				rx.Push(beat)
+			}
+		}
+		tx.OnData(move)
+		rx.OnSpace(move)
+	}
+	connect(b.TxQ, l.RxQ)
+	connect(l.TxQ, b.RxQ)
+	return k, b, l
+}
+
+func TestNICReadRoundTrip(t *testing.T) {
+	k, b, l := loopNICs(t, nil)
+	if err := b.Translator().AddWindow(Window{BorrowerBase: 0x10000, LenderBase: 0x80000, Size: 0x10000, LenderNode: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var got ocapi.Packet
+	b.OnDeliver = func(p ocapi.Packet) { got = p }
+	k.At(0, func() {
+		ok := b.TrySend(ocapi.Packet{
+			Op: ocapi.OpReadBlock, Tag: 5, Addr: 0x10000 + 256,
+			Size: ocapi.CacheLineSize, Src: 0, Dst: 1, Issued: 0,
+		})
+		if !ok {
+			t.Error("send rejected")
+		}
+	})
+	k.Run()
+	if got.Op != ocapi.OpReadResp || got.Tag != 5 {
+		t.Fatalf("response = %+v", got)
+	}
+	// Borrower-side translation: lender must have served 0x80000+256.
+	if l.Stats().RequestsServed != 1 {
+		t.Fatalf("lender served = %d", l.Stats().RequestsServed)
+	}
+	if b.Stats().TranslationFaults != 0 {
+		t.Fatalf("faults = %d", b.Stats().TranslationFaults)
+	}
+	if b.Stats().ResponsesDelivered != 1 {
+		t.Fatalf("delivered = %d", b.Stats().ResponsesDelivered)
+	}
+}
+
+func TestNICTranslationFaultCounted(t *testing.T) {
+	k, b, _ := loopNICs(t, nil)
+	done := false
+	b.OnDeliver = func(ocapi.Packet) { done = true }
+	k.At(0, func() {
+		b.TrySend(ocapi.Packet{Op: ocapi.OpReadBlock, Tag: 1, Addr: 0xdead00, Size: ocapi.CacheLineSize, Src: 0, Dst: 1})
+	})
+	k.Run()
+	if b.Stats().TranslationFaults != 1 {
+		t.Fatalf("faults = %d", b.Stats().TranslationFaults)
+	}
+	if !done {
+		t.Fatal("unmapped request not served at raw address")
+	}
+}
+
+func TestNICWriteAck(t *testing.T) {
+	k, b, l := loopNICs(t, nil)
+	var got ocapi.Packet
+	b.OnDeliver = func(p ocapi.Packet) { got = p }
+	k.At(0, func() {
+		b.TrySend(ocapi.Packet{Op: ocapi.OpWriteBlock, Tag: 9, Addr: 0, Size: ocapi.CacheLineSize, Src: 0, Dst: 1})
+	})
+	k.Run()
+	if got.Op != ocapi.OpWriteAck || got.Tag != 9 {
+		t.Fatalf("ack = %+v", got)
+	}
+	if l.Stats().RequestsServed != 1 {
+		t.Fatal("write not served")
+	}
+}
+
+func TestNICProbeServedWithoutMemory(t *testing.T) {
+	k, b, l := loopNICs(t, nil)
+	var got ocapi.Packet
+	b.OnDeliver = func(p ocapi.Packet) { got = p }
+	k.At(0, func() {
+		b.TrySend(ocapi.Packet{Op: ocapi.OpProbe, Tag: 1, Src: 0, Dst: 1})
+	})
+	k.Run()
+	if got.Op != ocapi.OpProbeResp {
+		t.Fatalf("probe response = %+v", got)
+	}
+	if l.Stats().ProbesServed != 1 {
+		t.Fatal("probe not counted")
+	}
+}
+
+func TestNICInjectorThrottlesRequests(t *testing.T) {
+	gate := inject.NewPeriodGate(100, inject.DefaultFPGACycle) // 400ns slots
+	k, b, _ := loopNICs(t, gate)
+	delivered := 0
+	b.OnDeliver = func(ocapi.Packet) { delivered++ }
+	const n = 50
+	k.At(0, func() {
+		for i := 0; i < n; i++ {
+			if !b.TrySend(ocapi.Packet{Op: ocapi.OpReadBlock, Tag: uint32(i), Addr: uint64(i) * 128, Size: ocapi.CacheLineSize, Src: 0, Dst: 1}) {
+				t.Fatal("cmdQ overflow")
+			}
+		}
+	})
+	end := k.Run()
+	if delivered != n {
+		t.Fatalf("delivered = %d", delivered)
+	}
+	// The injector bounds egress to one request per 400ns.
+	minTime := sim.Time((n - 1) * 400 * int(sim.Nanosecond))
+	if end < minTime {
+		t.Fatalf("completed at %v, injector floor %v", end, minTime)
+	}
+	if b.InjectorTransfers() != n {
+		t.Fatalf("injector transfers = %d", b.InjectorTransfers())
+	}
+}
+
+func TestNICBackpressureWhenCmdQFull(t *testing.T) {
+	cfg := DefaultConfig(0)
+	cfg.QueueDepth = 2
+	k := sim.NewKernel()
+	gate := inject.NewPeriodGate(1000000, inject.DefaultFPGACycle) // ~never releases
+	b := New(k, cfg, gate, nil)
+	sent := 0
+	k.At(0, func() {
+		for i := 0; i < 10; i++ {
+			if b.TrySend(ocapi.Packet{Op: ocapi.OpReadBlock, Tag: uint32(i), Addr: 0, Size: ocapi.CacheLineSize, Src: 0, Dst: 1}) {
+				sent++
+			}
+		}
+	})
+	k.RunUntil(sim.Time(sim.Microsecond))
+	if sent >= 10 {
+		t.Fatalf("sent = %d, expected backpressure", sent)
+	}
+}
+
+func TestNICResponsesBypassInjector(t *testing.T) {
+	// A lender NIC with a pathological injector gate still returns
+	// responses promptly: the injector only gates the request class.
+	k := sim.NewKernel()
+	mem := dram.New(k, dram.Config{Channels: 1, AccessLatency: 10 * sim.Nanosecond, BandwidthBps: 100e9, QueueDepth: 8})
+	blockedGate := inject.NewPeriodGate(1_000_000, inject.DefaultFPGACycle)
+	l := New(k, DefaultConfig(1), blockedGate, mem)
+	// Push a request directly into the lender's RxQ, as if off the wire.
+	k.At(0, func() {
+		p := ocapi.Packet{Op: ocapi.OpReadBlock, Tag: 3, Addr: 0, Size: ocapi.CacheLineSize, Src: 0, Dst: 1}
+		l.RxQ.Push(axis.Beat{Bytes: p.WireBytes(), Dest: 0, Meta: p})
+	})
+	end := k.RunUntil(sim.Time(10 * sim.Microsecond))
+	if l.TxQ.Len() != 1 {
+		t.Fatalf("response not egressed (TxQ=%d) by %v", l.TxQ.Len(), end)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{FPGACycle: 0, PipelineLatency: 1, QueueDepth: 1},
+		{FPGACycle: 1, PipelineLatency: -1, QueueDepth: 1},
+		{FPGACycle: 1, PipelineLatency: 1, QueueDepth: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if err := DefaultConfig(0).Validate(); err != nil {
+		t.Error(err)
+	}
+}

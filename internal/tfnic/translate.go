@@ -1,0 +1,80 @@
+package tfnic
+
+import (
+	"fmt"
+	"sort"
+
+	"thymesim/internal/ocapi"
+)
+
+// Window is one address-translation mapping configured by the control
+// plane: borrower physical addresses [BorrowerBase, BorrowerBase+Size) map
+// to lender addresses [LenderBase, LenderBase+Size). This is the
+// translation step Fig. 1 places inside the disaggregated-memory NIC.
+type Window struct {
+	BorrowerBase uint64
+	LenderBase   uint64
+	Size         uint64
+	LenderNode   int
+}
+
+// Contains reports whether borrower address a falls inside the window.
+func (w Window) Contains(a uint64) bool {
+	return a >= w.BorrowerBase && a-w.BorrowerBase < w.Size
+}
+
+// Translator holds the NIC's configured windows, sorted by borrower base.
+type Translator struct {
+	windows []Window
+}
+
+// AddWindow installs a mapping. Overlapping borrower ranges and unaligned
+// windows are rejected: the control plane must never program them.
+func (t *Translator) AddWindow(w Window) error {
+	if w.Size == 0 {
+		return fmt.Errorf("tfnic: empty window")
+	}
+	if w.BorrowerBase%ocapi.CacheLineSize != 0 || w.LenderBase%ocapi.CacheLineSize != 0 || w.Size%ocapi.CacheLineSize != 0 {
+		return fmt.Errorf("tfnic: window not line-aligned: %+v", w)
+	}
+	for _, ex := range t.windows {
+		if w.BorrowerBase < ex.BorrowerBase+ex.Size && ex.BorrowerBase < w.BorrowerBase+w.Size {
+			return fmt.Errorf("tfnic: window %+v overlaps %+v", w, ex)
+		}
+	}
+	t.windows = append(t.windows, w)
+	sort.Slice(t.windows, func(i, j int) bool {
+		return t.windows[i].BorrowerBase < t.windows[j].BorrowerBase
+	})
+	return nil
+}
+
+// RemoveWindow drops the mapping whose borrower base matches, reporting
+// whether one was found.
+func (t *Translator) RemoveWindow(borrowerBase uint64) bool {
+	for i, w := range t.windows {
+		if w.BorrowerBase == borrowerBase {
+			t.windows = append(t.windows[:i], t.windows[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Windows returns a copy of the installed windows.
+func (t *Translator) Windows() []Window {
+	return append([]Window(nil), t.windows...)
+}
+
+// Translate maps a borrower address to (lenderNode, lenderAddr).
+func (t *Translator) Translate(addr uint64) (node int, lenderAddr uint64, ok bool) {
+	// Binary search over sorted, non-overlapping windows.
+	i := sort.Search(len(t.windows), func(i int) bool {
+		return t.windows[i].BorrowerBase+t.windows[i].Size > addr
+	})
+	if i < len(t.windows) && t.windows[i].Contains(addr) {
+		w := t.windows[i]
+		return w.LenderNode, w.LenderBase + (addr - w.BorrowerBase), true
+	}
+	return 0, 0, false
+}

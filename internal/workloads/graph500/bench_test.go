@@ -1,0 +1,49 @@
+package graph500
+
+import (
+	"testing"
+
+	"thymesim/internal/sim"
+)
+
+// BenchmarkKroneckerGenerate measures edge generation (kernel 0).
+func BenchmarkKroneckerGenerate(b *testing.B) {
+	rng := sim.NewRand(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GenerateKronecker(14, 16, rng)
+	}
+	b.ReportMetric(float64(16*(1<<14)), "edges/op")
+}
+
+// BenchmarkBuildCSR measures graph construction (kernel 1).
+func BenchmarkBuildCSR(b *testing.B) {
+	e := GenerateKronecker(14, 16, sim.NewRand(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildCSR(e)
+	}
+}
+
+// BenchmarkBFS measures the pure traversal (no simulation) in TEPS.
+func BenchmarkBFS(b *testing.B) {
+	g := BuildCSR(GenerateKronecker(14, 16, sim.NewRand(3)))
+	root := PickRoots(g, 1, sim.NewRand(4))[0]
+	b.ResetTimer()
+	var edges int64
+	for i := 0; i < b.N; i++ {
+		r := BFS(g, root)
+		edges = r.EdgesTouched
+	}
+	b.ReportMetric(float64(edges), "edges/op")
+}
+
+// BenchmarkDeltaStepping measures the SSSP kernel.
+func BenchmarkDeltaStepping(b *testing.B) {
+	g := BuildCSR(GenerateKronecker(13, 16, sim.NewRand(5)))
+	root := PickRoots(g, 1, sim.NewRand(6))[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DeltaStepping(g, root, 0.1)
+	}
+}

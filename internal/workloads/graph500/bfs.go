@@ -1,0 +1,61 @@
+package graph500
+
+// BFSResult holds the output of kernel 2: the parent array (tree) and the
+// per-level frontiers used by the memory replay.
+type BFSResult struct {
+	Root   int64
+	Parent []int64 // -1 = unreached
+	Level  []int64 // -1 = unreached
+	// Frontiers[k] is the list of vertices first reached at depth k.
+	Frontiers [][]int64
+	// EdgesTouched counts adjacency entries scanned (traversed edges).
+	EdgesTouched int64
+}
+
+// BFS runs a level-synchronous top-down breadth-first search from root.
+func BFS(g *Graph, root int64) *BFSResult {
+	res := &BFSResult{
+		Root:   root,
+		Parent: make([]int64, g.N),
+		Level:  make([]int64, g.N),
+	}
+	for i := range res.Parent {
+		res.Parent[i] = -1
+		res.Level[i] = -1
+	}
+	res.Parent[root] = root
+	res.Level[root] = 0
+	frontier := []int64{root}
+	res.Frontiers = append(res.Frontiers, frontier)
+	depth := int64(0)
+	for len(frontier) > 0 {
+		depth++
+		var next []int64
+		for _, u := range frontier {
+			for _, v := range g.Neighbors(u) {
+				res.EdgesTouched++
+				if res.Parent[v] == -1 {
+					res.Parent[v] = u
+					res.Level[v] = depth
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+		if len(frontier) > 0 {
+			res.Frontiers = append(res.Frontiers, frontier)
+		}
+	}
+	return res
+}
+
+// Reached returns the number of vertices in the BFS tree.
+func (r *BFSResult) Reached() int64 {
+	var n int64
+	for _, p := range r.Parent {
+		if p != -1 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,77 @@
+package graph500
+
+import (
+	"testing"
+
+	"thymesim/internal/sim"
+)
+
+func TestDirectionOptimizingBFSValidTree(t *testing.T) {
+	for _, seed := range []uint64{1, 5, 9} {
+		g := smallGraph(11, seed)
+		root := PickRoots(g, 1, sim.NewRand(seed+100))[0]
+		r := DirectionOptimizingBFS(g, root, DefaultAlpha, DefaultBeta)
+		if err := ValidateBFS(g, r); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestDirectionOptimizingBFSMatchesLevels(t *testing.T) {
+	g := smallGraph(11, 3)
+	root := PickRoots(g, 1, sim.NewRand(7))[0]
+	plain := BFS(g, root)
+	hybrid := DirectionOptimizingBFS(g, root, DefaultAlpha, DefaultBeta)
+	for v := int64(0); v < g.N; v++ {
+		if plain.Level[v] != hybrid.Level[v] {
+			t.Fatalf("vertex %d: levels %d vs %d", v, plain.Level[v], hybrid.Level[v])
+		}
+	}
+	if plain.Reached() != hybrid.Reached() {
+		t.Fatalf("reached %d vs %d", plain.Reached(), hybrid.Reached())
+	}
+}
+
+func TestDirectionOptimizingBFSTouchesFewerEdges(t *testing.T) {
+	// On low-diameter Kronecker graphs the bottom-up phases skip most of
+	// the giant middle frontier's edge scans.
+	g := smallGraph(12, 4)
+	root := PickRoots(g, 1, sim.NewRand(8))[0]
+	plain := BFS(g, root)
+	hybrid := DirectionOptimizingBFS(g, root, DefaultAlpha, DefaultBeta)
+	if hybrid.EdgesTouched >= plain.EdgesTouched {
+		t.Fatalf("hybrid touched %d edges, plain %d — no saving", hybrid.EdgesTouched, plain.EdgesTouched)
+	}
+	saving := float64(plain.EdgesTouched) / float64(hybrid.EdgesTouched)
+	if saving < 1.2 {
+		t.Fatalf("saving only %.2fx", saving)
+	}
+}
+
+func TestDirectionOptimizingBFSBadParamsPanic(t *testing.T) {
+	g := smallGraph(6, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("alpha=0 did not panic")
+		}
+	}()
+	DirectionOptimizingBFS(g, 0, 0, DefaultBeta)
+}
+
+func TestDirectionOptimizingBFSReplayable(t *testing.T) {
+	// The hybrid result drives the same TraceSource machinery.
+	tb := testbed(1)
+	h := tb.NewRemoteHierarchy()
+	g := smallGraph(9, 6)
+	g.Place(tb.RemoteAddr(0))
+	root := PickRoots(g, 1, sim.NewRand(11))[0]
+	r := DirectionOptimizingBFS(g, root, DefaultAlpha, DefaultBeta)
+	var elapsed sim.Duration
+	tb.K.At(0, func() {
+		Replay(tb.K, h, NewBFSTrace(g, r, DefaultCostModel()), 32, func(d sim.Duration) { elapsed = d })
+	})
+	tb.K.Run()
+	if elapsed <= 0 {
+		t.Fatal("replay produced no time")
+	}
+}

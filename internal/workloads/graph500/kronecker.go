@@ -1,0 +1,202 @@
+// Package graph500 implements the Graph500 benchmark against the simulated
+// memory system: Kronecker graph generation (R-MAT), CSR construction,
+// breadth-first search and single-source shortest paths, specification
+// validation, and a level-synchronous memory replay that charges the
+// algorithms' access streams to a memport.Hierarchy.
+//
+// Paper configuration (§IV-A): scale 20, edgefactor 16 (~1 GB working
+// set). Tests and default benches use smaller scales; the access-pattern
+// shape (dependent, low-locality traversal) is scale-invariant.
+package graph500
+
+import (
+	"fmt"
+
+	"thymesim/internal/sim"
+)
+
+// Kronecker initiator probabilities from the Graph500 specification.
+const (
+	initA = 0.57
+	initB = 0.19
+	initC = 0.19
+	// initD = 1 - A - B - C = 0.05
+)
+
+// EdgeList is a generated list of (possibly duplicated, self-looping)
+// edges, as the spec's kernel 0 produces.
+type EdgeList struct {
+	Scale      int
+	EdgeFactor int
+	Src, Dst   []int64
+	// Weight holds uniform [0,1) edge weights for SSSP (spec kernel 3).
+	Weight []float64
+}
+
+// NumVertices returns 2^Scale.
+func (e *EdgeList) NumVertices() int64 { return int64(1) << uint(e.Scale) }
+
+// NumEdges returns the generated edge count (EdgeFactor * 2^Scale).
+func (e *EdgeList) NumEdges() int64 { return int64(len(e.Src)) }
+
+// GenerateKronecker produces an edge list per the Graph500 reference:
+// R-MAT sampling with per-level noise-free initiator, followed by vertex
+// relabeling so degree is decorrelated from vertex id.
+func GenerateKronecker(scale, edgeFactor int, rng *sim.Rand) *EdgeList {
+	if scale < 1 || scale > 32 {
+		panic(fmt.Sprintf("graph500: scale %d out of range", scale))
+	}
+	if edgeFactor < 1 {
+		panic(fmt.Sprintf("graph500: edge factor %d", edgeFactor))
+	}
+	n := int64(1) << uint(scale)
+	m := int64(edgeFactor) * n
+	e := &EdgeList{
+		Scale:      scale,
+		EdgeFactor: edgeFactor,
+		Src:        make([]int64, m),
+		Dst:        make([]int64, m),
+		Weight:     make([]float64, m),
+	}
+	ab := initA + initB
+	cNorm := initC / (1 - ab)
+	aNorm := initA / ab
+	for i := int64(0); i < m; i++ {
+		var src, dst int64
+		for bit := 0; bit < scale; bit++ {
+			iiBit := rng.Float64() > ab
+			var jjBit bool
+			if iiBit {
+				jjBit = rng.Float64() > cNorm
+			} else {
+				jjBit = rng.Float64() > aNorm
+			}
+			if iiBit {
+				src |= 1 << uint(bit)
+			}
+			if jjBit {
+				dst |= 1 << uint(bit)
+			}
+		}
+		e.Src[i] = src
+		e.Dst[i] = dst
+		e.Weight[i] = rng.Float64()
+	}
+	// Permute vertex labels (spec requirement).
+	perm := make([]int64, n)
+	for i := range perm {
+		perm[i] = int64(i)
+	}
+	rng.Shuffle(int(n), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	for i := range e.Src {
+		e.Src[i] = perm[e.Src[i]]
+		e.Dst[i] = perm[e.Dst[i]]
+	}
+	return e
+}
+
+// Graph is a compressed-sparse-row adjacency structure treated as
+// undirected: every generated edge appears in both endpoint rows.
+// Self-loops are dropped and duplicate edges retained (the spec permits
+// either; BFS/SSSP are insensitive to duplicates).
+type Graph struct {
+	N    int64
+	Offs []int64 // len N+1
+	Adj  []int64
+	W    []float64 // parallel to Adj
+
+	// Simulated placement of the three big arrays, for memory replay.
+	offsBase, adjBase, stateBase uint64
+}
+
+// BuildCSR constructs the CSR form of an edge list.
+func BuildCSR(e *EdgeList) *Graph {
+	n := e.NumVertices()
+	g := &Graph{N: n, Offs: make([]int64, n+1)}
+	deg := make([]int64, n)
+	for i := range e.Src {
+		if e.Src[i] == e.Dst[i] {
+			continue
+		}
+		deg[e.Src[i]]++
+		deg[e.Dst[i]]++
+	}
+	var total int64
+	for v := int64(0); v < n; v++ {
+		g.Offs[v] = total
+		total += deg[v]
+	}
+	g.Offs[n] = total
+	g.Adj = make([]int64, total)
+	g.W = make([]float64, total)
+	fill := make([]int64, n)
+	copy(fill, g.Offs[:n])
+	for i := range e.Src {
+		s, d := e.Src[i], e.Dst[i]
+		if s == d {
+			continue
+		}
+		g.Adj[fill[s]] = d
+		g.W[fill[s]] = e.Weight[i]
+		fill[s]++
+		g.Adj[fill[d]] = s
+		g.W[fill[d]] = e.Weight[i]
+		fill[d]++
+	}
+	return g
+}
+
+// Degree returns vertex v's adjacency length.
+func (g *Graph) Degree(v int64) int64 { return g.Offs[v+1] - g.Offs[v] }
+
+// Neighbors returns v's adjacency slice (shared storage; do not mutate).
+func (g *Graph) Neighbors(v int64) []int64 { return g.Adj[g.Offs[v]:g.Offs[v+1]] }
+
+// Weights returns the edge weights parallel to Neighbors(v).
+func (g *Graph) Weights(v int64) []float64 { return g.W[g.Offs[v]:g.Offs[v+1]] }
+
+// Place assigns simulated base addresses to the graph's arrays: the CSR
+// offsets, the adjacency/weight arrays, and the per-vertex algorithm state
+// (parent/dist/visited). These drive the memory replay.
+func (g *Graph) Place(base uint64) {
+	const line = 128
+	align := func(x uint64) uint64 { return (x + line - 1) &^ uint64(line-1) }
+	g.offsBase = base
+	offsSpan := align(uint64(len(g.Offs)) * 8)
+	g.adjBase = g.offsBase + offsSpan
+	adjSpan := align(uint64(len(g.Adj)) * 16) // adjacency id + weight
+	g.stateBase = g.adjBase + adjSpan
+}
+
+// Footprint returns the total simulated bytes of the placed arrays.
+func (g *Graph) Footprint() uint64 {
+	const line = 128
+	align := func(x uint64) uint64 { return (x + line - 1) &^ uint64(line-1) }
+	return align(uint64(len(g.Offs))*8) + align(uint64(len(g.Adj))*16) + align(uint64(g.N)*16)
+}
+
+// Addresses of the placed arrays (valid after Place).
+func (g *Graph) offAddr(v int64) uint64   { return g.offsBase + uint64(v)*8 }
+func (g *Graph) adjAddr(i int64) uint64   { return g.adjBase + uint64(i)*16 }
+func (g *Graph) stateAddr(v int64) uint64 { return g.stateBase + uint64(v)*16 }
+
+// PickRoots selects nroots distinct search keys with nonzero degree, per
+// the spec's sampling procedure.
+func PickRoots(g *Graph, nroots int, rng *sim.Rand) []int64 {
+	roots := make([]int64, 0, nroots)
+	seen := make(map[int64]bool, nroots)
+	for int64(len(roots)) < int64(nroots) {
+		v := rng.Int63n(g.N)
+		if seen[v] || g.Degree(v) == 0 {
+			// Give up gracefully on pathological tiny graphs.
+			if int64(len(seen)) >= g.N {
+				break
+			}
+			seen[v] = true
+			continue
+		}
+		seen[v] = true
+		roots = append(roots, v)
+	}
+	return roots
+}

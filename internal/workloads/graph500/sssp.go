@@ -1,0 +1,164 @@
+package graph500
+
+import (
+	"container/heap"
+	"math"
+)
+
+// SSSPResult holds the output of kernel 3: distances and parents, plus the
+// per-phase relaxation sets used by the memory replay.
+type SSSPResult struct {
+	Root   int64
+	Dist   []float64 // +Inf = unreached
+	Parent []int64   // -1 = unreached
+	// Phases[k] is the set of vertices settled/relaxed in delta-stepping
+	// phase k (bucket processing round).
+	Phases [][]int64
+	// Relaxations counts edge relaxation attempts.
+	Relaxations int64
+}
+
+// DeltaStepping runs single-source shortest paths with the delta-stepping
+// algorithm (the Graph500 reference SSSP), bucketing vertices by
+// distance/delta and separating light (< delta) from heavy edges within a
+// bucket.
+func DeltaStepping(g *Graph, root int64, delta float64) *SSSPResult {
+	if delta <= 0 {
+		panic("graph500: delta must be positive")
+	}
+	res := &SSSPResult{
+		Root:   root,
+		Dist:   make([]float64, g.N),
+		Parent: make([]int64, g.N),
+	}
+	for i := range res.Dist {
+		res.Dist[i] = math.Inf(1)
+		res.Parent[i] = -1
+	}
+	res.Dist[root] = 0
+	res.Parent[root] = root
+
+	buckets := map[int64][]int64{0: {root}}
+	inBucket := make([]int64, g.N) // bucket index + 1 (0 = none)
+	inBucket[root] = 1
+	maxBucket := int64(0)
+
+	relax := func(v int64, d float64, parent int64) {
+		res.Relaxations++
+		if d < res.Dist[v] {
+			res.Dist[v] = d
+			res.Parent[v] = parent
+			b := int64(d / delta)
+			buckets[b] = append(buckets[b], v)
+			inBucket[v] = b + 1
+			if b > maxBucket {
+				maxBucket = b
+			}
+		}
+	}
+
+	for b := int64(0); b <= maxBucket; b++ {
+		var settled []int64
+		// Light-edge phases: re-process the bucket until it stops
+		// refilling.
+		for len(buckets[b]) > 0 {
+			req := buckets[b]
+			buckets[b] = nil
+			var phase []int64
+			for _, u := range req {
+				// Skip stale entries that moved to an earlier bucket.
+				if int64(res.Dist[u]/delta) != b {
+					continue
+				}
+				phase = append(phase, u)
+				adj := g.Neighbors(u)
+				ws := g.Weights(u)
+				for i, v := range adj {
+					if ws[i] < delta {
+						relax(v, res.Dist[u]+ws[i], u)
+					}
+				}
+			}
+			if len(phase) > 0 {
+				res.Phases = append(res.Phases, phase)
+				settled = append(settled, phase...)
+			}
+		}
+		// Heavy-edge phase over everything settled in this bucket.
+		var heavyPhase []int64
+		for _, u := range settled {
+			adj := g.Neighbors(u)
+			ws := g.Weights(u)
+			touched := false
+			for i, v := range adj {
+				if ws[i] >= delta {
+					relax(v, res.Dist[u]+ws[i], u)
+					touched = true
+				}
+			}
+			if touched {
+				heavyPhase = append(heavyPhase, u)
+			}
+		}
+		if len(heavyPhase) > 0 {
+			res.Phases = append(res.Phases, heavyPhase)
+		}
+	}
+	return res
+}
+
+// distHeap is a binary heap for the Dijkstra reference implementation.
+type distHeap struct {
+	v []int64
+	d []float64
+}
+
+func (h *distHeap) Len() int           { return len(h.v) }
+func (h *distHeap) Less(i, j int) bool { return h.d[i] < h.d[j] }
+func (h *distHeap) Swap(i, j int)      { h.v[i], h.v[j] = h.v[j], h.v[i]; h.d[i], h.d[j] = h.d[j], h.d[i] }
+func (h *distHeap) Push(x interface{}) { panic("use push2") }
+func (h *distHeap) Pop() interface{}   { panic("use pop2") }
+
+func (h *distHeap) push2(v int64, d float64) {
+	h.v = append(h.v, v)
+	h.d = append(h.d, d)
+	heap.Fix(h, len(h.v)-1)
+}
+
+func (h *distHeap) pop2() (int64, float64) {
+	v, d := h.v[0], h.d[0]
+	n := len(h.v) - 1
+	h.Swap(0, n)
+	h.v = h.v[:n]
+	h.d = h.d[:n]
+	if n > 0 {
+		heap.Fix(h, 0)
+	}
+	return v, d
+}
+
+// Dijkstra is the exact reference used to validate DeltaStepping.
+func Dijkstra(g *Graph, root int64) []float64 {
+	dist := make([]float64, g.N)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[root] = 0
+	h := &distHeap{}
+	h.push2(root, 0)
+	for h.Len() > 0 {
+		u, d := h.pop2()
+		if d > dist[u] {
+			continue
+		}
+		adj := g.Neighbors(u)
+		ws := g.Weights(u)
+		for i, v := range adj {
+			if nd := d + ws[i]; nd < dist[v] {
+				dist[v] = nd
+				h.push2(v, nd)
+			}
+		}
+	}
+	return dist
+}

@@ -1,0 +1,131 @@
+package graph500
+
+import (
+	"thymesim/internal/memport"
+	"thymesim/internal/sim"
+)
+
+// Op, TraceSource and Replay are shared with other workloads via memport.
+type (
+	// Op is one memory operation of a replay trace.
+	Op = memport.Op
+	// TraceSource is the phase-structured trace interface.
+	TraceSource = memport.TraceSource
+)
+
+// Replay drives a trace through a hierarchy (see memport.Replay).
+func Replay(k *sim.Kernel, h *memport.Hierarchy, src TraceSource, window int, done func(sim.Duration)) {
+	memport.Replay(k, h, src, window, done)
+}
+
+// CostModel carries the CPU-side per-operation costs of the replay.
+type CostModel struct {
+	// PerEdge is the CPU time to scan one adjacency entry.
+	PerEdge sim.Duration
+	// PerVertex is the CPU time to dequeue/settle one vertex.
+	PerVertex sim.Duration
+}
+
+// DefaultCostModel approximates a POWER9 core traversing CSR.
+func DefaultCostModel() CostModel {
+	return CostModel{PerEdge: sim.Nanosecond, PerVertex: 2 * sim.Nanosecond}
+}
+
+// bfsTrace adapts a BFSResult to a TraceSource.
+type bfsTrace struct {
+	g    *Graph
+	r    *BFSResult
+	cost CostModel
+	buf  []Op
+}
+
+// NewBFSTrace builds the replayable memory behaviour of a completed BFS:
+// per level, the frontier's offset reads, adjacency scans, and per-neighbor
+// state reads plus discovery writes.
+func NewBFSTrace(g *Graph, r *BFSResult, cost CostModel) TraceSource {
+	if g.stateBase == 0 && g.adjBase == 0 {
+		panic("graph500: graph not placed (call Place)")
+	}
+	return &bfsTrace{g: g, r: r, cost: cost}
+}
+
+func (t *bfsTrace) NumPhases() int { return len(t.r.Frontiers) }
+
+func (t *bfsTrace) Phase(i int) []Op {
+	t.buf = t.buf[:0]
+	depth := int64(i)
+	for _, u := range t.r.Frontiers[i] {
+		deg := t.g.Degree(u)
+		t.buf = append(t.buf, Op{Addr: t.g.offAddr(u), Size: 16})
+		if deg > 0 {
+			t.buf = append(t.buf, Op{Addr: t.g.adjAddr(t.g.Offs[u]), Size: int32(deg * 16)})
+		}
+		for _, v := range t.g.Neighbors(u) {
+			t.buf = append(t.buf, Op{Addr: t.g.stateAddr(v), Size: 16})
+			if t.r.Parent[v] == u && t.r.Level[v] == depth+1 {
+				t.buf = append(t.buf, Op{Addr: t.g.stateAddr(v), Size: 16, Write: true})
+			}
+		}
+	}
+	return t.buf
+}
+
+func (t *bfsTrace) ComputeTime(i int) sim.Duration {
+	var edges int64
+	for _, u := range t.r.Frontiers[i] {
+		edges += t.g.Degree(u)
+	}
+	return sim.Duration(edges)*t.cost.PerEdge + sim.Duration(len(t.r.Frontiers[i]))*t.cost.PerVertex
+}
+
+// ssspTrace adapts an SSSPResult to a TraceSource.
+type ssspTrace struct {
+	g    *Graph
+	r    *SSSPResult
+	cost CostModel
+	buf  []Op
+}
+
+// NewSSSPTrace builds the replayable memory behaviour of a completed
+// delta-stepping run: per phase, adjacency scans of the settled set and
+// per-neighbor tentative-distance reads with a deterministic share of
+// relaxation writes.
+func NewSSSPTrace(g *Graph, r *SSSPResult, cost CostModel) TraceSource {
+	if g.stateBase == 0 && g.adjBase == 0 {
+		panic("graph500: graph not placed (call Place)")
+	}
+	return &ssspTrace{g: g, r: r, cost: cost}
+}
+
+func (t *ssspTrace) NumPhases() int { return len(t.r.Phases) }
+
+func (t *ssspTrace) Phase(i int) []Op {
+	t.buf = t.buf[:0]
+	for _, u := range t.r.Phases[i] {
+		deg := t.g.Degree(u)
+		t.buf = append(t.buf, Op{Addr: t.g.offAddr(u), Size: 16})
+		if deg > 0 {
+			t.buf = append(t.buf, Op{Addr: t.g.adjAddr(t.g.Offs[u]), Size: int32(deg * 16)})
+		}
+		for j, v := range t.g.Neighbors(u) {
+			t.buf = append(t.buf, Op{Addr: t.g.stateAddr(v), Size: 16})
+			// Roughly a quarter of relaxations improve the tentative
+			// distance on Kronecker graphs; write deterministically so
+			// replays are reproducible.
+			if j%4 == 0 {
+				t.buf = append(t.buf, Op{Addr: t.g.stateAddr(v), Size: 16, Write: true})
+			}
+		}
+	}
+	return t.buf
+}
+
+func (t *ssspTrace) ComputeTime(i int) sim.Duration {
+	var edges int64
+	for _, u := range t.r.Phases[i] {
+		edges += t.g.Degree(u)
+	}
+	// Delta-stepping does slightly more bookkeeping per edge (bucket
+	// updates) than BFS.
+	return sim.Duration(edges)*(t.cost.PerEdge+t.cost.PerEdge/2) + sim.Duration(len(t.r.Phases[i]))*t.cost.PerVertex
+}

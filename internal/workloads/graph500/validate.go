@@ -1,0 +1,105 @@
+package graph500
+
+import (
+	"fmt"
+	"math"
+)
+
+// ValidateBFS checks the spec's kernel-2 correctness conditions:
+//  1. the root's parent is itself,
+//  2. every tree edge (parent[v], v) exists in the graph,
+//  3. tree levels differ by exactly one across tree edges,
+//  4. every vertex connected to the root appears in the tree.
+func ValidateBFS(g *Graph, r *BFSResult) error {
+	if r.Parent[r.Root] != r.Root {
+		return fmt.Errorf("graph500: root %d parent is %d", r.Root, r.Parent[r.Root])
+	}
+	if r.Level[r.Root] != 0 {
+		return fmt.Errorf("graph500: root level %d", r.Level[r.Root])
+	}
+	for v := int64(0); v < g.N; v++ {
+		p := r.Parent[v]
+		if p == -1 {
+			continue
+		}
+		if v == r.Root {
+			continue
+		}
+		if r.Level[v] != r.Level[p]+1 {
+			return fmt.Errorf("graph500: level(%d)=%d but level(parent %d)=%d", v, r.Level[v], p, r.Level[p])
+		}
+		found := false
+		for _, u := range g.Neighbors(p) {
+			if u == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("graph500: tree edge (%d,%d) not in graph", p, v)
+		}
+	}
+	// Reachability: any graph edge with exactly one endpoint in the tree
+	// is a violation.
+	for u := int64(0); u < g.N; u++ {
+		inU := r.Parent[u] != -1
+		for _, v := range g.Neighbors(u) {
+			if inU != (r.Parent[v] != -1) {
+				return fmt.Errorf("graph500: edge (%d,%d) crosses tree boundary", u, v)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateSSSP checks kernel-3 conditions against triangle inequality and
+// the parent structure, and optionally against exact distances.
+func ValidateSSSP(g *Graph, r *SSSPResult, exact []float64) error {
+	if r.Dist[r.Root] != 0 {
+		return fmt.Errorf("graph500: root distance %v", r.Dist[r.Root])
+	}
+	for u := int64(0); u < g.N; u++ {
+		du := r.Dist[u]
+		if math.IsInf(du, 1) {
+			continue
+		}
+		adj := g.Neighbors(u)
+		ws := g.Weights(u)
+		for i, v := range adj {
+			if r.Dist[v] > du+ws[i]+1e-12 {
+				return fmt.Errorf("graph500: edge (%d,%d) violates triangle: %v > %v+%v", u, v, r.Dist[v], du, ws[i])
+			}
+		}
+		if u != r.Root {
+			p := r.Parent[u]
+			if p == -1 {
+				return fmt.Errorf("graph500: reached vertex %d has no parent", u)
+			}
+			// dist[u] must equal dist[p] + w for some edge (p,u).
+			ok := false
+			adjP := g.Neighbors(p)
+			wsP := g.Weights(p)
+			for i, v := range adjP {
+				if v == u && math.Abs(r.Dist[p]+wsP[i]-du) < 1e-9 {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fmt.Errorf("graph500: vertex %d distance %v unsupported by parent %d (%v)", u, du, p, r.Dist[p])
+			}
+		}
+	}
+	if exact != nil {
+		for v := int64(0); v < g.N; v++ {
+			a, b := r.Dist[v], exact[v]
+			if math.IsInf(a, 1) != math.IsInf(b, 1) {
+				return fmt.Errorf("graph500: vertex %d reachability mismatch", v)
+			}
+			if !math.IsInf(a, 1) && math.Abs(a-b) > 1e-9 {
+				return fmt.Errorf("graph500: vertex %d dist %v, exact %v", v, a, b)
+			}
+		}
+	}
+	return nil
+}

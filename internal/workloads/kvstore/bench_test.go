@@ -1,0 +1,56 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchStore(b *testing.B) *Store {
+	b.Helper()
+	cfg := DefaultConfig(0)
+	cfg.InitialBuckets = 1 << 12
+	return NewStore(cfg)
+}
+
+// BenchmarkStoreSet measures the real hash-table insert path (including
+// trace generation, as the simulator pays it).
+func BenchmarkStoreSet(b *testing.B) {
+	s := benchStore(b)
+	val := make([]byte, 128)
+	keys := make([]string, 4096)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("bench-key-%06d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Set(keys[i%len(keys)], val)
+	}
+}
+
+// BenchmarkStoreGet measures the lookup path.
+func BenchmarkStoreGet(b *testing.B) {
+	s := benchStore(b)
+	val := make([]byte, 128)
+	keys := make([]string, 4096)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("bench-key-%06d", i)
+		s.Set(keys[i], val)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, _ := s.Get(keys[i%len(keys)]); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// BenchmarkStoreIncr measures the read-modify-write path.
+func BenchmarkStoreIncr(b *testing.B) {
+	s := benchStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err, _ := s.Incr("counter"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

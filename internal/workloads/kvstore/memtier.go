@@ -1,0 +1,164 @@
+package kvstore
+
+import (
+	"fmt"
+
+	"thymesim/internal/metrics"
+	"thymesim/internal/sim"
+)
+
+// BenchConfig parameterizes the Memtier-style closed-loop load generator.
+// Paper (§IV-A): 4 threads, 50 connections per thread, 10000 requests per
+// client, ~4 GB working set.
+type BenchConfig struct {
+	Threads           int
+	ConnsPerThread    int
+	RequestsPerClient int
+	// SetFraction is the SET share of the mix (memtier default 1:10 =>
+	// 0.0909...).
+	SetFraction float64
+	// KeySpace is the number of distinct keys; ValueBytes their value
+	// size. KeySpace*ValueBytes is the working set.
+	KeySpace   int
+	ValueBytes int
+	// ClientRTT is the client<->server network round trip outside the
+	// server's own stack time.
+	ClientRTT sim.Duration
+	// Seed drives key selection.
+	Seed uint64
+	// Prepopulate loads every key before timing starts.
+	Prepopulate bool
+}
+
+// DefaultBenchConfig returns a scaled-down memtier setup (the paper's
+// connection counts, fewer requests per client, working set beyond LLC).
+func DefaultBenchConfig() BenchConfig {
+	return BenchConfig{
+		Threads:           4,
+		ConnsPerThread:    50,
+		RequestsPerClient: 50,
+		SetFraction:       1.0 / 11.0,
+		KeySpace:          1 << 15,
+		ValueBytes:        512,
+		ClientRTT:         30 * sim.Microsecond,
+		Seed:              0xBEEF,
+		Prepopulate:       true,
+	}
+}
+
+// PaperBenchConfig returns the paper's full configuration.
+func PaperBenchConfig() BenchConfig {
+	c := DefaultBenchConfig()
+	c.RequestsPerClient = 10000
+	c.KeySpace = 1 << 23 // ~4GB at 512B values
+	return c
+}
+
+// Validate checks the configuration.
+func (c BenchConfig) Validate() error {
+	if c.Threads <= 0 || c.ConnsPerThread <= 0 || c.RequestsPerClient <= 0 {
+		return fmt.Errorf("kvstore: bad client counts %+v", c)
+	}
+	if c.SetFraction < 0 || c.SetFraction > 1 {
+		return fmt.Errorf("kvstore: SetFraction %v", c.SetFraction)
+	}
+	if c.KeySpace <= 0 || c.ValueBytes <= 0 {
+		return fmt.Errorf("kvstore: keyspace %d x %d", c.KeySpace, c.ValueBytes)
+	}
+	if c.ClientRTT < 0 {
+		return fmt.Errorf("kvstore: negative client RTT")
+	}
+	return nil
+}
+
+// Clients returns the total connection count.
+func (c BenchConfig) Clients() int { return c.Threads * c.ConnsPerThread }
+
+// BenchResult reports the load generator's measurements.
+type BenchResult struct {
+	Requests   uint64
+	Elapsed    sim.Duration
+	Throughput float64 // requests per second
+	// LatencyUs is the client-observed request latency distribution in
+	// microseconds.
+	LatencyUs *metrics.Histogram
+	Sets      uint64
+	Gets      uint64
+}
+
+// keyName formats key i (fixed width, memtier-style).
+func keyName(i int) string { return fmt.Sprintf("memtier-%012d", i) }
+
+// Prepopulate loads the full keyspace directly (untimed setup, as memtier
+// does before its measured phase).
+func Prepopulate(store *Store, cfg BenchConfig, rng *sim.Rand) {
+	val := make([]byte, cfg.ValueBytes)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	for i := 0; i < cfg.KeySpace; i++ {
+		store.Set(keyName(i), val)
+	}
+}
+
+// RunBench drives the closed-loop benchmark against a server and calls
+// done with the results when every client finishes.
+func RunBench(k *sim.Kernel, srv *Server, cfg BenchConfig, done func(BenchResult)) {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	rng := sim.NewRand(cfg.Seed)
+	if cfg.Prepopulate {
+		Prepopulate(srv.Store(), cfg, rng)
+	}
+	val := make([]byte, cfg.ValueBytes)
+	for i := range val {
+		val[i] = byte('A' + i%26)
+	}
+
+	res := BenchResult{LatencyUs: metrics.NewHistogram(0.1)}
+	start := k.Now()
+	remaining := cfg.Clients()
+
+	clientLoop := func(clientRng *sim.Rand) {
+		sent := 0
+		var sendNext func()
+		sendNext = func() {
+			if sent == cfg.RequestsPerClient {
+				remaining--
+				if remaining == 0 {
+					res.Elapsed = k.Now().Sub(start)
+					res.Throughput = sim.PerSecond(float64(res.Requests), res.Elapsed)
+					done(res)
+				}
+				return
+			}
+			sent++
+			key := keyName(clientRng.Intn(cfg.KeySpace))
+			req := Request{Cmd: CmdGet, Key: key}
+			if clientRng.Float64() < cfg.SetFraction {
+				req = Request{Cmd: CmdSet, Key: key, Value: val}
+			}
+			issued := k.Now()
+			// Half RTT to the server, service, half RTT back.
+			k.After(sim.Duration(cfg.ClientRTT/2), func() {
+				srv.Submit(req, func(resp Response) {
+					k.After(sim.Duration(cfg.ClientRTT/2), func() {
+						res.Requests++
+						if req.Cmd == CmdSet {
+							res.Sets++
+						} else {
+							res.Gets++
+						}
+						res.LatencyUs.Observe(k.Now().Sub(issued).Micros())
+						sendNext()
+					})
+				})
+			})
+		}
+		sendNext()
+	}
+	for c := 0; c < cfg.Clients(); c++ {
+		clientLoop(rng.Split())
+	}
+}

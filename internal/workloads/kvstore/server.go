@@ -1,0 +1,225 @@
+package kvstore
+
+import (
+	"fmt"
+
+	"thymesim/internal/memport"
+	"thymesim/internal/sim"
+)
+
+// CmdType enumerates the supported commands.
+type CmdType int
+
+// Commands.
+const (
+	CmdGet CmdType = iota
+	CmdSet
+	CmdDel
+	CmdIncr
+	CmdLPush
+	CmdLRange
+	CmdExpire
+	CmdTTL
+)
+
+// String implements fmt.Stringer.
+func (c CmdType) String() string {
+	switch c {
+	case CmdGet:
+		return "GET"
+	case CmdSet:
+		return "SET"
+	case CmdDel:
+		return "DEL"
+	case CmdIncr:
+		return "INCR"
+	case CmdLPush:
+		return "LPUSH"
+	case CmdLRange:
+		return "LRANGE"
+	case CmdExpire:
+		return "EXPIRE"
+	case CmdTTL:
+		return "TTL"
+	default:
+		return fmt.Sprintf("CMD(%d)", int(c))
+	}
+}
+
+// Request is one client command.
+type Request struct {
+	Cmd   CmdType
+	Key   string
+	Value []byte
+	Count int          // LRANGE
+	TTL   sim.Duration // EXPIRE
+}
+
+// Response is the server's reply.
+type Response struct {
+	OK    bool
+	Value []byte
+	Int   int64
+	List  [][]byte
+}
+
+// ServerConfig models the serving costs around the store.
+type ServerConfig struct {
+	// NetStack is the kernel network stack + RESP parsing + syscall cost
+	// per request — the overhead §IV-D identifies as the reason Redis
+	// barely degrades under injected delay.
+	NetStack sim.Duration
+	// PerOpCPU is the command execution CPU cost.
+	PerOpCPU sim.Duration
+	// Window bounds outstanding memory operations within one trace group
+	// (Redis is single-threaded; within one step it still has a few
+	// overlapping loads).
+	Window int
+}
+
+// DefaultServerConfig approximates a tuned Redis on the testbed.
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{
+		NetStack: 50 * sim.Microsecond,
+		PerOpCPU: 2 * sim.Microsecond,
+		Window:   4,
+	}
+}
+
+// Validate checks the configuration.
+func (c ServerConfig) Validate() error {
+	if c.NetStack < 0 || c.PerOpCPU < 0 {
+		return fmt.Errorf("kvstore: negative cost")
+	}
+	if c.Window <= 0 {
+		return fmt.Errorf("kvstore: window %d", c.Window)
+	}
+	return nil
+}
+
+// Stats counts server-side events.
+type Stats struct {
+	Requests uint64
+	Hits     uint64
+	Misses   uint64
+}
+
+// Server is the single-threaded event-loop serving model: requests queue
+// and are processed one at a time, each charged network-stack time plus
+// its command's memory trace against the hierarchy.
+type Server struct {
+	k     *sim.Kernel
+	h     *memport.Hierarchy
+	store *Store
+	cfg   ServerConfig
+
+	queue []pendingReq
+	busy  bool
+	stats Stats
+	depth int // peak queue depth
+}
+
+type pendingReq struct {
+	req  Request
+	done func(Response)
+}
+
+// NewServer builds a server around a store, wiring the simulation clock
+// into the store's TTL machinery.
+func NewServer(k *sim.Kernel, h *memport.Hierarchy, store *Store, cfg ServerConfig) *Server {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	store.SetClock(k.Now)
+	return &Server{k: k, h: h, store: store, cfg: cfg}
+}
+
+// Store returns the underlying store.
+func (s *Server) Store() *Store { return s.store }
+
+// Stats returns the counters so far.
+func (s *Server) Stats() Stats { return s.stats }
+
+// PeakQueueDepth returns the deepest request backlog observed.
+func (s *Server) PeakQueueDepth() int { return s.depth }
+
+// Submit enqueues a request; done is called with the response when the
+// request completes service.
+func (s *Server) Submit(req Request, done func(Response)) {
+	s.queue = append(s.queue, pendingReq{req, done})
+	if len(s.queue) > s.depth {
+		s.depth = len(s.queue)
+	}
+	s.pump()
+}
+
+func (s *Server) pump() {
+	if s.busy || len(s.queue) == 0 {
+		return
+	}
+	s.busy = true
+	p := s.queue[0]
+	s.queue = s.queue[1:]
+	s.stats.Requests++
+
+	resp, trace := s.execute(p.req)
+	// Service: network stack + command CPU, then the command's memory
+	// trace (Redis interleaves them; serializing is a conservative
+	// single-thread model).
+	s.k.After(s.cfg.NetStack+s.cfg.PerOpCPU, func() {
+		memport.Replay(s.k, s.h, traceSource{t: trace}, s.cfg.Window, func(sim.Duration) {
+			s.busy = false
+			p.done(resp)
+			s.pump()
+		})
+	})
+}
+
+// execute runs the real command against the real store.
+func (s *Server) execute(req Request) (Response, Trace) {
+	switch req.Cmd {
+	case CmdGet:
+		val, ok, t := s.store.Get(req.Key)
+		if ok {
+			s.stats.Hits++
+		} else {
+			s.stats.Misses++
+		}
+		return Response{OK: ok, Value: val}, t
+	case CmdSet:
+		t := s.store.Set(req.Key, req.Value)
+		return Response{OK: true}, t
+	case CmdDel:
+		ok, t := s.store.Del(req.Key)
+		return Response{OK: ok}, t
+	case CmdIncr:
+		n, err, t := s.store.Incr(req.Key)
+		return Response{OK: err == nil, Int: n}, t
+	case CmdLPush:
+		n, t := s.store.LPush(req.Key, req.Value)
+		return Response{OK: true, Int: int64(n)}, t
+	case CmdLRange:
+		list, t := s.store.LRange(req.Key, req.Count)
+		return Response{OK: list != nil, List: list}, t
+	case CmdExpire:
+		ok, t := s.store.Expire(req.Key, s.k.Now().Add(req.TTL))
+		return Response{OK: ok}, t
+	case CmdTTL:
+		remaining, hasTTL, ok, t := s.store.TTL(req.Key)
+		n := int64(-1)
+		if hasTTL {
+			n = int64(remaining)
+		}
+		return Response{OK: ok, Int: n}, t
+	default:
+		panic(fmt.Sprintf("kvstore: unknown command %v", req.Cmd))
+	}
+}
+
+// traceSource adapts a Trace to memport.TraceSource: one phase per
+// dependent group, no extra compute (charged separately).
+type traceSource struct{ t Trace }
+
+func (ts traceSource) NumPhases() int               { return len(ts.t.Groups) }
+func (ts traceSource) Phase(i int) []memport.Op     { return ts.t.Groups[i] }
+func (ts traceSource) ComputeTime(int) sim.Duration { return 0 }

@@ -1,0 +1,589 @@
+// Package kvstore implements the paper's Redis workload: a real in-memory
+// key-value store (chained hash table with Redis-style incremental rehash,
+// string/counter/list values) whose operations emit phase-structured
+// memory traces, an event-loop server model with network-stack service
+// costs, and a Memtier-style closed-loop load generator (§IV-A: 4 threads
+// × 50 connections × 10000 requests each).
+//
+// The store is real — commands mutate real Go data and return real
+// results — while every operation also reports the cache-line accesses it
+// would perform against its simulated heap placement, so the simulated
+// clock advances exactly as a remote-memory-resident Redis would.
+package kvstore
+
+import (
+	"fmt"
+	"strconv"
+
+	"thymesim/internal/memport"
+	"thymesim/internal/sim"
+)
+
+// Simulated heap layout constants.
+const (
+	bucketBytes = 8   // one pointer per bucket
+	entryBytes  = 64  // key header + pointers + metadata
+	nodeBytes   = 64  // list node header
+	lineBytes   = 128 // ocapi.CacheLineSize, kept literal to avoid the dep
+)
+
+// Trace is the memory behaviour of one command: groups are sequential
+// (dependent pointer-chase steps), operations within a group are
+// independent.
+type Trace struct {
+	Groups [][]memport.Op
+}
+
+// add starts a new dependent group with the given ops.
+func (t *Trace) add(ops ...memport.Op) {
+	t.Groups = append(t.Groups, ops)
+}
+
+// appendTo extends the last group (independent with it).
+func (t *Trace) appendTo(ops ...memport.Op) {
+	if len(t.Groups) == 0 {
+		t.add(ops...)
+		return
+	}
+	t.Groups[len(t.Groups)-1] = append(t.Groups[len(t.Groups)-1], ops...)
+}
+
+// Ops returns the total operation count.
+func (t *Trace) Ops() int {
+	n := 0
+	for _, g := range t.Groups {
+		n += len(g)
+	}
+	return n
+}
+
+type entry struct {
+	key     string
+	val     []byte
+	listHd  int32 // head node index+1, 0 = not a list
+	listLen int
+	next    int32 // chain: entry index+1, 0 = end
+	valAddr uint64
+	valCap  int
+	// expireAt is the absolute expiry instant; 0 means no TTL.
+	expireAt sim.Time
+}
+
+type listNode struct {
+	data []byte
+	next int32 // node index+1
+	addr uint64
+}
+
+// Store is the key-value store instance.
+type Store struct {
+	// Primary and (during rehash) secondary bucket tables, holding entry
+	// index+1.
+	buckets    []int32
+	oldBuckets []int32 // non-nil while incrementally rehashing
+	rehashPos  int
+
+	entries []entry
+	freeEnt []int32
+	nodes   []listNode
+	freeNod []int32
+	size    int
+
+	// Simulated placement.
+	base      uint64
+	bucketsAt uint64
+	entriesAt uint64
+	nodesAt   uint64
+	valuesAt  uint64
+	valBump   uint64
+
+	// capacity bounds for the simulated regions
+	maxEntries int
+	maxNodes   int
+	valBytes   uint64
+
+	// clock supplies the current simulated time for TTL checks; nil means
+	// TTLs never fire (a store outside a simulation).
+	clock func() sim.Time
+	// expired counts lazily deleted entries.
+	expired uint64
+}
+
+// Config sizes the store's simulated heap.
+type Config struct {
+	// InitialBuckets must be a power of two.
+	InitialBuckets int
+	// MaxEntries and MaxNodes bound the slabs (simulated placement needs
+	// fixed regions).
+	MaxEntries int
+	MaxNodes   int
+	// ValueArenaBytes bounds total value storage.
+	ValueArenaBytes uint64
+	// BaseAddr places the heap (remote window offset or local).
+	BaseAddr uint64
+}
+
+// DefaultConfig sizes the store for the benchmark defaults.
+func DefaultConfig(baseAddr uint64) Config {
+	return Config{
+		InitialBuckets:  1 << 14,
+		MaxEntries:      1 << 20,
+		MaxNodes:        1 << 18,
+		ValueArenaBytes: 1 << 30,
+		BaseAddr:        baseAddr,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.InitialBuckets <= 0 || c.InitialBuckets&(c.InitialBuckets-1) != 0 {
+		return fmt.Errorf("kvstore: InitialBuckets %d not a power of two", c.InitialBuckets)
+	}
+	if c.MaxEntries <= 0 || c.MaxNodes <= 0 || c.ValueArenaBytes == 0 {
+		return fmt.Errorf("kvstore: zero capacity")
+	}
+	return nil
+}
+
+// NewStore builds an empty store.
+func NewStore(cfg Config) *Store {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	s := &Store{
+		buckets:    make([]int32, cfg.InitialBuckets),
+		base:       cfg.BaseAddr,
+		maxEntries: cfg.MaxEntries,
+		maxNodes:   cfg.MaxNodes,
+		valBytes:   cfg.ValueArenaBytes,
+	}
+	// Layout: buckets | entries | nodes | values. The bucket region is
+	// sized for the maximum table (entries capacity) so rehashed tables
+	// stay in-region.
+	align := func(x uint64) uint64 { return (x + lineBytes - 1) &^ uint64(lineBytes-1) }
+	s.bucketsAt = s.base
+	bucketSpan := align(uint64(cfg.MaxEntries*2) * bucketBytes)
+	s.entriesAt = s.bucketsAt + bucketSpan
+	entrySpan := align(uint64(cfg.MaxEntries) * entryBytes)
+	s.nodesAt = s.entriesAt + entrySpan
+	nodeSpan := align(uint64(cfg.MaxNodes) * nodeBytes)
+	s.valuesAt = s.nodesAt + nodeSpan
+	return s
+}
+
+// SetClock installs the time source used for TTL expiry (Redis checks
+// TTLs lazily on access, as this store does).
+func (s *Store) SetClock(clock func() sim.Time) { s.clock = clock }
+
+// Expired returns the number of entries lazily deleted after their TTL.
+func (s *Store) Expired() uint64 { return s.expired }
+
+// Size returns the number of live keys (possibly including entries whose
+// TTL has passed but which have not been touched since).
+func (s *Store) Size() int { return s.size }
+
+// Footprint returns the simulated bytes of the store's heap regions.
+func (s *Store) Footprint() uint64 {
+	return (s.valuesAt + s.valBump) - s.base
+}
+
+// hash is FNV-1a over the key.
+func hash(key string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (s *Store) bucketAddr(idx int, old bool) uint64 {
+	// Old and new tables interleave in the bucket region; offset old
+	// tables by half the region.
+	off := uint64(idx) * bucketBytes
+	if old {
+		off += uint64(s.maxEntries) * bucketBytes
+	}
+	return s.bucketsAt + off
+}
+
+func (s *Store) entryAddr(i int32) uint64 { return s.entriesAt + uint64(i)*entryBytes }
+
+// allocValue reserves simulated space for n bytes (line-rounded bump).
+func (s *Store) allocValue(n int) uint64 {
+	span := uint64(n+lineBytes-1) &^ uint64(lineBytes-1)
+	if s.valBump+span > s.valBytes {
+		panic("kvstore: value arena exhausted")
+	}
+	addr := s.valuesAt + s.valBump
+	s.valBump += span
+	return addr
+}
+
+func (s *Store) allocEntry() int32 {
+	if n := len(s.freeEnt); n > 0 {
+		i := s.freeEnt[n-1]
+		s.freeEnt = s.freeEnt[:n-1]
+		s.entries[i] = entry{}
+		return i
+	}
+	if len(s.entries) >= s.maxEntries {
+		panic("kvstore: entry slab exhausted")
+	}
+	s.entries = append(s.entries, entry{})
+	return int32(len(s.entries) - 1)
+}
+
+func (s *Store) allocNode() int32 {
+	if n := len(s.freeNod); n > 0 {
+		i := s.freeNod[n-1]
+		s.freeNod = s.freeNod[:n-1]
+		s.nodes[i] = listNode{}
+		return i
+	}
+	if len(s.nodes) >= s.maxNodes {
+		panic("kvstore: node slab exhausted")
+	}
+	s.nodes = append(s.nodes, listNode{})
+	return int32(len(s.nodes) - 1)
+}
+
+// valueOps returns the independent line accesses covering a value.
+func valueOps(addr uint64, n int, write bool) []memport.Op {
+	if n == 0 {
+		return nil
+	}
+	var ops []memport.Op
+	for off := 0; off < n; off += lineBytes {
+		sz := lineBytes
+		if n-off < sz {
+			sz = n - off
+		}
+		ops = append(ops, memport.Op{Addr: addr + uint64(off), Size: int32(sz), Write: write})
+	}
+	return ops
+}
+
+// rehashStep migrates a couple of old buckets, Redis-style, charging their
+// accesses to the trace.
+func (s *Store) rehashStep(t *Trace) {
+	if s.oldBuckets == nil {
+		return
+	}
+	const step = 2
+	for i := 0; i < step && s.rehashPos < len(s.oldBuckets); i++ {
+		bi := s.rehashPos
+		s.rehashPos++
+		t.add(memport.Op{Addr: s.bucketAddr(bi, true), Size: bucketBytes})
+		ei := s.oldBuckets[bi]
+		for ei != 0 {
+			e := &s.entries[ei-1]
+			next := e.next
+			nb := int(hash(e.key) & uint64(len(s.buckets)-1))
+			e.next = s.buckets[nb]
+			s.buckets[nb] = ei
+			t.appendTo(
+				memport.Op{Addr: s.entryAddr(ei - 1), Size: entryBytes, Write: true},
+				memport.Op{Addr: s.bucketAddr(nb, false), Size: bucketBytes, Write: true},
+			)
+			ei = next
+		}
+		s.oldBuckets[bi] = 0
+	}
+	if s.rehashPos >= len(s.oldBuckets) {
+		s.oldBuckets = nil
+		s.rehashPos = 0
+	}
+}
+
+// maybeGrow starts an incremental rehash when load factor exceeds 1.
+func (s *Store) maybeGrow() {
+	if s.oldBuckets != nil || s.size <= len(s.buckets) {
+		return
+	}
+	if len(s.buckets)*2 > s.maxEntries*2 {
+		return // bucket region exhausted; keep chaining
+	}
+	s.oldBuckets = s.buckets
+	s.buckets = make([]int32, len(s.oldBuckets)*2)
+	s.rehashPos = 0
+}
+
+// lookup walks the chain for key, emitting the dependent accesses. It
+// returns the entry index+1 and its predecessor index+1 (0 = chain head).
+func (s *Store) lookup(key string, t *Trace) (ei, prev int32, inOld bool) {
+	h := hash(key)
+	// During rehash a miss in the new table falls back to the old one,
+	// exactly like Redis's dictFind.
+	bi := int(h & uint64(len(s.buckets)-1))
+	t.add(memport.Op{Addr: s.bucketAddr(bi, false), Size: bucketBytes})
+	ei = s.buckets[bi]
+	for ei != 0 {
+		t.add(memport.Op{Addr: s.entryAddr(ei - 1), Size: entryBytes})
+		if s.entries[ei-1].key == key {
+			if s.ttlExpired(ei) {
+				s.reapLocked(key, ei, prev, false, t)
+				return 0, 0, false
+			}
+			return ei, prev, false
+		}
+		prev = ei
+		ei = s.entries[ei-1].next
+	}
+	if s.oldBuckets != nil {
+		ob := int(h & uint64(len(s.oldBuckets)-1))
+		if ob >= s.rehashPos {
+			t.add(memport.Op{Addr: s.bucketAddr(ob, true), Size: bucketBytes})
+			prev = 0
+			ei = s.oldBuckets[ob]
+			for ei != 0 {
+				t.add(memport.Op{Addr: s.entryAddr(ei - 1), Size: entryBytes})
+				if s.entries[ei-1].key == key {
+					if s.ttlExpired(ei) {
+						s.reapLocked(key, ei, prev, true, t)
+						return 0, 0, false
+					}
+					return ei, prev, true
+				}
+				prev = ei
+				ei = s.entries[ei-1].next
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// Set stores a string value, returning the command's memory trace.
+func (s *Store) Set(key string, val []byte) Trace {
+	var t Trace
+	s.rehashStep(&t)
+	s.maybeGrow()
+	ei, _, _ := s.lookup(key, &t)
+	if ei != 0 {
+		e := &s.entries[ei-1]
+		if len(val) > e.valCap {
+			e.valAddr = s.allocValue(len(val))
+			e.valCap = len(val)
+		}
+		e.val = append(e.val[:0], val...)
+		e.listHd, e.listLen = 0, 0
+		t.add(memport.Op{Addr: s.entryAddr(ei - 1), Size: entryBytes, Write: true})
+		t.appendTo(valueOps(e.valAddr, len(val), true)...)
+		return t
+	}
+	ni := s.allocEntry()
+	e := &s.entries[ni]
+	e.key = key
+	e.val = append([]byte(nil), val...)
+	e.valAddr = s.allocValue(len(val))
+	e.valCap = len(val)
+	bi := int(hash(key) & uint64(len(s.buckets)-1))
+	e.next = s.buckets[bi]
+	s.buckets[bi] = ni + 1
+	s.size++
+	t.add(
+		memport.Op{Addr: s.entryAddr(ni), Size: entryBytes, Write: true},
+		memport.Op{Addr: s.bucketAddr(bi, false), Size: bucketBytes, Write: true},
+	)
+	t.appendTo(valueOps(e.valAddr, len(val), true)...)
+	return t
+}
+
+// Get fetches a string value.
+func (s *Store) Get(key string) (val []byte, ok bool, t Trace) {
+	s.rehashStep(&t)
+	ei, _, _ := s.lookup(key, &t)
+	if ei == 0 {
+		return nil, false, t
+	}
+	e := &s.entries[ei-1]
+	if e.listHd != 0 {
+		return nil, false, t // wrong type, like Redis WRONGTYPE
+	}
+	t.add(valueOps(e.valAddr, len(e.val), false)...)
+	return e.val, true, t
+}
+
+// Del removes a key, reporting whether it existed.
+func (s *Store) Del(key string) (existed bool, t Trace) {
+	s.rehashStep(&t)
+	ei, prev, inOld := s.lookup(key, &t)
+	if ei == 0 {
+		return false, t
+	}
+	e := &s.entries[ei-1]
+	// Free list nodes.
+	for ni := e.listHd; ni != 0; {
+		next := s.nodes[ni-1].next
+		s.freeNod = append(s.freeNod, ni-1)
+		ni = next
+	}
+	h := hash(key)
+	if prev != 0 {
+		s.entries[prev-1].next = e.next
+		t.add(memport.Op{Addr: s.entryAddr(prev - 1), Size: entryBytes, Write: true})
+	} else if inOld {
+		ob := int(h & uint64(len(s.oldBuckets)-1))
+		s.oldBuckets[ob] = e.next
+		t.add(memport.Op{Addr: s.bucketAddr(ob, true), Size: bucketBytes, Write: true})
+	} else {
+		bi := int(h & uint64(len(s.buckets)-1))
+		s.buckets[bi] = e.next
+		t.add(memport.Op{Addr: s.bucketAddr(bi, false), Size: bucketBytes, Write: true})
+	}
+	s.freeEnt = append(s.freeEnt, ei-1)
+	*e = entry{}
+	s.size--
+	return true, t
+}
+
+// Incr atomically increments an integer-valued key (creating it at 1),
+// returning the new value, like Redis INCR.
+func (s *Store) Incr(key string) (int64, error, Trace) {
+	var t Trace
+	s.rehashStep(&t)
+	s.maybeGrow()
+	ei, _, _ := s.lookup(key, &t)
+	if ei == 0 {
+		st := s.Set(key, []byte("1"))
+		t.Groups = append(t.Groups, st.Groups...)
+		return 1, nil, t
+	}
+	e := &s.entries[ei-1]
+	n, err := strconv.ParseInt(string(e.val), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("kvstore: value of %q is not an integer", key), t
+	}
+	n++
+	e.val = strconv.AppendInt(e.val[:0], n, 10)
+	t.add(valueOps(e.valAddr, len(e.val), true)...)
+	return n, nil, t
+}
+
+// LPush prepends a value to the list at key (creating it), returning the
+// new length.
+func (s *Store) LPush(key string, val []byte) (int, Trace) {
+	var t Trace
+	s.rehashStep(&t)
+	s.maybeGrow()
+	ei, _, _ := s.lookup(key, &t)
+	if ei == 0 {
+		ni := s.allocEntry()
+		e := &s.entries[ni]
+		e.key = key
+		bi := int(hash(key) & uint64(len(s.buckets)-1))
+		e.next = s.buckets[bi]
+		s.buckets[bi] = ni + 1
+		s.size++
+		t.add(
+			memport.Op{Addr: s.entryAddr(ni), Size: entryBytes, Write: true},
+			memport.Op{Addr: s.bucketAddr(bi, false), Size: bucketBytes, Write: true},
+		)
+		ei = ni + 1
+	}
+	e := &s.entries[ei-1]
+	nd := s.allocNode()
+	node := &s.nodes[nd]
+	node.data = append([]byte(nil), val...)
+	node.addr = s.allocValue(nodeBytes + len(val))
+	node.next = e.listHd
+	e.listHd = nd + 1
+	e.listLen++
+	t.add(
+		memport.Op{Addr: node.addr, Size: int32(nodeBytes + len(val)), Write: true},
+		memport.Op{Addr: s.entryAddr(ei - 1), Size: entryBytes, Write: true},
+	)
+	return e.listLen, t
+}
+
+// LRange returns up to count values from the head of the list at key. The
+// traversal is a genuine pointer chase: one dependent group per node.
+func (s *Store) LRange(key string, count int) ([][]byte, Trace) {
+	var t Trace
+	s.rehashStep(&t)
+	ei, _, _ := s.lookup(key, &t)
+	if ei == 0 {
+		return nil, t
+	}
+	var out [][]byte
+	ni := s.entries[ei-1].listHd
+	for ni != 0 && len(out) < count {
+		node := &s.nodes[ni-1]
+		t.add(memport.Op{Addr: node.addr, Size: int32(nodeBytes + len(node.data))})
+		out = append(out, node.data)
+		ni = node.next
+	}
+	return out, t
+}
+
+// Rehashing reports whether an incremental rehash is in progress.
+func (s *Store) Rehashing() bool { return s.oldBuckets != nil }
+
+// NumBuckets returns the current primary table size.
+func (s *Store) NumBuckets() int { return len(s.buckets) }
+
+// ttlExpired reports whether entry ei+0's TTL has passed.
+func (s *Store) ttlExpired(ei int32) bool {
+	e := &s.entries[ei-1]
+	return e.expireAt != 0 && s.clock != nil && s.clock() >= e.expireAt
+}
+
+// reapLocked removes an expired entry found during lookup, charging the
+// unlink writes to the trace.
+func (s *Store) reapLocked(key string, ei, prev int32, inOld bool, t *Trace) {
+	e := &s.entries[ei-1]
+	for ni := e.listHd; ni != 0; {
+		next := s.nodes[ni-1].next
+		s.freeNod = append(s.freeNod, ni-1)
+		ni = next
+	}
+	h := hash(key)
+	if prev != 0 {
+		s.entries[prev-1].next = e.next
+		t.add(memport.Op{Addr: s.entryAddr(prev - 1), Size: entryBytes, Write: true})
+	} else if inOld {
+		ob := int(h & uint64(len(s.oldBuckets)-1))
+		s.oldBuckets[ob] = e.next
+		t.add(memport.Op{Addr: s.bucketAddr(ob, true), Size: bucketBytes, Write: true})
+	} else {
+		bi := int(h & uint64(len(s.buckets)-1))
+		s.buckets[bi] = e.next
+		t.add(memport.Op{Addr: s.bucketAddr(bi, false), Size: bucketBytes, Write: true})
+	}
+	s.freeEnt = append(s.freeEnt, ei-1)
+	*e = entry{}
+	s.size--
+	s.expired++
+}
+
+// Expire sets an absolute expiry on a key, returning whether it existed.
+// A zero instant clears the TTL (PERSIST).
+func (s *Store) Expire(key string, at sim.Time) (bool, Trace) {
+	var t Trace
+	s.rehashStep(&t)
+	ei, _, _ := s.lookup(key, &t)
+	if ei == 0 {
+		return false, t
+	}
+	s.entries[ei-1].expireAt = at
+	t.add(memport.Op{Addr: s.entryAddr(ei - 1), Size: entryBytes, Write: true})
+	return true, t
+}
+
+// TTL returns the remaining lifetime of key: ok is false when the key is
+// missing; a zero duration with ok means no TTL is set.
+func (s *Store) TTL(key string) (remaining sim.Duration, hasTTL, ok bool, t Trace) {
+	s.rehashStep(&t)
+	ei, _, _ := s.lookup(key, &t)
+	if ei == 0 {
+		return 0, false, false, t
+	}
+	e := &s.entries[ei-1]
+	if e.expireAt == 0 {
+		return 0, false, true, t
+	}
+	if s.clock != nil {
+		return e.expireAt.Sub(s.clock()), true, true, t
+	}
+	return 0, true, true, t
+}

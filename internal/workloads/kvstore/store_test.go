@@ -1,0 +1,314 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"thymesim/internal/sim"
+)
+
+func testStore() *Store {
+	cfg := DefaultConfig(0)
+	cfg.InitialBuckets = 16
+	cfg.MaxEntries = 1 << 16
+	cfg.MaxNodes = 1 << 14
+	cfg.ValueArenaBytes = 1 << 26
+	return NewStore(cfg)
+}
+
+func TestSetGetDel(t *testing.T) {
+	s := testStore()
+	tr := s.Set("k1", []byte("hello"))
+	if tr.Ops() == 0 {
+		t.Fatal("SET produced no memory trace")
+	}
+	val, ok, tr2 := s.Get("k1")
+	if !ok || !bytes.Equal(val, []byte("hello")) {
+		t.Fatalf("GET = %q, %v", val, ok)
+	}
+	if tr2.Ops() < 2 {
+		t.Fatalf("GET trace too small: %d ops", tr2.Ops())
+	}
+	if s.Size() != 1 {
+		t.Fatalf("size = %d", s.Size())
+	}
+	existed, _ := s.Del("k1")
+	if !existed || s.Size() != 0 {
+		t.Fatalf("DEL failed: %v size=%d", existed, s.Size())
+	}
+	if _, ok, _ := s.Get("k1"); ok {
+		t.Fatal("GET after DEL succeeded")
+	}
+	if existed, _ := s.Del("k1"); existed {
+		t.Fatal("double DEL succeeded")
+	}
+}
+
+func TestSetOverwrite(t *testing.T) {
+	s := testStore()
+	s.Set("k", []byte("first"))
+	s.Set("k", []byte("second value that is longer"))
+	val, ok, _ := s.Get("k")
+	if !ok || string(val) != "second value that is longer" {
+		t.Fatalf("overwrite failed: %q", val)
+	}
+	if s.Size() != 1 {
+		t.Fatalf("size = %d after overwrite", s.Size())
+	}
+}
+
+func TestIncr(t *testing.T) {
+	s := testStore()
+	n, err, _ := s.Incr("counter")
+	if err != nil || n != 1 {
+		t.Fatalf("first incr = %d, %v", n, err)
+	}
+	for i := 0; i < 9; i++ {
+		n, err, _ = s.Incr("counter")
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n != 10 {
+		t.Fatalf("counter = %d", n)
+	}
+	val, _, _ := s.Get("counter")
+	if string(val) != "10" {
+		t.Fatalf("raw value = %q", val)
+	}
+	s.Set("text", []byte("abc"))
+	if _, err, _ := s.Incr("text"); err == nil {
+		t.Fatal("INCR of non-integer succeeded")
+	}
+}
+
+func TestListOps(t *testing.T) {
+	s := testStore()
+	for i := 1; i <= 5; i++ {
+		n, tr := s.LPush("list", []byte(fmt.Sprintf("v%d", i)))
+		if n != i {
+			t.Fatalf("LPUSH len = %d, want %d", n, i)
+		}
+		if tr.Ops() == 0 {
+			t.Fatal("LPUSH no trace")
+		}
+	}
+	vals, tr := s.LRange("list", 3)
+	if len(vals) != 3 {
+		t.Fatalf("LRANGE = %d items", len(vals))
+	}
+	// LPUSH prepends: order is v5, v4, v3.
+	if string(vals[0]) != "v5" || string(vals[2]) != "v3" {
+		t.Fatalf("LRANGE order: %q", vals)
+	}
+	// Each node is a dependent group: at least 3 groups beyond lookup.
+	if len(tr.Groups) < 4 {
+		t.Fatalf("LRANGE trace groups = %d, want pointer-chase structure", len(tr.Groups))
+	}
+	if vals, _ := s.LRange("missing", 3); vals != nil {
+		t.Fatal("LRANGE of missing key returned data")
+	}
+	// Wrong type: GET of a list fails.
+	if _, ok, _ := s.Get("list"); ok {
+		t.Fatal("GET of list succeeded")
+	}
+}
+
+func TestIncrementalRehash(t *testing.T) {
+	s := testStore() // 16 buckets
+	for i := 0; i < 64; i++ {
+		s.Set(fmt.Sprintf("key-%d", i), []byte("v"))
+	}
+	if !s.Rehashing() && s.NumBuckets() == 16 {
+		t.Fatal("no growth after 4x load factor")
+	}
+	// All keys must stay reachable through the rehash.
+	for i := 0; i < 64; i++ {
+		if _, ok, _ := s.Get(fmt.Sprintf("key-%d", i)); !ok {
+			t.Fatalf("key-%d lost during rehash", i)
+		}
+	}
+	// Keep operating until the rehash completes.
+	for i := 0; s.Rehashing() && i < 10000; i++ {
+		s.Get("key-0")
+	}
+	if s.Rehashing() {
+		t.Fatal("rehash never completed")
+	}
+	for i := 0; i < 64; i++ {
+		if _, ok, _ := s.Get(fmt.Sprintf("key-%d", i)); !ok {
+			t.Fatalf("key-%d lost after rehash", i)
+		}
+	}
+}
+
+func TestDelDuringRehash(t *testing.T) {
+	s := testStore()
+	for i := 0; i < 40; i++ {
+		s.Set(fmt.Sprintf("key-%d", i), []byte("v"))
+	}
+	if !s.Rehashing() {
+		t.Skip("rehash finished too quickly for this geometry")
+	}
+	for i := 0; i < 40; i++ {
+		existed, _ := s.Del(fmt.Sprintf("key-%d", i))
+		if !existed {
+			t.Fatalf("key-%d missing at delete", i)
+		}
+	}
+	if s.Size() != 0 {
+		t.Fatalf("size = %d after deleting all", s.Size())
+	}
+}
+
+func TestTraceStructure(t *testing.T) {
+	s := testStore()
+	s.Set("k", make([]byte, 512))
+	_, ok, tr := s.Get("k")
+	if !ok {
+		t.Fatal("GET failed")
+	}
+	// Lookup groups (bucket + >=1 entry) then one value group of 4 lines.
+	last := tr.Groups[len(tr.Groups)-1]
+	if len(last) != 4 {
+		t.Fatalf("value group = %d ops, want 4 (512B/128B)", len(last))
+	}
+	for _, op := range last {
+		if op.Write {
+			t.Fatal("GET emitted writes")
+		}
+	}
+	if len(tr.Groups) < 3 {
+		t.Fatalf("GET groups = %d, want dependent chain", len(tr.Groups))
+	}
+}
+
+func TestFootprintGrows(t *testing.T) {
+	s := testStore()
+	before := s.Footprint()
+	s.Set("k", make([]byte, 4096))
+	if s.Footprint() <= before {
+		t.Fatal("footprint did not grow")
+	}
+}
+
+// Property: the store behaves like a map[string][]byte under arbitrary
+// set/get/del sequences.
+func TestStoreMatchesMapProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		s := testStore()
+		ref := map[string]string{}
+		for _, op := range ops {
+			key := fmt.Sprintf("k%d", op%64)
+			switch op % 3 {
+			case 0:
+				val := fmt.Sprintf("v%d", op)
+				s.Set(key, []byte(val))
+				ref[key] = val
+			case 1:
+				got, ok, _ := s.Get(key)
+				want, wantOK := ref[key]
+				if ok != wantOK {
+					return false
+				}
+				if ok && string(got) != want {
+					return false
+				}
+			case 2:
+				existed, _ := s.Del(key)
+				_, wantOK := ref[key]
+				if existed != wantOK {
+					return false
+				}
+				delete(ref, key)
+			}
+			if s.Size() != len(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{InitialBuckets: 3, MaxEntries: 1, MaxNodes: 1, ValueArenaBytes: 1},
+		{InitialBuckets: 4, MaxEntries: 0, MaxNodes: 1, ValueArenaBytes: 1},
+		{InitialBuckets: 4, MaxEntries: 1, MaxNodes: 1, ValueArenaBytes: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if err := DefaultConfig(0).Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTTLLazyExpiry(t *testing.T) {
+	s := testStore()
+	now := int64(0)
+	s.SetClock(func() sim.Time { return sim.Time(now) })
+	s.Set("k", []byte("v"))
+	if ok, _ := s.Expire("k", 100); !ok {
+		t.Fatal("EXPIRE on live key failed")
+	}
+	if rem, hasTTL, ok, _ := s.TTL("k"); !ok || !hasTTL || rem != 100 {
+		t.Fatalf("TTL = %v %v %v", rem, hasTTL, ok)
+	}
+	now = 99
+	if _, ok, _ := s.Get("k"); !ok {
+		t.Fatal("key expired early")
+	}
+	now = 100
+	if _, ok, _ := s.Get("k"); ok {
+		t.Fatal("key survived its TTL")
+	}
+	if s.Expired() != 1 {
+		t.Fatalf("expired = %d", s.Expired())
+	}
+	if s.Size() != 0 {
+		t.Fatalf("size = %d after expiry", s.Size())
+	}
+	// Expired key behaves like a missing one everywhere.
+	if ok, _ := s.Expire("k", 500); ok {
+		t.Fatal("EXPIRE on expired key succeeded")
+	}
+}
+
+func TestTTLClearAndNoClock(t *testing.T) {
+	s := testStore()
+	now := int64(0)
+	s.SetClock(func() sim.Time { return sim.Time(now) })
+	s.Set("k", []byte("v"))
+	s.Expire("k", 50)
+	// Zero instant clears the TTL (PERSIST).
+	s.Expire("k", 0)
+	now = 1000
+	if _, ok, _ := s.Get("k"); !ok {
+		t.Fatal("persisted key expired")
+	}
+	if _, hasTTL, ok, _ := s.TTL("k"); !ok || hasTTL {
+		t.Fatal("TTL not cleared")
+	}
+	// Without a clock, TTLs never fire.
+	s2 := testStore()
+	s2.Set("k", []byte("v"))
+	s2.Expire("k", 1)
+	if _, ok, _ := s2.Get("k"); !ok {
+		t.Fatal("clockless store expired a key")
+	}
+}
+
+func TestTTLOfMissingKey(t *testing.T) {
+	s := testStore()
+	if _, _, ok, _ := s.TTL("nope"); ok {
+		t.Fatal("TTL of missing key ok")
+	}
+}

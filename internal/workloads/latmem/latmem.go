@@ -1,0 +1,149 @@
+// Package latmem is a lat_mem_rd-style pointer-chasing microbenchmark: it
+// builds a random cyclic permutation over a buffer and walks it, so every
+// load depends on the previous one and the measured time per hop is the
+// true (unoverlapped) memory access latency. The paper's Fig. 2/4
+// "latency measured by STREAM" is a throughput-derived estimate; the
+// pointer chase measures the same quantity directly and the two agree
+// under saturation.
+package latmem
+
+import (
+	"fmt"
+
+	"thymesim/internal/memport"
+	"thymesim/internal/ocapi"
+	"thymesim/internal/sim"
+)
+
+// Config parameterizes a chase.
+type Config struct {
+	// BufferBytes is the walked buffer size; make it far larger than the
+	// LLC to measure memory, not cache.
+	BufferBytes int
+	// Hops is the number of dependent loads to time.
+	Hops int
+	// Stride spaces the permutation entries; use the cache-line size to
+	// defeat spatial locality.
+	Stride int
+	// BaseAddr places the buffer.
+	BaseAddr uint64
+	// Seed shuffles the permutation.
+	Seed uint64
+}
+
+// DefaultConfig returns a chase suited to the scaled testbed.
+func DefaultConfig(baseAddr uint64) Config {
+	return Config{
+		BufferBytes: 1 << 20,
+		Hops:        2000,
+		Stride:      ocapi.CacheLineSize,
+		BaseAddr:    baseAddr,
+		Seed:        42,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Stride < 8 || c.Stride%8 != 0 {
+		return fmt.Errorf("latmem: stride %d", c.Stride)
+	}
+	if c.BufferBytes < 2*c.Stride {
+		return fmt.Errorf("latmem: buffer %d too small for stride %d", c.BufferBytes, c.Stride)
+	}
+	if c.Hops < 1 {
+		return fmt.Errorf("latmem: hops %d", c.Hops)
+	}
+	if c.BaseAddr%ocapi.CacheLineSize != 0 {
+		return fmt.Errorf("latmem: base %#x unaligned", c.BaseAddr)
+	}
+	return nil
+}
+
+// Result reports the measured chase.
+type Result struct {
+	Hops    int
+	Elapsed sim.Duration
+	// PerHop is the mean dependent-load latency — the headline number.
+	PerHop sim.Duration
+}
+
+// Runner owns the permutation and drives the chase.
+type Runner struct {
+	k   *sim.Kernel
+	h   *memport.Hierarchy
+	cfg Config
+	// next[i] holds the index of the slot the chase visits after slot i —
+	// a real permutation in Go memory, walked for real.
+	next []int32
+}
+
+// New builds the cyclic permutation (Sattolo's algorithm, so the walk is a
+// single cycle covering every slot).
+func New(k *sim.Kernel, h *memport.Hierarchy, cfg Config) *Runner {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	slots := cfg.BufferBytes / cfg.Stride
+	next := make([]int32, slots)
+	perm := make([]int32, slots)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	rng := sim.NewRand(cfg.Seed)
+	// Sattolo: single-cycle permutation.
+	for i := slots - 1; i > 0; i-- {
+		j := rng.Intn(i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	for i := 0; i < slots; i++ {
+		next[perm[i]] = perm[(i+1)%slots]
+	}
+	return &Runner{k: k, h: h, cfg: cfg, next: next}
+}
+
+// addrOf returns the simulated address of slot i.
+func (r *Runner) addrOf(slot int32) uint64 {
+	return r.cfg.BaseAddr + uint64(slot)*uint64(r.cfg.Stride)
+}
+
+// Run walks the chase and calls done with the result. Every hop issues
+// exactly one dependent load: the next access is issued only when the
+// previous completes.
+func (r *Runner) Run(done func(Result)) {
+	start := r.k.Now()
+	slot := int32(0)
+	hop := 0
+	var step func()
+	step = func() {
+		if hop == r.cfg.Hops {
+			elapsed := r.k.Now().Sub(start)
+			done(Result{
+				Hops:    r.cfg.Hops,
+				Elapsed: elapsed,
+				PerHop:  elapsed / sim.Duration(r.cfg.Hops),
+			})
+			return
+		}
+		hop++
+		addr := r.addrOf(slot)
+		slot = r.next[slot] // the real pointer dereference
+		r.h.Access(addr, 8, false, step)
+	}
+	step()
+}
+
+// CycleLen verifies the permutation is a single cycle (test helper).
+func (r *Runner) CycleLen() int {
+	seen := 0
+	slot := int32(0)
+	for {
+		slot = r.next[slot]
+		seen++
+		if slot == 0 {
+			return seen
+		}
+		if seen > len(r.next) {
+			return -1
+		}
+	}
+}

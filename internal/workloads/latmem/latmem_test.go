@@ -1,0 +1,119 @@
+package latmem
+
+import (
+	"testing"
+
+	"thymesim/internal/cluster"
+	"thymesim/internal/sim"
+)
+
+func testbed(period int64) *cluster.Testbed {
+	cfg := cluster.DefaultConfig(period)
+	cfg.LLC.SizeBytes = 16 << 10
+	cfg.LLC.Ways = 4
+	return cluster.NewTestbed(cfg)
+}
+
+func chase(t *testing.T, period int64, remote bool) Result {
+	t.Helper()
+	tb := testbed(period)
+	var h = tb.NewLocalHierarchy()
+	var base uint64
+	if remote {
+		h = tb.NewRemoteHierarchy()
+		base = tb.RemoteAddr(0)
+	}
+	cfg := DefaultConfig(base)
+	cfg.BufferBytes = 1 << 18
+	cfg.Hops = 500
+	r := New(tb.K, h, cfg)
+	var out Result
+	tb.K.At(0, func() { r.Run(func(res Result) { out = res }) })
+	tb.K.Run()
+	if out.Hops != cfg.Hops {
+		t.Fatal("chase did not complete")
+	}
+	return out
+}
+
+func TestPermutationIsSingleCycle(t *testing.T) {
+	tb := testbed(1)
+	cfg := DefaultConfig(0)
+	cfg.BufferBytes = 1 << 16
+	r := New(tb.K, tb.NewLocalHierarchy(), cfg)
+	slots := cfg.BufferBytes / cfg.Stride
+	if got := r.CycleLen(); got != slots {
+		t.Fatalf("cycle length = %d, want %d", got, slots)
+	}
+}
+
+func TestRemoteChaseMeasuresBaseRTT(t *testing.T) {
+	res := chase(t, 1, true)
+	// Dependent loads cannot overlap: per-hop ~= the uncontended remote
+	// RTT (~1.2us modelled), well above local.
+	if res.PerHop < 800*sim.Nanosecond || res.PerHop > 2500*sim.Nanosecond {
+		t.Fatalf("remote per-hop = %v, want ~1.2us", res.PerHop)
+	}
+	local := chase(t, 1, false)
+	if local.PerHop >= res.PerHop {
+		t.Fatalf("local %v not faster than remote %v", local.PerHop, res.PerHop)
+	}
+}
+
+func TestChaseSeesInjectedDelay(t *testing.T) {
+	fast := chase(t, 1, true)
+	slow := chase(t, 500, true) // 2us slots
+	// A dependent chain phase-locks to the grid: release at slot k,
+	// completion at k*slot + RTT, so the next load waits slot - (RTT mod
+	// slot) ~= 0.8us with RTT ~1.2us. The per-hop gain must be that
+	// deterministic alignment wait.
+	gain := slow.PerHop - fast.PerHop
+	if gain < 300*sim.Nanosecond || gain > 2*sim.Microsecond {
+		t.Fatalf("per-hop gain = %v, want grid-alignment wait (~0.8us)", gain)
+	}
+	// And the per-hop period must quantize to the slot grid: hops land
+	// one slot apart once locked.
+	if slow.PerHop < 1800*sim.Nanosecond || slow.PerHop > 2200*sim.Nanosecond {
+		t.Fatalf("per-hop = %v, want ~one 2us slot", slow.PerHop)
+	}
+}
+
+func TestCacheResidentChaseIsFast(t *testing.T) {
+	tb := testbed(1)
+	cfg := DefaultConfig(tb.RemoteAddr(0))
+	cfg.BufferBytes = 8 << 10 // fits the 16KB LLC
+	cfg.Hops = 2000
+	r := New(tb.K, tb.NewRemoteHierarchy(), cfg)
+	var out Result
+	tb.K.At(0, func() { r.Run(func(res Result) { out = res }) })
+	tb.K.Run()
+	// After the first lap everything hits: mean per-hop far below RTT.
+	if out.PerHop > 300*sim.Nanosecond {
+		t.Fatalf("cache-resident per-hop = %v, want near zero", out.PerHop)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{BufferBytes: 1 << 20, Hops: 1, Stride: 7},
+		{BufferBytes: 128, Hops: 1, Stride: 128},
+		{BufferBytes: 1 << 20, Hops: 0, Stride: 128},
+		{BufferBytes: 1 << 20, Hops: 1, Stride: 128, BaseAddr: 13},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if err := DefaultConfig(0).Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a := chase(t, 25, true)
+	b := chase(t, 25, true)
+	if a.Elapsed != b.Elapsed {
+		t.Fatalf("nondeterministic: %v vs %v", a.Elapsed, b.Elapsed)
+	}
+}
