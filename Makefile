@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race vet chaos characterize clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Run the link-fault chaos harness (nonzero exit on invariant violations).
+chaos:
+	$(GO) run ./cmd/chaos -failover
+
+# Regenerate every figure/table CSV under results/.
+characterize:
+	$(GO) run ./cmd/characterize -out results
+
+clean:
+	$(GO) clean ./...

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	characterize [-out dir] [-paper] [-experiment all|validation|resilience|table1|fig5|mcbn|mcln|pool|dists|qos|migration|interconnect|prefetch]
+//	characterize [-out dir] [-paper] [-experiment all|validation|resilience|table1|fig5|mcbn|mcln|pool|dists|qos|migration|interconnect|prefetch|recovery|chaos]
 package main
 
 import (
@@ -81,6 +81,16 @@ func main() {
 	}
 	if want("prefetch") {
 		run("prefetch ablation", func() { rep.Prefetch = opts.RunPrefetchAblation(250) })
+	}
+	if want("recovery") {
+		run("link-fault recovery sweep", func() { rep.Recovery = opts.RunResilienceRecovery() })
+	}
+	if want("chaos") {
+		run("chaos harness", func() {
+			ccfg := core.DefaultChaosConfig()
+			ccfg.Seed = opts.Seed
+			rep.Chaos = opts.RunChaos(ccfg)
+		})
 	}
 
 	if err := rep.Render(os.Stdout); err != nil {

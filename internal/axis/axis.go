@@ -30,6 +30,10 @@ type Beat struct {
 	Flow  int      // source identifier for fairness accounting
 	Born  sim.Time // when the beat entered the pipeline (for latency probes)
 	Meta  any      // carried transaction (e.g. *ocapi.Packet)
+	// Corrupt marks a beat damaged in flight (bit errors on the wire or in
+	// the FPGA datapath). The payload still occupies its full wire size;
+	// receivers detect the damage via CRC and must not trust the contents.
+	Corrupt bool
 }
 
 // FIFO is a bounded queue of beats. VALID corresponds to Len() > 0 and
@@ -151,3 +155,28 @@ func (PassGate) Next(now sim.Time) sim.Time { return now }
 
 // Commit does nothing.
 func (PassGate) Commit(sim.Time) {}
+
+// FaultAction is a faulty link's verdict on one admitted transfer.
+type FaultAction int
+
+// Fault verdicts, in increasing severity. When several fault models stack,
+// the most severe verdict wins.
+const (
+	// FaultNone passes the beat through untouched.
+	FaultNone FaultAction = iota
+	// FaultCorrupt forwards the beat with Corrupt set (CRC failure at the
+	// receiver).
+	FaultCorrupt
+	// FaultDrop silently discards the beat; it still consumed its transfer
+	// slot and link time up to the fault point.
+	FaultDrop
+)
+
+// Faulter is an optional Gate extension for link-fault injection. After the
+// timing handshake admits a transfer (Next returned now and the beat is
+// about to move), the pump asks the gate what the faulty link does to it.
+// Fault is called exactly once per transfer, immediately after Commit, so
+// implementations may consume randomness.
+type Faulter interface {
+	Fault(t sim.Time, b Beat) FaultAction
+}

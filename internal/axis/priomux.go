@@ -20,6 +20,8 @@ type PriorityMux struct {
 
 	transfers uint64
 	perClass  []uint64
+	dropped   uint64
+	corrupted uint64
 }
 
 // NewPriorityMux wires a strict-priority multiplexer; gate may be nil.
@@ -43,6 +45,12 @@ func (m *PriorityMux) Transfers() uint64 { return m.transfers }
 
 // ClassTransfers returns the beats moved for a priority class.
 func (m *PriorityMux) ClassTransfers(class int) uint64 { return m.perClass[class] }
+
+// Dropped returns the beats discarded by the gate's fault model.
+func (m *PriorityMux) Dropped() uint64 { return m.dropped }
+
+// Corrupted returns the beats damaged by the gate's fault model.
+func (m *PriorityMux) Corrupted() uint64 { return m.corrupted }
 
 func (m *PriorityMux) anyValid() bool {
 	for _, in := range m.ins {
@@ -85,6 +93,17 @@ func (m *PriorityMux) fire() {
 		m.busyUntil = now.Add(m.cycle)
 		m.transfers++
 		m.perClass[class]++
+		if f, ok := m.gate.(Faulter); ok {
+			switch f.Fault(now, b) {
+			case FaultDrop:
+				m.dropped++
+				m.kick()
+				return
+			case FaultCorrupt:
+				m.corrupted++
+				b.Corrupt = true
+			}
+		}
 		m.out.Push(b)
 		break
 	}

@@ -17,6 +17,8 @@ type Pump struct {
 	armed     bool
 
 	transfers uint64
+	dropped   uint64
+	corrupted uint64
 	// onForward, if set, observes each beat as it moves (monitor taps).
 	onForward func(Beat)
 }
@@ -40,6 +42,12 @@ func NewPump(k *sim.Kernel, in, out *FIFO, cycle sim.Duration, gate Gate) *Pump 
 
 // Transfers returns the number of beats moved so far.
 func (p *Pump) Transfers() uint64 { return p.transfers }
+
+// Dropped returns the number of beats discarded by the gate's fault model.
+func (p *Pump) Dropped() uint64 { return p.dropped }
+
+// Corrupted returns the number of beats damaged by the gate's fault model.
+func (p *Pump) Corrupted() uint64 { return p.corrupted }
 
 // OnForward registers an observer invoked for every transferred beat.
 func (p *Pump) OnForward(fn func(Beat)) { p.onForward = fn }
@@ -76,6 +84,17 @@ func (p *Pump) fire() {
 	p.gate.Commit(now)
 	p.busyUntil = now.Add(p.cycle)
 	p.transfers++
+	if f, ok := p.gate.(Faulter); ok {
+		switch f.Fault(now, b) {
+		case FaultDrop:
+			p.dropped++
+			p.kick()
+			return
+		case FaultCorrupt:
+			p.corrupted++
+			b.Corrupt = true
+		}
+	}
 	if p.onForward != nil {
 		p.onForward(b)
 	}

@@ -33,8 +33,14 @@ const (
 	LenderBase uint64 = 0x20_0000_0000
 )
 
-// ProbeTag marks control-plane probe packets.
-const ProbeTag uint32 = 0xFFFF_FFFF
+// ProbeTagBase is the start of the tag range reserved for control-plane
+// probe packets. Each probe gets a unique tag from this range, so a stale
+// response (from an abandoned attach, or one delayed past its deadline)
+// can never be mistaken for the reply to a newer probe.
+const ProbeTagBase uint32 = 0xFFFF_0000
+
+// IsProbeTag reports whether a tag belongs to the probe range.
+func IsProbeTag(tag uint32) bool { return tag >= ProbeTagBase }
 
 // Config parameterizes the testbed.
 type Config struct {
@@ -60,6 +66,12 @@ type Config struct {
 	// InjectClasses is the number of QoS priority classes at the delay
 	// injector (1 = the paper's single-queue hardware).
 	InjectClasses int
+	// ARQ, when non-nil, interposes a retransmission layer between the
+	// borrower port and the NIC: block operations become sequence-numbered
+	// transactions that survive drops, nacks, and flaps (or fail crisply
+	// with a poisoned completion). Nil reproduces the prototype's
+	// recovery-free datapath.
+	ARQ *tfnic.ARQConfig
 	// Profile sets interconnect wire overheads (zero value = OpenCAPI
 	// over Ethernet).
 	Profile ocapi.Profile
@@ -107,6 +119,11 @@ func (c Config) Validate() error {
 	if c.InjectClasses < 1 {
 		return fmt.Errorf("cluster: InjectClasses = %d", c.InjectClasses)
 	}
+	if c.ARQ != nil {
+		if err := c.ARQ.Validate(); err != nil {
+			return err
+		}
+	}
 	if c.WindowSize == 0 || c.WindowSize%ocapi.CacheLineSize != 0 {
 		return fmt.Errorf("cluster: window size %d", c.WindowSize)
 	}
@@ -130,12 +147,21 @@ type Testbed struct {
 	BorrowerMem *dram.DRAM
 	Link        *netlink.Link
 
+	// ARQ is the borrower-side retransmission layer (nil unless
+	// Config.ARQ was set).
+	ARQ *tfnic.ARQ
+
 	backend   *memport.RemoteBackend
 	backends  []*memport.RemoteBackend
 	tagCursor uint32
 	gate      axis.Gate
+	// sender is what backends send through: the ARQ layer when configured,
+	// else the borrower NIC directly.
+	sender memport.Sender
 
-	probeWaiters []func(ocapi.Packet)
+	probeWaiters map[uint32]func(ocapi.Packet)
+	probeCursor  uint32
+	staleProbes  uint64
 }
 
 // NewTestbed wires the system and programs the remote-memory window.
@@ -173,24 +199,19 @@ func NewTestbed(cfg Config) *Testbed {
 		tb.LenderNIC.TxQ, tb.BorrowerNIC.RxQ,
 		cfg.LinkBandwidthBps, cfg.LinkPropagation)
 
-	tb.backend = tb.newBackend()
-	tb.BorrowerNIC.OnDeliver = func(p ocapi.Packet) {
-		if p.Tag == ProbeTag {
-			if len(tb.probeWaiters) > 0 {
-				fn := tb.probeWaiters[0]
-				tb.probeWaiters = tb.probeWaiters[1:]
-				fn(p)
-			}
-			return
-		}
-		for _, b := range tb.backends {
-			if b.Owns(p.Tag) {
-				b.Deliver(p)
-				return
-			}
-		}
-		panic(fmt.Sprintf("cluster: response with unowned tag %d", p.Tag))
+	tb.probeWaiters = make(map[uint32]func(ocapi.Packet))
+	tb.sender = tb.BorrowerNIC
+	if cfg.ARQ != nil {
+		tb.ARQ = tfnic.NewARQ(k, tb.BorrowerNIC, *cfg.ARQ)
+		tb.ARQ.OnComplete = tb.route
+		tb.sender = tb.ARQ
+		// Raw NIC deliveries feed the ARQ layer, which forwards resolved
+		// transactions (and probe responses) to the router.
+		tb.BorrowerNIC.OnDeliver = tb.ARQ.OnResponse
+	} else {
+		tb.BorrowerNIC.OnDeliver = tb.route
 	}
+	tb.backend = tb.newBackend()
 
 	if err := tb.BorrowerNIC.Translator().AddWindow(tfnic.Window{
 		BorrowerBase: RemoteBase,
@@ -215,11 +236,44 @@ func (tb *Testbed) Gate() axis.Gate { return tb.gate }
 // RemoteBackend exposes the shared borrower port (diagnostics).
 func (tb *Testbed) RemoteBackend() *memport.RemoteBackend { return tb.backend }
 
+// route delivers a resolved response to its consumer: probe waiters by
+// probe tag, block completions to the owning backend. With ARQ configured
+// it consumes ARQ completions; otherwise raw NIC deliveries.
+func (tb *Testbed) route(p ocapi.Packet) {
+	if IsProbeTag(p.Tag) {
+		fn, ok := tb.probeWaiters[p.Tag]
+		if !ok {
+			tb.staleProbes++ // expired or abandoned probe; drop
+			return
+		}
+		delete(tb.probeWaiters, p.Tag)
+		fn(p)
+		return
+	}
+	for _, b := range tb.backends {
+		if b.Owns(p.Tag) {
+			b.Deliver(p)
+			return
+		}
+	}
+	panic(fmt.Sprintf("cluster: response with unowned tag %d", p.Tag))
+}
+
+// ProbeWaiters returns control-plane probes awaiting a response.
+func (tb *Testbed) ProbeWaiters() int { return len(tb.probeWaiters) }
+
+// StaleProbeResponses returns probe responses that arrived after their
+// waiter expired or was abandoned.
+func (tb *Testbed) StaleProbeResponses() uint64 { return tb.staleProbes }
+
 // newBackend allocates a borrower-port backend with a fresh tag range.
 func (tb *Testbed) newBackend() *memport.RemoteBackend {
 	base := tb.tagCursor
 	tb.tagCursor += uint32(tb.cfg.TagSpace)
-	b := memport.NewRemoteBackendTags(tb.K, tb.BorrowerNIC, base, tb.cfg.TagSpace, tb.cfg.PortLatency, BorrowerID, LenderID)
+	if base+uint32(tb.cfg.TagSpace) > ProbeTagBase {
+		panic("cluster: backend tag range collides with probe tags")
+	}
+	b := memport.NewRemoteBackendTags(tb.K, tb.sender, base, tb.cfg.TagSpace, tb.cfg.PortLatency, BorrowerID, LenderID)
 	tb.backends = append(tb.backends, b)
 	return b
 }
@@ -256,25 +310,63 @@ func (tb *Testbed) NewLenderLocalHierarchy() *memport.Hierarchy {
 	return memport.NewHierarchy(tb.K, cache.New(tb.cfg.LLC), backend, tb.cfg.MSHRs)
 }
 
+// nextProbeTag allocates a unique probe tag, skipping any still awaiting a
+// response.
+func (tb *Testbed) nextProbeTag() uint32 {
+	for {
+		tag := ProbeTagBase + tb.probeCursor
+		tb.probeCursor = (tb.probeCursor + 1) & 0xFFFF
+		if _, live := tb.probeWaiters[tag]; !live {
+			return tag
+		}
+	}
+}
+
 // SendProbe transmits a control-plane probe through the (gated) egress
 // path and calls done with the response when it returns. It reports false
 // if the NIC command queue is saturated and the probe could not even be
-// enqueued.
+// enqueued. A probe rejected by the lender (corrupted on the wire) never
+// calls done — the caller's own deadline is its recovery.
 func (tb *Testbed) SendProbe(done func(rtt sim.Duration)) bool {
+	return tb.Probe(0, func(ok bool, rtt sim.Duration) {
+		if ok {
+			done(rtt)
+		}
+	})
+}
+
+// Probe is SendProbe with an explicit response deadline: done(false, 0)
+// fires if no healthy response arrives within it (0 = wait forever). This
+// is the heartbeat primitive the link supervisor drives re-attach from.
+func (tb *Testbed) Probe(deadline sim.Duration, done func(ok bool, rtt sim.Duration)) bool {
 	p := ocapi.Packet{
 		Op:     ocapi.OpProbe,
-		Tag:    ProbeTag,
+		Tag:    tb.nextProbeTag(),
 		Src:    BorrowerID,
 		Dst:    LenderID,
 		Issued: tb.K.Now(),
 	}
 	start := tb.K.Now()
-	if !tb.BorrowerNIC.TrySend(p) {
+	if !tb.sender.TrySend(p) {
 		return false
 	}
-	tb.probeWaiters = append(tb.probeWaiters, func(resp ocapi.Packet) {
-		done(tb.K.Now().Sub(start))
-	})
+	tag := p.Tag
+	tb.probeWaiters[tag] = func(resp ocapi.Packet) {
+		if resp.Poison || resp.Op != ocapi.OpProbeResp {
+			done(false, 0) // nacked probe: the lender could not trust it
+			return
+		}
+		done(true, tb.K.Now().Sub(start))
+	}
+	if deadline > 0 {
+		tb.K.After(deadline, func() {
+			if _, live := tb.probeWaiters[tag]; !live {
+				return // already answered
+			}
+			delete(tb.probeWaiters, tag)
+			done(false, 0)
+		})
+	}
 	return true
 }
 

@@ -4,8 +4,10 @@ import (
 	"testing"
 	"testing/quick"
 
+	"thymesim/internal/inject"
 	"thymesim/internal/ocapi"
 	"thymesim/internal/sim"
+	"thymesim/internal/tfnic"
 )
 
 func TestConfigValidate(t *testing.T) {
@@ -268,5 +270,149 @@ func TestDatapathConservationProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// End-to-end recovery: with a lossy egress and ARQ, every access completes
+// genuinely — drops become retransmissions, never hangs or poisons.
+func TestARQRecoversThroughLossyLink(t *testing.T) {
+	cfg := DefaultConfig(0)
+	rng := sim.NewRand(41)
+	cfg.Gate = inject.NewDropGate(inject.NewPeriodGate(1, cfg.FPGACycle), 0.2, rng)
+	arq := tfnic.DefaultARQConfig()
+	arq.Timeout = 20 * sim.Microsecond
+	arq.MaxRetries = 10
+	cfg.ARQ = &arq
+	tb := NewTestbed(cfg)
+	h := tb.NewRemoteHierarchy()
+	const n = 300
+	completed := 0
+	tb.K.At(0, func() {
+		for i := 0; i < n; i++ {
+			h.Access(tb.RemoteAddr(uint64(i)*ocapi.CacheLineSize), 8, false, func() { completed++ })
+		}
+	})
+	tb.K.Run()
+	if completed != n {
+		t.Fatalf("completed %d/%d under 20%% loss with ARQ", completed, n)
+	}
+	s := tb.ARQ.Stats()
+	if s.Retransmits == 0 {
+		t.Fatal("no retransmissions under 20% loss")
+	}
+	if s.Dead != 0 {
+		t.Fatalf("dead transactions = %d with a generous retry budget", s.Dead)
+	}
+	if tb.ARQ.Outstanding() != 0 || tb.ARQ.QueuedRetries() != 0 {
+		t.Fatalf("leaked txns: outstanding=%d queued=%d", tb.ARQ.Outstanding(), tb.ARQ.QueuedRetries())
+	}
+	if p := tb.RemoteBackend().Poisoned(); p != 0 {
+		t.Fatalf("poisoned completions = %d", p)
+	}
+}
+
+// With corruption and ARQ, nacked requests are retransmitted until a clean
+// copy gets through.
+func TestARQRecoversThroughCorruptingLink(t *testing.T) {
+	cfg := DefaultConfig(0)
+	cfg.Gate = inject.NewBitErrorGate(inject.NewPeriodGate(1, cfg.FPGACycle), 1e-3, sim.NewRand(7))
+	arq := tfnic.DefaultARQConfig()
+	cfg.ARQ = &arq
+	tb := NewTestbed(cfg)
+	h := tb.NewRemoteHierarchy()
+	const n = 200
+	completed := 0
+	tb.K.At(0, func() {
+		for i := 0; i < n; i++ {
+			h.Access(tb.RemoteAddr(uint64(i)*ocapi.CacheLineSize), 8, false, func() { completed++ })
+		}
+	})
+	tb.K.Run()
+	if completed != n {
+		t.Fatalf("completed %d/%d", completed, n)
+	}
+	if tb.ARQ.Stats().NackRetries == 0 {
+		t.Fatal("no nack-driven retries at BER 1e-3")
+	}
+	if tb.LenderNIC.Stats().NacksSent == 0 {
+		t.Fatal("lender sent no nacks")
+	}
+	if tb.RemoteBackend().Poisoned() != 0 {
+		t.Fatalf("poisoned = %d", tb.RemoteBackend().Poisoned())
+	}
+}
+
+// Without ARQ, a lossy link loses transactions: the run must still
+// terminate (kernel drains) but with missing completions — the failure
+// mode the recovery layer exists to fix.
+func TestLossWithoutARQLosesAccesses(t *testing.T) {
+	cfg := DefaultConfig(0)
+	cfg.Gate = inject.NewDropGate(inject.NewPeriodGate(1, cfg.FPGACycle), 0.3, sim.NewRand(13))
+	tb := NewTestbed(cfg)
+	h := tb.NewRemoteHierarchy()
+	const n = 100
+	completed := 0
+	tb.K.At(0, func() {
+		for i := 0; i < n; i++ {
+			h.Access(tb.RemoteAddr(uint64(i)*ocapi.CacheLineSize), 8, false, func() { completed++ })
+		}
+	})
+	tb.K.Run()
+	if completed >= n {
+		t.Fatalf("all %d accesses completed through a 30%% lossy link without ARQ", n)
+	}
+}
+
+// A probe that times out must free its waiter; a late response is counted
+// stale, not delivered to a newer probe.
+func TestProbeDeadlineExpiry(t *testing.T) {
+	// Block the egress entirely for a while so the probe response can't
+	// arrive before the deadline.
+	cfg := DefaultConfig(0)
+	cfg.Gate = inject.NewOutageGate([]inject.Window{{Start: 0, Duration: 100 * sim.Microsecond}}, cfg.FPGACycle)
+	tb := NewTestbed(cfg)
+	var outcomes []bool
+	tb.K.At(0, func() {
+		if !tb.Probe(10*sim.Microsecond, func(ok bool, _ sim.Duration) {
+			outcomes = append(outcomes, ok)
+		}) {
+			t.Error("probe refused")
+		}
+	})
+	tb.K.Run()
+	if len(outcomes) != 1 || outcomes[0] {
+		t.Fatalf("outcomes = %v, want one failure", outcomes)
+	}
+	if tb.ProbeWaiters() != 0 {
+		t.Fatalf("leaked probe waiters: %d", tb.ProbeWaiters())
+	}
+	// The response eventually arrived after the outage with nobody waiting.
+	if tb.StaleProbeResponses() != 1 {
+		t.Fatalf("stale probe responses = %d", tb.StaleProbeResponses())
+	}
+}
+
+// Unique probe tags: overlapping probes each get their own answer.
+func TestConcurrentProbesDoNotStealResponses(t *testing.T) {
+	tb := NewTestbed(DefaultConfig(1))
+	answered := 0
+	tb.K.At(0, func() {
+		for i := 0; i < 8; i++ {
+			if !tb.SendProbe(func(rtt sim.Duration) {
+				if rtt <= 0 {
+					t.Error("non-positive probe RTT")
+				}
+				answered++
+			}) {
+				t.Fatal("probe refused")
+			}
+		}
+	})
+	tb.K.Run()
+	if answered != 8 {
+		t.Fatalf("answered = %d/8", answered)
+	}
+	if tb.ProbeWaiters() != 0 {
+		t.Fatalf("leaked waiters: %d", tb.ProbeWaiters())
 	}
 }

@@ -1,0 +1,216 @@
+package control
+
+import (
+	"testing"
+
+	"thymesim/internal/sim"
+)
+
+// fakeLinkProber answers probes after rtt while healthy; while down,
+// probes get no response (the deadline expires them).
+type fakeLinkProber struct {
+	k    *sim.Kernel
+	rtt  sim.Duration
+	down bool
+}
+
+func (f *fakeLinkProber) SendProbe(done func(sim.Duration)) bool {
+	return f.Probe(0, func(ok bool, rtt sim.Duration) {
+		if ok {
+			done(rtt)
+		}
+	})
+}
+
+func (f *fakeLinkProber) Probe(deadline sim.Duration, done func(bool, sim.Duration)) bool {
+	if f.down {
+		if deadline > 0 {
+			f.k.After(deadline, func() { done(false, 0) })
+		}
+		return true // accepted, but the response never comes
+	}
+	rtt := f.rtt
+	f.k.After(rtt, func() { done(true, rtt) })
+	return true
+}
+
+func (f *fakeLinkProber) Kernel() *sim.Kernel { return f.k }
+
+func supConfig() SupervisorConfig {
+	return SupervisorConfig{
+		Heartbeat:     10 * sim.Microsecond,
+		ProbeDeadline: 5 * sim.Microsecond,
+		MissThreshold: 2,
+		Attach:        AttachConfig{ConfigOps: 8, Timeout: sim.Duration(sim.Millisecond), Retry: sim.Duration(sim.Microsecond)},
+		ReattachPause: 20 * sim.Microsecond,
+		ReattachMult:  2,
+		ReattachCap:   200 * sim.Microsecond,
+		MaxReattach:   4,
+		Seed:          1,
+	}
+}
+
+func TestSupervisorStaysUpOnHealthyLink(t *testing.T) {
+	k := sim.NewKernel()
+	p := &fakeLinkProber{k: k, rtt: sim.Duration(sim.Microsecond)}
+	s := NewSupervisor(p, supConfig())
+	s.Start()
+	k.After(500*sim.Microsecond, s.Stop)
+	k.Run()
+	if s.State() != LinkUp {
+		t.Fatalf("state = %v", s.State())
+	}
+	st := s.Stats()
+	if st.Heartbeats < 10 || st.Misses != 0 || st.Downs != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSupervisorDetectsDownAndReattaches(t *testing.T) {
+	k := sim.NewKernel()
+	p := &fakeLinkProber{k: k, rtt: sim.Duration(sim.Microsecond)}
+	s := NewSupervisor(p, supConfig())
+	var transitions []LinkState
+	s.OnStateChange = func(_, to LinkState) { transitions = append(transitions, to) }
+	s.Start()
+	k.After(100*sim.Microsecond, func() { p.down = true })
+	k.After(300*sim.Microsecond, func() { p.down = false })
+	k.After(2*sim.Millisecond, s.Stop)
+	k.Run()
+
+	if s.State() != LinkUp {
+		t.Fatalf("final state = %v (transitions %v)", s.State(), transitions)
+	}
+	st := s.Stats()
+	if st.Downs != 1 || st.Recoveries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MeanRecovery() <= 0 || st.RecoveryMaxPs < st.RecoverySumPs/st.Recoveries {
+		t.Fatalf("recovery latency accounting: %+v", st)
+	}
+	// Saw Down, then Reattaching, eventually Up.
+	sawDown, sawRe, sawUp := false, false, false
+	for _, tr := range transitions {
+		switch tr {
+		case LinkDown:
+			sawDown = true
+		case LinkReattaching:
+			sawRe = sawDown
+		case LinkUp:
+			sawUp = sawRe
+		}
+	}
+	if !sawUp {
+		t.Fatalf("transitions = %v", transitions)
+	}
+}
+
+func TestSupervisorDeclaresDeadAfterBudget(t *testing.T) {
+	k := sim.NewKernel()
+	p := &fakeLinkProber{k: k, rtt: sim.Duration(sim.Microsecond)}
+	cfg := supConfig()
+	cfg.Attach.Timeout = 50 * sim.Microsecond // fail fast while down
+	s := NewSupervisor(p, cfg)
+	s.Start()
+	k.After(50*sim.Microsecond, func() { p.down = true }) // and stays down
+	k.Run()
+
+	if s.State() != LinkDead {
+		t.Fatalf("state = %v, want dead", s.State())
+	}
+	st := s.Stats()
+	if st.FailedAttaches != uint64(cfg.MaxReattach) {
+		t.Fatalf("failed attaches = %d, want %d", st.FailedAttaches, cfg.MaxReattach)
+	}
+	if st.Recoveries != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Dead is terminal: the kernel drained, no timers left.
+}
+
+func TestSupervisorStopQuiesces(t *testing.T) {
+	k := sim.NewKernel()
+	p := &fakeLinkProber{k: k, rtt: sim.Duration(sim.Microsecond)}
+	s := NewSupervisor(p, supConfig())
+	s.Start()
+	k.After(30*sim.Microsecond, s.Stop)
+	k.Run()
+	if now := k.Now(); now > sim.Time(50*sim.Microsecond) {
+		t.Fatalf("kernel ran to %v after Stop", now)
+	}
+}
+
+func TestSupervisorConfigValidation(t *testing.T) {
+	base := supConfig()
+	muts := []func(*SupervisorConfig){
+		func(c *SupervisorConfig) { c.Heartbeat = 0 },
+		func(c *SupervisorConfig) { c.ProbeDeadline = 0 },
+		func(c *SupervisorConfig) { c.MissThreshold = 0 },
+		func(c *SupervisorConfig) { c.ReattachPause = 0 },
+		func(c *SupervisorConfig) { c.ReattachMult = 0.5 },
+		func(c *SupervisorConfig) { c.JitterFrac = 1 },
+		func(c *SupervisorConfig) { c.MaxReattach = -1 },
+		func(c *SupervisorConfig) { c.Attach.ConfigOps = 0 },
+	}
+	for i, mut := range muts {
+		c := base
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if err := DefaultSupervisorConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttachBackoffGrowsAndResets(t *testing.T) {
+	pacer := newRetryPacer(AttachConfig{
+		ConfigOps: 1, Timeout: 1, Retry: 10,
+		RetryMult: 2, RetryCap: 50,
+	})
+	var got []sim.Duration
+	for i := 0; i < 5; i++ {
+		got = append(got, pacer.pause())
+	}
+	want := []sim.Duration{10, 20, 40, 50, 50}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pause %d = %v, want %v (all %v)", i, got[i], want[i], got)
+		}
+	}
+	pacer.reset()
+	if p := pacer.pause(); p != 10 {
+		t.Fatalf("pause after reset = %v", p)
+	}
+}
+
+func TestAttachBackoffJitterDeterministic(t *testing.T) {
+	mk := func() *retryPacer {
+		return newRetryPacer(AttachConfig{
+			ConfigOps: 1, Timeout: 1, Retry: 1000,
+			RetryMult: 2, RetryJitter: 0.2, RetrySeed: 7,
+		})
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 10; i++ {
+		pa, pb := a.pause(), b.pause()
+		if pa != pb {
+			t.Fatalf("pause %d nondeterministic: %v vs %v", i, pa, pb)
+		}
+		if pa < 800 {
+			t.Fatalf("pause %d = %v below jitter floor", i, pa)
+		}
+	}
+}
+
+func TestAttachFixedPauseDefaultUnchanged(t *testing.T) {
+	// The default config must reproduce the prototype's fixed pause so the
+	// Fig. 4 attach numbers are untouched.
+	pacer := newRetryPacer(DefaultAttachConfig())
+	for i := 0; i < 5; i++ {
+		if p := pacer.pause(); p != DefaultAttachConfig().Retry {
+			t.Fatalf("default pause %d = %v", i, p)
+		}
+	}
+}

@@ -1,0 +1,618 @@
+// Chaos harness: randomized link-fault sequences against the paper's three
+// workloads with the full recovery stack active (ARQ retransmission, link
+// supervision, re-attach, degraded mode), plus the resilience-recovery
+// sweep behind results/fig_resilience_recovery.csv. Every random decision
+// derives from the configured seed, so a chaos run is a reproducible
+// experiment, not a flake generator: the same seed gives the same fault
+// schedule, the same retransmissions, and the same counters.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"thymesim/internal/axis"
+	"thymesim/internal/cache"
+	"thymesim/internal/cluster"
+	"thymesim/internal/control"
+	"thymesim/internal/inject"
+	"thymesim/internal/memport"
+	"thymesim/internal/metrics"
+	"thymesim/internal/migrate"
+	"thymesim/internal/sim"
+	"thymesim/internal/telemetry"
+	"thymesim/internal/tfnic"
+	"thymesim/internal/workloads/graph500"
+	"thymesim/internal/workloads/kvstore"
+	"thymesim/internal/workloads/latmem"
+	"thymesim/internal/workloads/stream"
+)
+
+// ChaosWorkloads are the workloads the chaos runner can drive.
+var ChaosWorkloads = []string{"stream", "kvstore", "graph500"}
+
+// ChaosFaults is one fault mix applied at the borrower egress, composed
+// over the Eq. (1) delay grid: silent loss, bit corruption, and link
+// flapping, each independently optional.
+type ChaosFaults struct {
+	// BER is the per-bit corruption probability (0 disables).
+	BER float64
+	// DropProb silently discards each egress beat with this probability.
+	DropProb float64
+	// FlapMeanUp/FlapMeanDown, when both positive, run a link-flap renewal
+	// process with exponentially distributed phase durations.
+	FlapMeanUp   sim.Duration
+	FlapMeanDown sim.Duration
+}
+
+func (f ChaosFaults) flapping() bool { return f.FlapMeanUp > 0 && f.FlapMeanDown > 0 }
+
+// Enabled reports whether any fault model is active.
+func (f ChaosFaults) Enabled() bool { return f.BER > 0 || f.DropProb > 0 || f.flapping() }
+
+// Validate checks the fault mix.
+func (f ChaosFaults) Validate() error {
+	if f.BER < 0 || f.BER >= 1 {
+		return fmt.Errorf("core: chaos BER %g outside [0,1)", f.BER)
+	}
+	if f.DropProb < 0 || f.DropProb >= 1 {
+		return fmt.Errorf("core: chaos drop probability %g outside [0,1)", f.DropProb)
+	}
+	if (f.FlapMeanUp > 0) != (f.FlapMeanDown > 0) {
+		return fmt.Errorf("core: flap needs both phase means (up %v, down %v)", f.FlapMeanUp, f.FlapMeanDown)
+	}
+	return nil
+}
+
+// DefaultChaosFaults is a hostile but survivable mix: ~2% loss, a BER that
+// corrupts a few percent of packets, and ~100us flaps every couple of
+// milliseconds.
+func DefaultChaosFaults() ChaosFaults {
+	return ChaosFaults{
+		BER:          1e-5,
+		DropProb:     0.02,
+		FlapMeanUp:   2 * sim.Millisecond,
+		FlapMeanDown: 100 * sim.Microsecond,
+	}
+}
+
+// ChaosConfig parameterizes one chaos campaign.
+type ChaosConfig struct {
+	// Seed drives every fault draw, backoff jitter, and flap schedule.
+	Seed uint64
+	// Period is the inner delay-injection PERIOD (1 = vanilla timing).
+	Period int64
+	// Faults is the fault mix layered over the delay gate.
+	Faults ChaosFaults
+	// ARQ parameterizes the retransmission layer (always on in chaos runs —
+	// without it a dropped request is an unrecoverable hang).
+	ARQ tfnic.ARQConfig
+	// Supervisor parameterizes heartbeat link supervision and re-attach.
+	Supervisor control.SupervisorConfig
+	// SampleEvery is the telemetry sampling interval for the live
+	// fault/recovery counters.
+	SampleEvery sim.Duration
+	// Workloads selects which workloads to run (subset of ChaosWorkloads).
+	Workloads []string
+}
+
+// DefaultChaosConfig runs all three workloads under the default fault mix.
+func DefaultChaosConfig() ChaosConfig {
+	arq := tfnic.DefaultARQConfig()
+	// Snappier than the standalone default so chaos runs stay short: the
+	// testbed RTT is ~2us, so 30us already clears a heavily queued link.
+	arq.Timeout = 30 * sim.Microsecond
+	arq.MaxRetries = 8
+	return ChaosConfig{
+		Seed:        1,
+		Period:      1,
+		Faults:      DefaultChaosFaults(),
+		ARQ:         arq,
+		Supervisor:  control.DefaultSupervisorConfig(),
+		SampleEvery: 20 * sim.Microsecond,
+		Workloads:   ChaosWorkloads,
+	}
+}
+
+// Validate checks the configuration.
+func (c ChaosConfig) Validate() error {
+	if c.Period < 1 {
+		return fmt.Errorf("core: chaos PERIOD %d", c.Period)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	if err := c.ARQ.Validate(); err != nil {
+		return err
+	}
+	if err := c.Supervisor.Validate(); err != nil {
+		return err
+	}
+	if c.SampleEvery <= 0 {
+		return fmt.Errorf("core: chaos sample interval %v", c.SampleEvery)
+	}
+	if len(c.Workloads) == 0 {
+		return fmt.Errorf("core: no chaos workloads")
+	}
+	for _, w := range c.Workloads {
+		known := false
+		for _, k := range ChaosWorkloads {
+			known = known || w == k
+		}
+		if !known {
+			return fmt.Errorf("core: unknown chaos workload %q", w)
+		}
+	}
+	return nil
+}
+
+// chaosGates holds the composed fault stack for counter readout.
+type chaosGates struct {
+	drop *inject.DropGate
+	bits *inject.BitErrorGate
+	flap *inject.FlapGate
+}
+
+func (g *chaosGates) dropped() uint64 {
+	if g.drop == nil {
+		return 0
+	}
+	return g.drop.Dropped()
+}
+
+func (g *chaosGates) corrupted() uint64 {
+	if g.bits == nil {
+		return 0
+	}
+	return g.bits.Corrupted()
+}
+
+func (g *chaosGates) flapBlocked() uint64 {
+	if g.flap == nil {
+		return 0
+	}
+	return g.flap.Blocked()
+}
+
+// chaosTestbed builds a testbed whose egress gate stacks the fault mix
+// over the PERIOD grid (flap outermost so outages also stall retransmitted
+// beats, then corruption over loss so a dropped beat is never also
+// corrupted), with the ARQ layer interposed.
+func (o Options) chaosTestbed(cfg ChaosConfig) (*cluster.Testbed, *chaosGates) {
+	rng := sim.NewRand(cfg.Seed ^ 0xC4A05)
+	var gate axis.Gate = inject.NewPeriodGate(cfg.Period, inject.DefaultFPGACycle)
+	gs := &chaosGates{}
+	if cfg.Faults.DropProb > 0 {
+		gs.drop = inject.NewDropGate(gate, cfg.Faults.DropProb, rng.Split())
+		gate = gs.drop
+	}
+	if cfg.Faults.BER > 0 {
+		gs.bits = inject.NewBitErrorGate(gate, cfg.Faults.BER, rng.Split())
+		gate = gs.bits
+	}
+	if cfg.Faults.flapping() {
+		gs.flap = inject.NewFlapGate(gate,
+			inject.Exponential{MeanD: cfg.Faults.FlapMeanUp},
+			inject.Exponential{MeanD: cfg.Faults.FlapMeanDown},
+			rng.Split())
+		gate = gs.flap
+	}
+	ccfg := o.TestbedConfig(0)
+	ccfg.Period = 0
+	ccfg.Gate = gate
+	arq := cfg.ARQ
+	ccfg.ARQ = &arq
+	return cluster.NewTestbed(ccfg), gs
+}
+
+// ChaosResult is one workload's outcome under one fault schedule.
+type ChaosResult struct {
+	Workload  string
+	Completed bool
+	ElapsedUs float64
+	// Fault activity at the egress.
+	Dropped, Corrupted, FlapBlocked uint64
+	// Recovery activity.
+	Retransmits, Timeouts, NackRetries, Dead, Poisoned uint64
+	Downs, Recoveries                                  uint64
+	MeanRecoveryUs                                     float64
+	FinalLink                                          string
+	// Samples is how many telemetry rounds observed the counters.
+	Samples uint64
+	// Violations lists failed end-to-end invariants (empty = run passed).
+	Violations []string
+}
+
+// chaosCounterNames fixes the counter order shared by telemetry probes,
+// aggregate tables, and CSV output.
+var chaosCounterNames = []string{
+	"gate_dropped", "gate_corrupted", "flap_blocked",
+	"arq_retransmits", "arq_timeouts", "arq_nack_retries", "arq_dead",
+	"backend_poisoned", "sup_downs", "sup_recoveries",
+}
+
+// runChaosWorkload drives one workload to completion under the fault mix,
+// then audits the end-to-end invariants.
+func (o Options) runChaosWorkload(cfg ChaosConfig, name string) ChaosResult {
+	tb, gs := o.chaosTestbed(cfg)
+	sup := control.NewSupervisor(tb, cfg.Supervisor)
+
+	counters := metrics.NewCounterSet()
+	counters.Declare(chaosCounterNames...)
+	refresh := func() {
+		st := tb.ARQ.Stats()
+		ss := sup.Stats()
+		counters.Set("gate_dropped", gs.dropped())
+		counters.Set("gate_corrupted", gs.corrupted())
+		counters.Set("flap_blocked", gs.flapBlocked())
+		counters.Set("arq_retransmits", st.Retransmits)
+		counters.Set("arq_timeouts", st.Timeouts)
+		counters.Set("arq_nack_retries", st.NackRetries)
+		counters.Set("arq_dead", st.Dead)
+		counters.Set("backend_poisoned", tb.RemoteBackend().Poisoned())
+		counters.Set("sup_downs", ss.Downs)
+		counters.Set("sup_recoveries", ss.Recoveries)
+	}
+	sampler := telemetry.NewSampler(tb.K, cfg.SampleEvery)
+	telemetry.RegisterCounterSet(sampler, "chaos_", counters)
+
+	done := false
+	var doneAt sim.Time
+	finish := func() {
+		done = true
+		doneAt = tb.K.Now()
+		sup.Stop()
+		sampler.Stop()
+	}
+
+	tb.K.At(0, func() {
+		// Refresh before each sampling round so the probes read live values.
+		tb.K.Ticker(cfg.SampleEvery, func() bool {
+			refresh()
+			return !done
+		})
+		sampler.Start()
+		sup.Start()
+		o.launchChaosWorkload(tb, name, finish)
+	})
+	tb.K.Run()
+	refresh()
+
+	res := ChaosResult{
+		Workload:       name,
+		Completed:      done,
+		ElapsedUs:      doneAt.Micros(),
+		Dropped:        gs.dropped(),
+		Corrupted:      gs.corrupted(),
+		FlapBlocked:    gs.flapBlocked(),
+		Samples:        sampler.Samples(),
+		FinalLink:      sup.State().String(),
+		MeanRecoveryUs: sup.Stats().MeanRecovery().Micros(),
+		Downs:          sup.Stats().Downs,
+		Recoveries:     sup.Stats().Recoveries,
+	}
+	st := tb.ARQ.Stats()
+	res.Retransmits, res.Timeouts, res.NackRetries, res.Dead = st.Retransmits, st.Timeouts, st.NackRetries, st.Dead
+	b := tb.RemoteBackend()
+	res.Poisoned = b.Poisoned()
+
+	viol := func(format string, args ...any) {
+		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+	}
+	if !done {
+		viol("workload %s did not complete", name)
+	}
+	// No leaked transactions: everything issued resolved before the kernel
+	// drained.
+	if n := tb.ARQ.Outstanding(); n != 0 {
+		viol("%d ARQ transactions leaked", n)
+	}
+	if n := tb.ARQ.QueuedRetries(); n != 0 {
+		viol("%d retransmissions stuck in the retry queue", n)
+	}
+	if n := b.Outstanding(); n != 0 {
+		viol("%d port commands leaked", n)
+	}
+	if n := b.QueuedSends(); n != 0 {
+		viol("%d port sends never entered the NIC", n)
+	}
+	if n := tb.BorrowerNIC.InjectorBacklog(); n != 0 {
+		viol("borrower injector backlog %d not drained", n)
+	}
+	if n := tb.LenderNIC.InjectorBacklog(); n != 0 {
+		viol("lender injector backlog %d not drained", n)
+	}
+	// Accounting balances: every tracked transaction completed or died, and
+	// every port line op (128B each way) got exactly one completion.
+	if st.Tracked != st.Completed+st.Dead {
+		viol("ARQ accounting: tracked %d != completed %d + dead %d", st.Tracked, st.Completed, st.Dead)
+	}
+	if got := b.Reads() + b.Writes(); got != st.Tracked {
+		viol("line accounting: port completed %d ops, ARQ tracked %d", got, st.Tracked)
+	}
+	// A fault-free run must look exactly like the vanilla datapath.
+	if !cfg.Faults.Enabled() && (res.Poisoned != 0 || st.Retransmits != 0 || st.Dead != 0) {
+		viol("fault-free run saw recovery activity: %d retransmits, %d poisoned", st.Retransmits, res.Poisoned)
+	}
+	return res
+}
+
+// launchChaosWorkload schedules one workload and calls finish on its
+// completion callback.
+func (o Options) launchChaosWorkload(tb *cluster.Testbed, name string, finish func()) {
+	switch name {
+	case "stream":
+		cfg := stream.DefaultConfig(tb.RemoteAddr(0))
+		cfg.Elements = o.StreamElements
+		r := stream.New(tb.K, tb.NewRemoteHierarchy(), cfg)
+		r.Run(func([]stream.Result) { finish() })
+	case "kvstore":
+		store := kvstore.NewStore(kvstore.DefaultConfig(tb.RemoteAddr(0)))
+		srv := kvstore.NewServer(tb.K, tb.NewRemoteHierarchy(), store, kvstore.DefaultServerConfig())
+		kvstore.RunBench(tb.K, srv, o.kvBenchConfig(), func(kvstore.BenchResult) { finish() })
+	case "graph500":
+		r := graph500.New(tb.K, tb.NewRemoteHierarchy(), o.graphConfig(tb.RemoteAddr(0)))
+		r.Run(func(*graph500.RunResult) { finish() })
+	default:
+		panic(fmt.Sprintf("core: unknown chaos workload %q", name))
+	}
+}
+
+// ChaosReport is one chaos campaign across the selected workloads.
+type ChaosReport struct {
+	Results []ChaosResult
+	// Counters aggregates fault/recovery activity across all runs.
+	Counters *metrics.CounterSet
+	Table    *metrics.Table
+}
+
+// OK reports whether every workload completed with all invariants held.
+func (r *ChaosReport) OK() bool {
+	for _, res := range r.Results {
+		if !res.Completed || len(res.Violations) > 0 {
+			return false
+		}
+	}
+	return len(r.Results) > 0
+}
+
+// RunChaos executes the chaos campaign: each selected workload runs to
+// completion under the seeded fault schedule, with recovery active and
+// invariants audited.
+func (o Options) RunChaos(cfg ChaosConfig) *ChaosReport {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	rep := &ChaosReport{Counters: metrics.NewCounterSet()}
+	rep.Counters.Declare(chaosCounterNames...)
+	rep.Table = &metrics.Table{
+		Title:   "Chaos harness: workloads under corruption+drop+flap",
+		Columns: []string{"workload", "completed", "elapsed (us)", "retransmits", "dead", "poisoned", "downs", "recoveries", "violations"},
+	}
+	for _, w := range cfg.Workloads {
+		res := o.runChaosWorkload(cfg, w)
+		rep.Results = append(rep.Results, res)
+		rep.Counters.Add("gate_dropped", res.Dropped)
+		rep.Counters.Add("gate_corrupted", res.Corrupted)
+		rep.Counters.Add("flap_blocked", res.FlapBlocked)
+		rep.Counters.Add("arq_retransmits", res.Retransmits)
+		rep.Counters.Add("arq_timeouts", res.Timeouts)
+		rep.Counters.Add("arq_nack_retries", res.NackRetries)
+		rep.Counters.Add("arq_dead", res.Dead)
+		rep.Counters.Add("backend_poisoned", res.Poisoned)
+		rep.Counters.Add("sup_downs", res.Downs)
+		rep.Counters.Add("sup_recoveries", res.Recoveries)
+		rep.Table.AddRow(res.Workload,
+			fmt.Sprintf("%t", res.Completed),
+			fmt.Sprintf("%.1f", res.ElapsedUs),
+			fmt.Sprintf("%d", res.Retransmits),
+			fmt.Sprintf("%d", res.Dead),
+			fmt.Sprintf("%d", res.Poisoned),
+			fmt.Sprintf("%d", res.Downs),
+			fmt.Sprintf("%d", res.Recoveries),
+			strings.Join(res.Violations, "; "))
+	}
+	return rep
+}
+
+// DegradedFailover is the dead-link fallback experiment: a pointer chase
+// whose link dies mid-run, where the supervisor's dead declaration flips
+// the migrator into degraded (local-only) mode instead of letting every
+// access die poisoned.
+type DegradedFailover struct {
+	Completed     bool
+	DeadDeclared  bool
+	Degraded      bool
+	DegradedPages uint64
+	LocalAccesses uint64
+	Poisoned      uint64
+	ElapsedUs     float64
+}
+
+// RunDegradedFailover wires Supervisor.OnStateChange to migrate.Degrade:
+// the link goes down permanently mid-chase, re-attach exhausts its budget,
+// the link is declared dead, and the remaining accesses run against fresh
+// local frames — bounded degradation instead of a hang.
+func (o Options) RunDegradedFailover() *DegradedFailover {
+	const outageStart = 200 * sim.Microsecond
+	cfg := o.TestbedConfig(0)
+	cfg.Gate = inject.NewOutageGate(
+		[]inject.Window{{Start: sim.Time(outageStart), Duration: 50 * sim.Millisecond}},
+		inject.DefaultFPGACycle)
+	// Fast-failing recovery so the dead declaration lands mid-run.
+	arq := tfnic.DefaultARQConfig()
+	arq.Timeout = 20 * sim.Microsecond
+	arq.MaxRetries = 2
+	cfg.ARQ = &arq
+	tb := cluster.NewTestbed(cfg)
+
+	scfg := control.DefaultSupervisorConfig()
+	scfg.Attach.Timeout = 200 * sim.Microsecond
+	scfg.ReattachPause = 50 * sim.Microsecond
+	scfg.ReattachCap = 200 * sim.Microsecond
+	scfg.MaxReattach = 3
+	sup := control.NewSupervisor(tb, scfg)
+
+	mig := migrate.New(tb.K, tb.RemoteBackend(), memport.NewDRAMBackend(tb.BorrowerMem),
+		migrate.DefaultConfig(0x40_0000_0000))
+	res := &DegradedFailover{}
+	sup.OnStateChange = func(_, to control.LinkState) {
+		if to == control.LinkDead {
+			res.DeadDeclared = true
+			mig.Degrade()
+		}
+	}
+
+	h := memport.NewHierarchy(tb.K, cache.New(cfg.LLC), mig, cfg.MSHRs)
+	ccfg := latmem.DefaultConfig(tb.RemoteAddr(0))
+	ccfg.BufferBytes = 256 << 10
+	ccfg.Hops = 6 * ccfg.BufferBytes / 128
+	chase := latmem.New(tb.K, h, ccfg)
+	tb.K.At(0, func() {
+		sup.Start()
+		chase.Run(func(latmem.Result) {
+			res.Completed = true
+			res.ElapsedUs = tb.K.Now().Micros()
+			sup.Stop()
+		})
+	})
+	tb.K.Run()
+
+	res.Degraded = mig.Degraded()
+	res.DegradedPages = mig.Stats().DegradedPages
+	res.LocalAccesses = mig.Stats().LocalAccesses
+	res.Poisoned = tb.RemoteBackend().Poisoned()
+	return res
+}
+
+// RecoveryPoint is one scenario of the resilience-recovery sweep.
+type RecoveryPoint struct {
+	// Scenario is the fault family: drop, ber, or flap.
+	Scenario string
+	// Level is the fault intensity: drop probability, bit error rate, or
+	// mean down-phase duration in microseconds.
+	Level float64
+	// BandwidthGBs is STREAM's delivered bandwidth under the faults.
+	BandwidthGBs float64
+	// MeanRecoveryUs is the supervisor's mean down-to-up latency (0 when
+	// the link never went down).
+	MeanRecoveryUs              float64
+	Retransmits, Dead, Poisoned uint64
+	Downs, Recoveries           uint64
+}
+
+// ResilienceRecovery holds the fig_resilience_recovery sweep: delivered
+// bandwidth and recovery latency vs fault intensity, per fault family.
+type ResilienceRecovery struct {
+	// Baseline is the fault-free bandwidth the sweep normalizes against.
+	Baseline RecoveryPoint
+	Points   []RecoveryPoint
+	Figure   *metrics.Figure
+	// Counters aggregates recovery activity across the sweep.
+	Counters *metrics.CounterSet
+}
+
+// recoveryFaults maps a scenario to its fault mix.
+func recoveryFaults(scenario string, level float64) ChaosFaults {
+	switch scenario {
+	case "drop":
+		return ChaosFaults{DropProb: level}
+	case "ber":
+		return ChaosFaults{BER: level}
+	case "flap":
+		return ChaosFaults{
+			FlapMeanUp:   300 * sim.Microsecond,
+			FlapMeanDown: sim.Duration(level * float64(sim.Microsecond)),
+		}
+	default:
+		panic(fmt.Sprintf("core: unknown recovery scenario %q", scenario))
+	}
+}
+
+// recoveryPoint measures STREAM under one fault mix with supervision on.
+func (o Options) recoveryPoint(scenario string, level float64) RecoveryPoint {
+	cfg := DefaultChaosConfig()
+	cfg.Seed = o.Seed
+	cfg.Faults = ChaosFaults{}
+	if scenario != "baseline" {
+		cfg.Faults = recoveryFaults(scenario, level)
+	}
+	tb, _ := o.chaosTestbed(cfg)
+	sup := control.NewSupervisor(tb, cfg.Supervisor)
+
+	scfg := stream.DefaultConfig(tb.RemoteAddr(0))
+	scfg.Elements = o.StreamElements
+	// Size the run to a fixed traffic volume (~4 MB) regardless of scale, so
+	// it spans several flap cycles and the supervisor has time to detect and
+	// re-attach; one iteration moves ~80 bytes per element.
+	scfg.Iterations = 1 + (4<<20)/(80*o.StreamElements)
+	r := stream.New(tb.K, tb.NewRemoteHierarchy(), scfg)
+	var out []stream.Result
+	tb.K.At(0, func() {
+		sup.Start()
+		r.Run(func(res []stream.Result) {
+			out = res
+			sup.Stop()
+		})
+	})
+	tb.K.Run()
+
+	bw, _ := stream.Summary(out)
+	st := tb.ARQ.Stats()
+	ss := sup.Stats()
+	return RecoveryPoint{
+		Scenario:       scenario,
+		Level:          level,
+		BandwidthGBs:   bw / 1e9,
+		MeanRecoveryUs: ss.MeanRecovery().Micros(),
+		Retransmits:    st.Retransmits,
+		Dead:           st.Dead,
+		Poisoned:       tb.RemoteBackend().Poisoned(),
+		Downs:          ss.Downs,
+		Recoveries:     ss.Recoveries,
+	}
+}
+
+// RunResilienceRecovery sweeps each fault family over increasing intensity
+// and measures what the system still delivers and how fast it recovers —
+// the robustness counterpart of Fig. 4's delay-only stress test.
+func (o Options) RunResilienceRecovery() *ResilienceRecovery {
+	sweep := []struct {
+		scenario string
+		levels   []float64
+	}{
+		{"drop", []float64{0.01, 0.05, 0.1}},
+		{"ber", []float64{1e-5, 1e-4, 1e-3}},
+		// Mean down-phase microseconds, against a 300us mean up phase.
+		{"flap", []float64{50, 100, 200}},
+	}
+	rr := &ResilienceRecovery{
+		Figure: &metrics.Figure{
+			Title:  "Resilience & recovery: delivered bandwidth under link faults",
+			XLabel: "fault intensity (drop prob / BER / mean down us)",
+			YLabel: "bandwidth (GB/s)",
+			LogX:   true,
+		},
+		Counters: metrics.NewCounterSet(),
+	}
+	rr.Counters.Declare("retransmits", "dead", "poisoned", "downs", "recoveries")
+	rr.Baseline = o.recoveryPoint("baseline", 0)
+	account := func(p RecoveryPoint) {
+		rr.Counters.Add("retransmits", p.Retransmits)
+		rr.Counters.Add("dead", p.Dead)
+		rr.Counters.Add("poisoned", p.Poisoned)
+		rr.Counters.Add("downs", p.Downs)
+		rr.Counters.Add("recoveries", p.Recoveries)
+	}
+	account(rr.Baseline)
+	for _, s := range sweep {
+		series := rr.Figure.AddSeries(s.scenario)
+		for _, level := range s.levels {
+			p := o.recoveryPoint(s.scenario, level)
+			rr.Points = append(rr.Points, p)
+			series.Add(level, p.BandwidthGBs)
+			account(p)
+		}
+	}
+	return rr
+}

@@ -26,10 +26,14 @@ type Report struct {
 	Migration  *MigrationResult
 	Xconnect   *InterconnectResult
 	Prefetch   *PrefetchResult
+	Recovery   *ResilienceRecovery
+	Chaos      *ChaosReport
 }
 
 // RunAll executes every experiment with default sweeps.
 func (o Options) RunAll() *Report {
+	ccfg := DefaultChaosConfig()
+	ccfg.Seed = o.Seed
 	return &Report{
 		Options:    o,
 		Validation: o.RunDelayValidation(DefaultPeriods()),
@@ -44,6 +48,8 @@ func (o Options) RunAll() *Report {
 		Migration:  o.RunMigration(100),
 		Xconnect:   o.RunInterconnectComparison(),
 		Prefetch:   o.RunPrefetchAblation(250),
+		Recovery:   o.RunResilienceRecovery(),
+		Chaos:      o.RunChaos(ccfg),
 	}
 }
 
@@ -138,6 +144,39 @@ func (r *Report) WriteCSVDir(dir string) error {
 			return nil
 		})
 		if err != nil {
+			return err
+		}
+	}
+	if r.Recovery != nil {
+		err := write("fig_resilience_recovery.csv", func(w io.Writer) error {
+			if _, err := fmt.Fprintln(w, "scenario,level,bandwidth_gbs,mean_recovery_us,retransmits,dead,poisoned,downs,recoveries"); err != nil {
+				return err
+			}
+			row := func(p RecoveryPoint) error {
+				_, err := fmt.Fprintf(w, "%s,%g,%g,%g,%d,%d,%d,%d,%d\n",
+					p.Scenario, p.Level, p.BandwidthGBs, p.MeanRecoveryUs,
+					p.Retransmits, p.Dead, p.Poisoned, p.Downs, p.Recoveries)
+				return err
+			}
+			if err := row(r.Recovery.Baseline); err != nil {
+				return err
+			}
+			for _, p := range r.Recovery.Points {
+				if err := row(p); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if r.Chaos != nil {
+		if err := write("chaos_table.csv", r.Chaos.Table.WriteCSV); err != nil {
+			return err
+		}
+		if err := write("chaos_counters.csv", r.Chaos.Counters.WriteCSV); err != nil {
 			return err
 		}
 	}
@@ -240,6 +279,33 @@ func (r *Report) Render(w io.Writer) error {
 		}
 		p("  (prefetching hides the base RTT %.1fx but cannot beat the injector's release rate)\n\n",
 			r.Prefetch.OffVanillaUs/r.Prefetch.OnVanillaUs)
+	}
+	if rec := r.Recovery; rec != nil {
+		p("Link-fault resilience & recovery (fig_resilience_recovery)\n")
+		p("  baseline: %.3f GB/s fault-free\n", rec.Baseline.BandwidthGBs)
+		for _, pt := range rec.Points {
+			p("  %-5s level=%-8g %.3f GB/s  retrans=%-5d dead=%-3d downs=%-2d mean recovery %.4g us\n",
+				pt.Scenario, pt.Level, pt.BandwidthGBs, pt.Retransmits, pt.Dead, pt.Downs, pt.MeanRecoveryUs)
+		}
+		p("\n")
+		if err := rec.Figure.RenderASCII(w, 60, 10); err != nil {
+			return err
+		}
+		p("\n")
+	}
+	if c := r.Chaos; c != nil {
+		if err := c.Table.Render(w); err != nil {
+			return err
+		}
+		status := "all invariants held"
+		if !c.OK() {
+			status = "INVARIANT VIOLATIONS — see table"
+		}
+		p("  (%s)\n\n", status)
+		if err := c.Counters.Table("chaos fault/recovery counters").Render(w); err != nil {
+			return err
+		}
+		p("\n")
 	}
 	return nil
 }

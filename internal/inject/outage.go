@@ -17,6 +17,11 @@ type OutageGate struct {
 	windows []Window
 	minGap  sim.Duration
 	readyAt sim.Time
+	// cursor indexes the first window that could still matter: windows
+	// before it have ended relative to every instant Next has seen.
+	// Queries are monotone (pump time never runs backwards), so scanning
+	// restarts there instead of at the head of the list.
+	cursor  int
 	blocked uint64
 }
 
@@ -49,17 +54,29 @@ func NewOutageGate(windows []Window, minGap sim.Duration) *OutageGate {
 // Blocked returns how many transfer attempts landed inside an outage.
 func (g *OutageGate) Blocked() uint64 { return g.blocked }
 
-// Next implements axis.Gate.
+// Next implements axis.Gate. One call counts at most one blocked attempt,
+// even when the release instant crosses several back-to-back windows.
 func (g *OutageGate) Next(now sim.Time) sim.Time {
 	t := now
 	if g.readyAt > t {
 		t = g.readyAt
 	}
-	for _, w := range g.windows {
-		if t >= w.Start && t < w.End() {
-			g.blocked++
-			t = w.End()
+	blockedThisCall := false
+	for g.cursor < len(g.windows) {
+		w := g.windows[g.cursor]
+		if w.End() <= t {
+			g.cursor++
+			continue
 		}
+		if t < w.Start {
+			break
+		}
+		t = w.End()
+		blockedThisCall = true
+		g.cursor++
+	}
+	if blockedThisCall {
+		g.blocked++
 	}
 	return t
 }

@@ -66,8 +66,40 @@ func TestOutageVsAttachTimeout(t *testing.T) {
 	if !short.OK {
 		t.Fatalf("short outage killed attach: %+v", short)
 	}
+	// The handshake straddled the window: it started before the outage and
+	// can only have finished after it lifted.
+	if end := sim.Time(10 * sim.Microsecond).Add(500 * sim.Microsecond); short.Elapsed < end.Sub(0) {
+		t.Fatalf("attach finished in %v, inside the %v outage window", short.Elapsed, end)
+	}
 	long := attach(10 * sim.Millisecond) // spans the whole deadline
 	if long.OK {
 		t.Fatalf("attach survived a %v outage: %+v", 10*sim.Millisecond, long)
+	}
+}
+
+// Integration: the link supervisor detects an outage via missed
+// heartbeats, re-attaches once the link returns, and reports the
+// down-to-up recovery latency.
+func TestSupervisorRecoversFromOutage(t *testing.T) {
+	outage := inject.Window{Start: sim.Time(100 * sim.Microsecond), Duration: 500 * sim.Microsecond}
+	cfg := cluster.DefaultConfig(0)
+	cfg.Gate = inject.NewOutageGate([]inject.Window{outage}, inject.DefaultFPGACycle)
+	tb := cluster.NewTestbed(cfg)
+	sup := control.NewSupervisor(tb, control.DefaultSupervisorConfig())
+	tb.K.At(0, sup.Start)
+	tb.K.At(sim.Time(3*sim.Millisecond), sup.Stop)
+	tb.K.Run()
+
+	st := sup.Stats()
+	if st.Downs == 0 {
+		t.Fatalf("outage not detected: %+v", st)
+	}
+	if st.Recoveries == 0 || sup.State() != control.LinkUp {
+		t.Fatalf("no recovery: state=%v stats=%+v", sup.State(), st)
+	}
+	// Recovery spans the remainder of the outage plus the re-attach
+	// handshake: it must be at least the time from detection to outage end.
+	if st.MeanRecovery() < 200*sim.Microsecond {
+		t.Fatalf("recovery latency %v implausibly small", st.MeanRecovery())
 	}
 }

@@ -2,6 +2,8 @@ package inject
 
 import (
 	"testing"
+
+	"thymesim/internal/sim"
 )
 
 func TestOutageGateBlocksWindow(t *testing.T) {
@@ -50,5 +52,83 @@ func TestOutageGateValidation(t *testing.T) {
 			}()
 			fn()
 		}()
+	}
+}
+
+func TestOutageGateZeroWindows(t *testing.T) {
+	g := NewOutageGate(nil, 1)
+	for _, q := range []int64{0, 7, 1000} {
+		if n := g.Next(sim.Time(q)); n != sim.Time(q) {
+			t.Fatalf("Next(%d) = %v with no windows", q, n)
+		}
+	}
+	if g.Blocked() != 0 {
+		t.Fatalf("blocked = %d with no windows", g.Blocked())
+	}
+	g.Commit(0)
+	if n := g.Next(0); n != 1 {
+		t.Fatalf("minGap not honoured: Next = %v", n)
+	}
+}
+
+func TestOutageGateBackToBackBoundary(t *testing.T) {
+	// Second window starts exactly where the first ends: a transfer inside
+	// the first must skip both, counting ONE blocked attempt for the call.
+	g := NewOutageGate([]Window{
+		{Start: 100, Duration: 20}, // [100,120)
+		{Start: 120, Duration: 30}, // [120,150)
+	}, 1)
+	if n := g.Next(110); n != 150 {
+		t.Fatalf("Next(110) = %v, want 150", n)
+	}
+	if g.Blocked() != 1 {
+		t.Fatalf("blocked = %d, want 1 (one attempt, two windows crossed)", g.Blocked())
+	}
+}
+
+func TestOutageGateTransferAtWindowEnd(t *testing.T) {
+	// Windows are half-open [Start, End): a transfer landing exactly at
+	// End proceeds unblocked.
+	w := Window{Start: 100, Duration: 50}
+	g := NewOutageGate([]Window{w}, 1)
+	if n := g.Next(w.End()); n != w.End() {
+		t.Fatalf("Next(End) = %v, want %v", n, w.End())
+	}
+	if g.Blocked() != 0 {
+		t.Fatalf("blocked = %d for a transfer at the boundary", g.Blocked())
+	}
+	// ... and one landing at End-1 is pushed exactly to End. Queries are
+	// monotone per the gate contract, so use a fresh gate.
+	g2 := NewOutageGate([]Window{w}, 1)
+	if n := g2.Next(w.End() - 1); n != w.End() {
+		t.Fatalf("Next(End-1) = %v, want %v", n, w.End())
+	}
+	if g2.Blocked() != 1 {
+		t.Fatalf("blocked = %d", g2.Blocked())
+	}
+}
+
+func TestOutageGateCursorMonotoneScan(t *testing.T) {
+	// With many windows, repeated queries after the last window must not
+	// re-scan (observable: Blocked stays fixed and results are exact).
+	var ws []Window
+	for i := 0; i < 64; i++ {
+		ws = append(ws, Window{Start: sim.Time(i * 100), Duration: 10})
+	}
+	g := NewOutageGate(ws, 1)
+	for i := 0; i < 64; i++ {
+		at := sim.Time(i * 100)
+		if n := g.Next(at + 5); n != at+10 {
+			t.Fatalf("window %d: Next = %v, want %v", i, n, at+10)
+		}
+	}
+	if g.Blocked() != 64 {
+		t.Fatalf("blocked = %d, want 64", g.Blocked())
+	}
+	if n := g.Next(1_000_000); n != 1_000_000 {
+		t.Fatalf("post-windows Next = %v", n)
+	}
+	if g.Blocked() != 64 {
+		t.Fatalf("post-windows blocked = %d", g.Blocked())
 	}
 }

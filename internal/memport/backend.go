@@ -53,6 +53,7 @@ type RemoteBackend struct {
 	sendCbs []func()
 
 	reads, writes uint64
+	poisoned      uint64
 }
 
 // NewRemoteBackend builds the borrower-side remote memory backend. tags
@@ -104,6 +105,12 @@ func (b *RemoteBackend) Reads() uint64 { return b.reads }
 
 // Writes returns completed line writes.
 func (b *RemoteBackend) Writes() uint64 { return b.writes }
+
+// Poisoned returns completions whose data must not be trusted: lender
+// nacks consumed without an ARQ layer, or transactions the ARQ layer
+// declared dead. The access completes (no hang); the damage is visible
+// here.
+func (b *RemoteBackend) Poisoned() uint64 { return b.poisoned }
 
 // Outstanding returns commands in flight.
 func (b *RemoteBackend) Outstanding() int { return b.tags.Outstanding() }
@@ -173,6 +180,9 @@ func (b *RemoteBackend) Deliver(p ocapi.Packet) {
 	delete(b.pending, p.Tag)
 	isWrite := b.pendWrite[p.Tag]
 	delete(b.pendWrite, p.Tag)
+	if p.Poison || p.Op == ocapi.OpNack {
+		b.poisoned++
+	}
 	// NIC -> CPU transport latency before the fill reaches the cache.
 	b.k.After(b.portLatency, func() {
 		if isWrite {

@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+)
+
+// CounterSet is an ordered collection of named cumulative counters — the
+// fault/retransmit/recovery accounting that the chaos harness aggregates
+// across runs and exports through the report pipeline. Counters are
+// declared (or lazily created) by name and keep their declaration order,
+// so CSV and table output are stable across runs.
+type CounterSet struct {
+	names []string
+	vals  map[string]uint64
+}
+
+// NewCounterSet returns an empty counter set.
+func NewCounterSet() *CounterSet {
+	return &CounterSet{vals: make(map[string]uint64)}
+}
+
+// Declare registers names at zero; already-known names are left untouched.
+// Declaring up front fixes output order and lets telemetry register probes
+// before any event fires.
+func (c *CounterSet) Declare(names ...string) {
+	for _, n := range names {
+		c.ensure(n)
+	}
+}
+
+func (c *CounterSet) ensure(name string) {
+	if _, ok := c.vals[name]; !ok {
+		c.names = append(c.names, name)
+		c.vals[name] = 0
+	}
+}
+
+// Add increments a counter, creating it at zero first if needed.
+func (c *CounterSet) Add(name string, delta uint64) {
+	c.ensure(name)
+	c.vals[name] += delta
+}
+
+// Set overwrites a counter's value, creating it if needed — for counters
+// mirrored from an external cumulative source.
+func (c *CounterSet) Set(name string, v uint64) {
+	c.ensure(name)
+	c.vals[name] = v
+}
+
+// Get returns a counter's value (zero for unknown names).
+func (c *CounterSet) Get(name string) uint64 { return c.vals[name] }
+
+// Names returns the counter names in declaration order.
+func (c *CounterSet) Names() []string {
+	out := make([]string, len(c.names))
+	copy(out, c.names)
+	return out
+}
+
+// Merge adds every counter of other into c, declaring missing names.
+func (c *CounterSet) Merge(other *CounterSet) {
+	for _, n := range other.Names() {
+		c.Add(n, other.Get(n))
+	}
+}
+
+// Table renders the set as a two-column table.
+func (c *CounterSet) Table(title string) *Table {
+	t := &Table{Title: title, Columns: []string{"counter", "value"}}
+	for _, n := range c.names {
+		t.AddRow(n, fmt.Sprintf("%d", c.vals[n]))
+	}
+	return t
+}
+
+// WriteCSV emits the set as counter,value rows.
+func (c *CounterSet) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "counter,value"); err != nil {
+		return err
+	}
+	for _, n := range c.names {
+		if _, err := fmt.Fprintf(w, "%s,%d\n", csvEscape(n), c.vals[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCounterSetDeclareAddMerge(t *testing.T) {
+	c := NewCounterSet()
+	c.Declare("retransmits", "dead")
+	c.Add("retransmits", 3)
+	c.Add("poisoned", 1) // lazily created, appended after declared names
+	c.Set("dead", 7)
+	if got := c.Get("retransmits"); got != 3 {
+		t.Fatalf("retransmits = %d", got)
+	}
+	if got := c.Get("dead"); got != 7 {
+		t.Fatalf("dead = %d", got)
+	}
+	if got := c.Get("unknown"); got != 0 {
+		t.Fatalf("unknown = %d", got)
+	}
+	want := []string{"retransmits", "dead", "poisoned"}
+	names := c.Names()
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+
+	other := NewCounterSet()
+	other.Add("retransmits", 2)
+	other.Add("downs", 5)
+	c.Merge(other)
+	if c.Get("retransmits") != 5 || c.Get("downs") != 5 || c.Get("dead") != 7 {
+		t.Fatalf("after merge: %v %v %v", c.Get("retransmits"), c.Get("downs"), c.Get("dead"))
+	}
+}
+
+func TestCounterSetDeclareIdempotent(t *testing.T) {
+	c := NewCounterSet()
+	c.Add("a", 4)
+	c.Declare("a", "b")
+	if c.Get("a") != 4 {
+		t.Fatalf("Declare reset a to %d", c.Get("a"))
+	}
+	if len(c.Names()) != 2 {
+		t.Fatalf("names = %v", c.Names())
+	}
+}
+
+func TestCounterSetTableAndCSV(t *testing.T) {
+	c := NewCounterSet()
+	c.Add("drops", 11)
+	c.Add("corruptions", 2)
+	tab := c.Table("chaos counters")
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if v, ok := tab.Lookup("drops", "value"); !ok || v != "11" {
+		t.Fatalf("lookup drops = %q, %v", v, ok)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "counter,value\n") || !strings.Contains(out, "drops,11\n") {
+		t.Fatalf("csv = %q", out)
+	}
+}

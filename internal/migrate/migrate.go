@@ -74,6 +74,9 @@ type Stats struct {
 	CopiedLines uint64
 	// Rejected counts promotions skipped for lack of frame budget.
 	Rejected uint64
+	// DegradedPages counts pages localized after Degrade: fresh frames
+	// handed out without copy traffic (there is no link to copy over).
+	DegradedPages uint64
 }
 
 type pageState struct {
@@ -94,6 +97,7 @@ type Migrator struct {
 	pages     map[uint64]*pageState
 	nextFrame uint64
 	resident  int
+	degraded  bool
 	stats     Stats
 }
 
@@ -117,6 +121,27 @@ func (m *Migrator) Stats() Stats { return m.stats }
 // Resident returns the number of promoted pages.
 func (m *Migrator) Resident() int { return m.resident }
 
+// Degraded reports whether the migrator has abandoned the remote backend.
+func (m *Migrator) Degraded() bool { return m.degraded }
+
+// Degrade switches to local-only operation after the link is declared
+// dead. Pages already promoted keep their frames; every other page gets a
+// fresh zero-filled local frame on its next touch — the data borrowed on
+// the lender is lost, which is exactly the blast radius the caller accepts
+// by degrading instead of hanging. Frame allocation ignores MaxPages here:
+// refusing a frame would turn a dead link back into a hang.
+func (m *Migrator) Degrade() { m.degraded = true }
+
+// localize gives a page a resident frame without any copy traffic.
+func (m *Migrator) localize(st *pageState) {
+	st.local = true
+	st.migrating = false
+	st.frame = m.cfg.LocalFrameBase + m.nextFrame
+	m.nextFrame += uint64(m.cfg.PageBytes)
+	m.resident++
+	m.stats.DegradedPages++
+}
+
 func (m *Migrator) pageOf(addr uint64) uint64 { return addr &^ uint64(m.cfg.PageBytes-1) }
 
 // state returns (allocating) the tracking entry for addr's page.
@@ -138,6 +163,9 @@ func (m *Migrator) WriteLine(addr uint64, done func()) { m.access(addr, true, do
 
 func (m *Migrator) access(addr uint64, write bool, done func()) {
 	st := m.state(addr)
+	if m.degraded && !st.local {
+		m.localize(st)
+	}
 	if st.local {
 		m.stats.LocalAccesses++
 		local := st.frame + (addr & uint64(m.cfg.PageBytes-1))
@@ -198,6 +226,9 @@ func (m *Migrator) promote(pg uint64, st *pageState) {
 		launch()
 	}
 	wg.OnZero(func() {
+		if st.local {
+			return // localized by Degrade while the copy was in flight
+		}
 		st.migrating = false
 		st.local = true
 		st.frame = frame

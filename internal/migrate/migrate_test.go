@@ -190,3 +190,109 @@ func TestConfigValidation(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestDegradeLocalizesNewPages(t *testing.T) {
+	k, m, remote, local := setup()
+	done := 0
+	k.At(0, func() {
+		m.Degrade()
+		if !m.Degraded() {
+			t.Error("Degraded() false after Degrade")
+		}
+		// Two pages, never seen before: both must be served locally with
+		// zero remote traffic and zero copy traffic.
+		m.ReadLine(0, func() { done++ })
+		m.WriteLine(1024, func() { done++ })
+		m.ReadLine(64, func() { done++ }) // same page as the first
+	})
+	k.Run()
+	if done != 3 {
+		t.Fatalf("done = %d", done)
+	}
+	if remote.reads+remote.writes != 0 {
+		t.Fatalf("remote traffic after degrade: %d/%d", remote.reads, remote.writes)
+	}
+	if local.reads != 2 || local.writes != 1 {
+		t.Fatalf("local traffic = %d/%d", local.reads, local.writes)
+	}
+	st := m.Stats()
+	if st.DegradedPages != 2 || st.CopiedLines != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if m.Resident() != 2 {
+		t.Fatalf("resident = %d", m.Resident())
+	}
+}
+
+func TestDegradeExceedsFrameBudget(t *testing.T) {
+	// MaxPages is 2, but a dead link must never refuse a frame.
+	k, m, _, _ := setup()
+	done := 0
+	k.At(0, func() {
+		m.Degrade()
+		for i := 0; i < 4; i++ {
+			m.ReadLine(uint64(i)*1024, func() { done++ })
+		}
+	})
+	k.Run()
+	if done != 4 || m.Resident() != 4 {
+		t.Fatalf("done=%d resident=%d", done, m.Resident())
+	}
+}
+
+func TestDegradePreservesPromotedPages(t *testing.T) {
+	k, m, remote, local := setup()
+	k.At(0, func() {
+		// Heat page 0 past the threshold so it promotes (frame copy).
+		var touch func(i int)
+		touch = func(i int) {
+			if i == 16 {
+				m.Degrade()
+				// Subsequent accesses stay on the promoted frame.
+				m.ReadLine(0, nil)
+				return
+			}
+			m.ReadLine(uint64(i%8)*128, func() { touch(i + 1) })
+		}
+		touch(0)
+	})
+	k.Run()
+	if m.Stats().Promotions != 1 {
+		t.Fatalf("promotions = %d", m.Stats().Promotions)
+	}
+	if m.Stats().DegradedPages != 0 {
+		t.Fatalf("degraded pages = %d for an already-promoted page", m.Stats().DegradedPages)
+	}
+	if local.reads == 0 {
+		t.Fatal("promoted page not read locally")
+	}
+	_ = remote
+}
+
+func TestDegradeMidMigrationDoesNotDoubleAssign(t *testing.T) {
+	k, m, remote, _ := setup()
+	k.At(0, func() {
+		// Cross the threshold to start a copy, then degrade immediately:
+		// the in-flight copy completion must not clobber the degraded
+		// frame assignment.
+		var touch func(i int)
+		touch = func(i int) {
+			if i == 4 {
+				m.Degrade()
+				m.ReadLine(0, nil) // localizes while the copy is in flight
+				return
+			}
+			m.ReadLine(uint64(i)*128, func() { touch(i + 1) })
+		}
+		touch(0)
+	})
+	k.Run()
+	st := m.Stats()
+	if st.Promotions != 0 {
+		t.Fatalf("promotion completed after degrade localized the page: %+v", st)
+	}
+	if st.DegradedPages != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	_ = remote
+}

@@ -37,6 +37,7 @@ const (
 	OpWriteAck      // completion response to OpWriteBlock
 	OpProbe         // control-plane liveness/config probe (FPGA detection)
 	OpProbeResp     // response to OpProbe
+	OpNack          // lender rejection of a damaged request (CRC failure)
 )
 
 var opNames = map[Op]string{
@@ -47,6 +48,7 @@ var opNames = map[Op]string{
 	OpWriteAck:   "write_ack",
 	OpProbe:      "probe",
 	OpProbeResp:  "probe_resp",
+	OpNack:       "nack",
 }
 
 // String implements fmt.Stringer.
@@ -64,7 +66,7 @@ func (o Op) IsRequest() bool {
 
 // IsResponse reports whether the operation is a lender-side reply.
 func (o Op) IsResponse() bool {
-	return o == OpReadResp || o == OpWriteAck || o == OpProbeResp
+	return o == OpReadResp || o == OpWriteAck || o == OpProbeResp || o == OpNack
 }
 
 // Packet is one protocol message. Data payloads are modelled by size, not
@@ -81,6 +83,18 @@ type Packet struct {
 	// Prio is the QoS class for egress scheduling: 0 is the highest
 	// priority. It only affects requests (responses bypass the injector).
 	Prio uint8
+	// Seq is the ARQ attempt number for this transmission of the tag: 0 on
+	// first send, incremented per retransmission. Responses echo it so the
+	// sender can discard replies to superseded attempts.
+	Seq uint16
+	// Corrupt marks a packet damaged on the wire (CRC failure at the
+	// receiver). The payload sizes stay intact in this timing model; the
+	// flag is what the lender's CRC check observes.
+	Corrupt bool
+	// Poison marks a response whose data must not be consumed: the lender
+	// nacked the request or the ARQ layer exhausted its retries and
+	// completed the transaction as dead.
+	Poison bool
 }
 
 // Validate checks protocol invariants.
@@ -101,8 +115,18 @@ func (p *Packet) Validate() error {
 		if p.Size != 0 {
 			return fmt.Errorf("ocapi: %v carries unexpected payload %d", p.Op, p.Size)
 		}
+	case OpNack:
+		if p.Size != 0 {
+			return fmt.Errorf("ocapi: nack carries unexpected payload %d", p.Size)
+		}
+		if !p.Poison {
+			return fmt.Errorf("ocapi: nack must be poisoned")
+		}
 	default:
 		return fmt.Errorf("ocapi: invalid op %v", p.Op)
+	}
+	if p.Poison && !p.Op.IsResponse() {
+		return fmt.Errorf("ocapi: poison on non-response %v", p.Op)
 	}
 	return nil
 }
@@ -143,9 +167,9 @@ func (pr Profile) WireBytes(p *Packet) int {
 }
 
 // Response constructs the reply packet for a request, swapping direction
-// and preserving the tag and issue timestamp.
+// and preserving the tag, attempt sequence, and issue timestamp.
 func (p *Packet) Response() Packet {
-	r := Packet{Tag: p.Tag, Addr: p.Addr, Src: p.Dst, Dst: p.Src, Issued: p.Issued, Prio: p.Prio}
+	r := Packet{Tag: p.Tag, Addr: p.Addr, Src: p.Dst, Dst: p.Src, Issued: p.Issued, Prio: p.Prio, Seq: p.Seq}
 	switch p.Op {
 	case OpReadBlock:
 		r.Op = OpReadResp
@@ -160,8 +184,30 @@ func (p *Packet) Response() Packet {
 	return r
 }
 
-// encodedLen is the fixed marshalled header length (payload is size-only).
-const encodedLen = 1 + 4 + 8 + 4 + 2 + 2 + 8 + 1
+// Nack constructs the lender's rejection of a damaged request: a poisoned,
+// payload-free reply echoing the tag and attempt sequence so the sender's
+// ARQ layer can retransmit the right attempt.
+func (p *Packet) Nack() Packet {
+	if !p.Op.IsRequest() {
+		panic(fmt.Sprintf("ocapi: Nack of non-request %v", p.Op))
+	}
+	return Packet{
+		Op: OpNack, Tag: p.Tag, Addr: p.Addr,
+		Src: p.Dst, Dst: p.Src,
+		Issued: p.Issued, Prio: p.Prio, Seq: p.Seq,
+		Poison: true,
+	}
+}
+
+// encodedLen is the fixed marshalled header length (payload is size-only):
+// op, tag, addr, size, src, dst, issued, prio, seq, flags.
+const encodedLen = 1 + 4 + 8 + 4 + 2 + 2 + 8 + 1 + 2 + 1
+
+// Flag bits in the marshalled flags byte.
+const (
+	flagCorrupt = 1 << 0
+	flagPoison  = 1 << 1
+)
 
 // ErrShortBuffer reports a truncated encoding.
 var ErrShortBuffer = errors.New("ocapi: short buffer")
@@ -180,6 +226,15 @@ func (p *Packet) MarshalBinary() ([]byte, error) {
 	binary.BigEndian.PutUint16(buf[19:], p.Dst)
 	binary.BigEndian.PutUint64(buf[21:], uint64(p.Issued))
 	buf[29] = p.Prio
+	binary.BigEndian.PutUint16(buf[30:], p.Seq)
+	var flags byte
+	if p.Corrupt {
+		flags |= flagCorrupt
+	}
+	if p.Poison {
+		flags |= flagPoison
+	}
+	buf[32] = flags
 	return buf, nil
 }
 
@@ -196,6 +251,9 @@ func (p *Packet) UnmarshalBinary(buf []byte) error {
 	p.Dst = binary.BigEndian.Uint16(buf[19:])
 	p.Issued = sim.Time(binary.BigEndian.Uint64(buf[21:]))
 	p.Prio = buf[29]
+	p.Seq = binary.BigEndian.Uint16(buf[30:])
+	p.Corrupt = buf[32]&flagCorrupt != 0
+	p.Poison = buf[32]&flagPoison != 0
 	return p.Validate()
 }
 

@@ -197,3 +197,81 @@ func TestLinesCoveringProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPacketNack(t *testing.T) {
+	req := Packet{Op: OpWriteBlock, Tag: 12, Addr: 0x3000, Size: CacheLineSize, Src: 1, Dst: 2, Issued: 77, Seq: 3}
+	n := req.Nack()
+	if n.Op != OpNack || n.Tag != 12 || n.Src != 2 || n.Dst != 1 || n.Seq != 3 || n.Issued != 77 {
+		t.Fatalf("nack = %+v", n)
+	}
+	if !n.Poison || n.Size != 0 {
+		t.Fatalf("nack not poisoned/payload-free: %+v", n)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatalf("nack invalid: %v", err)
+	}
+	if !OpNack.IsResponse() || OpNack.IsRequest() {
+		t.Error("OpNack predicates wrong")
+	}
+}
+
+func TestPacketNackOfResponsePanics(t *testing.T) {
+	resp := Packet{Op: OpReadResp, Size: CacheLineSize}
+	defer func() {
+		if recover() == nil {
+			t.Error("Nack of a response did not panic")
+		}
+	}()
+	resp.Nack()
+}
+
+func TestPacketValidateFaultFlags(t *testing.T) {
+	// Poison is a response-only property; an unpoisoned nack is malformed.
+	bad := []Packet{
+		{Op: OpReadBlock, Addr: 0, Size: CacheLineSize, Poison: true},
+		{Op: OpNack},
+		{Op: OpNack, Size: 4, Poison: true},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid packet accepted: %+v", i, p)
+		}
+	}
+	ok := []Packet{
+		{Op: OpNack, Poison: true},
+		{Op: OpReadResp, Size: CacheLineSize, Poison: true},
+		{Op: OpWriteBlock, Addr: 0, Size: CacheLineSize, Corrupt: true},
+	}
+	for i, p := range ok {
+		if err := p.Validate(); err != nil {
+			t.Errorf("case %d: valid packet rejected: %v", i, err)
+		}
+	}
+}
+
+func TestPacketMarshalRoundTripFaultFields(t *testing.T) {
+	for _, orig := range []Packet{
+		{Op: OpWriteBlock, Tag: 1, Addr: 0x80, Size: CacheLineSize, Src: 1, Dst: 2, Seq: 9, Corrupt: true},
+		{Op: OpNack, Tag: 2, Addr: 0x80, Src: 2, Dst: 1, Seq: 65535, Poison: true},
+		{Op: OpReadResp, Tag: 3, Size: CacheLineSize, Poison: true, Corrupt: true},
+	} {
+		buf, err := orig.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%+v: %v", orig, err)
+		}
+		var got Packet
+		if err := got.UnmarshalBinary(buf); err != nil {
+			t.Fatalf("%+v: %v", orig, err)
+		}
+		if got != orig {
+			t.Fatalf("round trip: got %+v, want %+v", got, orig)
+		}
+	}
+}
+
+func TestResponseEchoesSeq(t *testing.T) {
+	req := Packet{Op: OpReadBlock, Tag: 4, Addr: 0x100, Size: CacheLineSize, Seq: 2}
+	if r := req.Response(); r.Seq != 2 {
+		t.Fatalf("response seq = %d, want 2", r.Seq)
+	}
+}

@@ -1,0 +1,15 @@
+package telemetry
+
+import "thymesim/internal/metrics"
+
+// RegisterCounterSet registers one probe per counter declared in cs, named
+// prefix+counter, each sampling the counter's current value. Counters must
+// be declared before the call (and the sampler not yet started); values may
+// keep changing throughout the run — each tick records the instantaneous
+// cumulative count, turning event counters into rate-inspectable series.
+func RegisterCounterSet(s *Sampler, prefix string, cs *metrics.CounterSet) {
+	for _, name := range cs.Names() {
+		name := name
+		s.Register(prefix+name, func() float64 { return float64(cs.Get(name)) })
+	}
+}

@@ -1,0 +1,35 @@
+package telemetry
+
+import (
+	"testing"
+
+	"thymesim/internal/metrics"
+	"thymesim/internal/sim"
+)
+
+func TestRegisterCounterSetSamplesLiveValues(t *testing.T) {
+	k := sim.NewKernel()
+	cs := metrics.NewCounterSet()
+	cs.Declare("retransmits", "dead")
+
+	s := NewSampler(k, sim.Duration(sim.Microsecond))
+	RegisterCounterSet(s, "chaos_", cs)
+
+	k.At(0, s.Start)
+	// Counter advances mid-run; later samples must see the new value.
+	k.At(sim.Time(3*sim.Microsecond+sim.Nanosecond), func() { cs.Add("retransmits", 5) })
+	k.At(sim.Time(6*sim.Microsecond+sim.Nanosecond), s.Stop)
+	k.Run()
+
+	series := s.Series("chaos_retransmits")
+	if series == nil {
+		t.Fatal("probe not registered")
+	}
+	first, last := series.Points[0].Y, series.Points[len(series.Points)-1].Y
+	if first != 0 || last != 5 {
+		t.Fatalf("retransmits series %v .. %v, want 0 .. 5", first, last)
+	}
+	if dead := s.Series("chaos_dead"); dead == nil || dead.Points[len(dead.Points)-1].Y != 0 {
+		t.Fatalf("dead series missing or nonzero")
+	}
+}

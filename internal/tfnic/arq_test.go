@@ -1,0 +1,320 @@
+package tfnic
+
+import (
+	"testing"
+
+	"thymesim/internal/ocapi"
+	"thymesim/internal/sim"
+)
+
+// fakeLink records sends and lets tests control space and responses.
+type fakeLink struct {
+	sent    []ocapi.Packet
+	space   int
+	onSpace []func()
+}
+
+func (f *fakeLink) TrySend(p ocapi.Packet) bool {
+	if f.space == 0 {
+		return false
+	}
+	f.space--
+	f.sent = append(f.sent, p)
+	return true
+}
+
+func (f *fakeLink) OnCmdSpace(fn func()) { f.onSpace = append(f.onSpace, fn) }
+func (f *fakeLink) CmdSpace() int        { return f.space }
+
+func (f *fakeLink) free(n int) {
+	f.space += n
+	for _, fn := range f.onSpace {
+		fn()
+	}
+}
+
+func arqConfig() ARQConfig {
+	return ARQConfig{
+		Timeout:     10 * sim.Microsecond,
+		MaxRetries:  2,
+		BackoffMult: 2,
+		BackoffCap:  100 * sim.Microsecond,
+		Seed:        1,
+	}
+}
+
+func readReq(tag uint32) ocapi.Packet {
+	return ocapi.Packet{
+		Op: ocapi.OpReadBlock, Tag: tag, Addr: uint64(tag) * ocapi.CacheLineSize,
+		Size: ocapi.CacheLineSize, Src: 0, Dst: 1,
+	}
+}
+
+func TestARQCompletesOnResponse(t *testing.T) {
+	k := sim.NewKernel()
+	link := &fakeLink{space: 8}
+	a := NewARQ(k, link, arqConfig())
+	var got []ocapi.Packet
+	a.OnComplete = func(p ocapi.Packet) { got = append(got, p) }
+
+	if !a.TrySend(readReq(1)) {
+		t.Fatal("send refused")
+	}
+	resp := link.sent[0].Response()
+	k.After(sim.Microsecond, func() { a.OnResponse(resp) })
+	k.Run()
+
+	if len(got) != 1 || got[0].Op != ocapi.OpReadResp || got[0].Poison {
+		t.Fatalf("completions = %+v", got)
+	}
+	if a.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d", a.Outstanding())
+	}
+	s := a.Stats()
+	if s.Tracked != 1 || s.Completed != 1 || s.Retransmits != 0 || s.Dead != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestARQRetransmitsOnTimeout(t *testing.T) {
+	k := sim.NewKernel()
+	link := &fakeLink{space: 8}
+	a := NewARQ(k, link, arqConfig())
+	var got []ocapi.Packet
+	a.OnComplete = func(p ocapi.Packet) { got = append(got, p) }
+
+	a.TrySend(readReq(1))
+	// Answer only the second attempt (Seq 1).
+	k.Ticker(sim.Microsecond, func() bool {
+		for _, p := range link.sent {
+			if p.Seq == 1 {
+				a.OnResponse(p.Response())
+				return false
+			}
+		}
+		return true
+	})
+	k.Run()
+
+	if len(got) != 1 || got[0].Poison {
+		t.Fatalf("completions = %+v", got)
+	}
+	s := a.Stats()
+	if s.Retransmits != 1 || s.Timeouts != 1 || s.Completed != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if a.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d", a.Outstanding())
+	}
+}
+
+func TestARQDeadAfterRetryExhaustion(t *testing.T) {
+	k := sim.NewKernel()
+	link := &fakeLink{space: 64}
+	a := NewARQ(k, link, arqConfig())
+	var got []ocapi.Packet
+	a.OnComplete = func(p ocapi.Packet) { got = append(got, p) }
+
+	a.TrySend(readReq(7)) // never answered
+	k.Run()
+
+	if len(got) != 1 {
+		t.Fatalf("completions = %d, want 1 poisoned", len(got))
+	}
+	if !got[0].Poison || got[0].Op != ocapi.OpReadResp || got[0].Tag != 7 {
+		t.Fatalf("dead completion = %+v", got[0])
+	}
+	s := a.Stats()
+	if s.Dead != 1 || s.Retransmits != uint64(arqConfig().MaxRetries) {
+		t.Fatalf("stats = %+v", s)
+	}
+	if len(link.sent) != 1+arqConfig().MaxRetries {
+		t.Fatalf("attempts = %d", len(link.sent))
+	}
+	// Attempt sequence numbers are 0,1,2.
+	for i, p := range link.sent {
+		if p.Seq != uint16(i) {
+			t.Fatalf("attempt %d seq = %d", i, p.Seq)
+		}
+	}
+	if a.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d", a.Outstanding())
+	}
+}
+
+func TestARQBackoffGrowsBetweenAttempts(t *testing.T) {
+	k := sim.NewKernel()
+	link := &fakeLink{space: 64}
+	a := NewARQ(k, link, arqConfig()) // no jitter: deterministic deadlines
+	a.OnComplete = func(ocapi.Packet) {}
+
+	var sendTimes []sim.Time
+	k.At(0, func() { a.TrySend(readReq(1)) })
+	k.Run()
+	_ = sendTimes
+
+	// Attempts at 0, ~10us, ~10+20us (timeout then doubled timeout).
+	if len(link.sent) != 3 {
+		t.Fatalf("attempts = %d", len(link.sent))
+	}
+	if now := k.Now(); now < sim.Time(70*sim.Microsecond) || now > sim.Time(71*sim.Microsecond) {
+		// 10 + 20 + 40 us of deadlines drain the kernel at 70us.
+		t.Fatalf("final time %v, want ~70us (10+20+40)", now)
+	}
+}
+
+func TestARQNackTriggersImmediateRetry(t *testing.T) {
+	k := sim.NewKernel()
+	link := &fakeLink{space: 8}
+	a := NewARQ(k, link, arqConfig())
+	var got []ocapi.Packet
+	a.OnComplete = func(p ocapi.Packet) { got = append(got, p) }
+
+	a.TrySend(readReq(3))
+	k.After(sim.Microsecond, func() {
+		a.OnResponse(link.sent[0].Nack())
+	})
+	k.After(2*sim.Microsecond, func() {
+		// The retry (Seq 1) went out well before the 10us timeout.
+		if len(link.sent) != 2 || link.sent[1].Seq != 1 {
+			t.Fatalf("sent = %+v", link.sent)
+		}
+		a.OnResponse(link.sent[1].Response())
+	})
+	k.Run()
+
+	if len(got) != 1 || got[0].Poison {
+		t.Fatalf("completions = %+v", got)
+	}
+	if s := a.Stats(); s.NackRetries != 1 || s.Timeouts != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestARQDropsStaleAndDuplicateResponses(t *testing.T) {
+	k := sim.NewKernel()
+	link := &fakeLink{space: 8}
+	a := NewARQ(k, link, arqConfig())
+	var got []ocapi.Packet
+	a.OnComplete = func(p ocapi.Packet) { got = append(got, p) }
+
+	a.TrySend(readReq(5))
+	first := link.sent[0]
+	k.After(sim.Microsecond, func() {
+		a.OnResponse(first.Nack()) // attempt 0 fails; retry has Seq 1
+	})
+	k.After(2*sim.Microsecond, func() {
+		stale := first.Response() // late reply to superseded attempt 0
+		a.OnResponse(stale)
+		a.OnResponse(link.sent[1].Response()) // genuine
+		a.OnResponse(link.sent[1].Response()) // duplicate after resolution
+		a.OnResponse(ocapi.Packet{Op: ocapi.OpReadResp, Tag: 999, Size: ocapi.CacheLineSize})
+	})
+	k.Run()
+
+	if len(got) != 1 {
+		t.Fatalf("completions = %d, want 1", len(got))
+	}
+	if s := a.Stats(); s.StaleDrops != 3 {
+		t.Fatalf("stale drops = %d, want 3", s.StaleDrops)
+	}
+}
+
+func TestARQCorruptResponseDiscardedThenTimeoutRecovers(t *testing.T) {
+	k := sim.NewKernel()
+	link := &fakeLink{space: 8}
+	a := NewARQ(k, link, arqConfig())
+	var got []ocapi.Packet
+	a.OnComplete = func(p ocapi.Packet) { got = append(got, p) }
+
+	a.TrySend(readReq(2))
+	k.After(sim.Microsecond, func() {
+		r := link.sent[0].Response()
+		r.Corrupt = true
+		a.OnResponse(r) // discarded; timeout drives the retry
+	})
+	k.Ticker(sim.Microsecond, func() bool {
+		for _, p := range link.sent {
+			if p.Seq == 1 {
+				a.OnResponse(p.Response())
+				return false
+			}
+		}
+		return true
+	})
+	k.Run()
+
+	if len(got) != 1 || got[0].Poison {
+		t.Fatalf("completions = %+v", got)
+	}
+	if s := a.Stats(); s.CorruptResp != 1 || s.Timeouts != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestARQQueuesRetryWhenLinkFull(t *testing.T) {
+	k := sim.NewKernel()
+	link := &fakeLink{space: 1}
+	a := NewARQ(k, link, arqConfig())
+	var got []ocapi.Packet
+	a.OnComplete = func(p ocapi.Packet) { got = append(got, p) }
+
+	a.TrySend(readReq(1)) // consumes the only slot; first attempt times out
+	k.After(15*sim.Microsecond, func() {
+		if a.QueuedRetries() != 1 {
+			t.Fatalf("queued retries = %d after timeout with full link", a.QueuedRetries())
+		}
+		link.free(1)
+		if a.QueuedRetries() != 0 || len(link.sent) != 2 {
+			t.Fatalf("retry not drained: queued=%d sent=%d", a.QueuedRetries(), len(link.sent))
+		}
+		a.OnResponse(link.sent[1].Response())
+	})
+	k.Run()
+
+	if len(got) != 1 || got[0].Poison {
+		t.Fatalf("completions = %+v", got)
+	}
+}
+
+func TestARQProbePassThrough(t *testing.T) {
+	k := sim.NewKernel()
+	link := &fakeLink{space: 8}
+	a := NewARQ(k, link, arqConfig())
+	var got []ocapi.Packet
+	a.OnComplete = func(p ocapi.Packet) { got = append(got, p) }
+
+	probe := ocapi.Packet{Op: ocapi.OpProbe, Tag: 0xFFFF0000, Src: 0, Dst: 1}
+	if !a.TrySend(probe) {
+		t.Fatal("probe refused")
+	}
+	if a.Outstanding() != 0 {
+		t.Fatal("probe tracked by ARQ")
+	}
+	a.OnResponse(probe.Response())
+	if len(got) != 1 || got[0].Op != ocapi.OpProbeResp {
+		t.Fatalf("probe completion = %+v", got)
+	}
+	k.Run()
+}
+
+func TestARQConfigValidation(t *testing.T) {
+	base := arqConfig()
+	bad := []func(*ARQConfig){
+		func(c *ARQConfig) { c.Timeout = 0 },
+		func(c *ARQConfig) { c.MaxRetries = -1 },
+		func(c *ARQConfig) { c.BackoffMult = 0.5 },
+		func(c *ARQConfig) { c.BackoffCap = -1 },
+		func(c *ARQConfig) { c.JitterFrac = 1 },
+	}
+	for i, mut := range bad {
+		c := base
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, c)
+		}
+	}
+	if err := DefaultARQConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}

@@ -280,3 +280,34 @@ func TestConfigValidation(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// A request corrupted on the wire must be rejected by the lender's CRC
+// check with a nack, never executed against memory.
+func TestNICNacksCorruptRequests(t *testing.T) {
+	// BER 0.5 over a 46-byte request makes corruption a near-certainty.
+	gate := inject.NewBitErrorGate(nil, 0.5, sim.NewRand(3))
+	k, b, l := loopNICs(t, gate)
+	var got []ocapi.Packet
+	b.OnDeliver = func(p ocapi.Packet) { got = append(got, p) }
+	const n = 20
+	k.At(0, func() {
+		for i := 0; i < n; i++ {
+			b.TrySend(ocapi.Packet{
+				Op: ocapi.OpReadBlock, Tag: uint32(i), Addr: uint64(i) * ocapi.CacheLineSize,
+				Size: ocapi.CacheLineSize, Src: 0, Dst: 1,
+			})
+		}
+	})
+	k.Run()
+	if len(got) != n {
+		t.Fatalf("deliveries = %d, want %d", len(got), n)
+	}
+	for _, p := range got {
+		if p.Op != ocapi.OpNack || !p.Poison {
+			t.Fatalf("delivery = %+v, want poisoned nack", p)
+		}
+	}
+	if l.Stats().NacksSent != n || l.Stats().RequestsServed != 0 {
+		t.Fatalf("lender stats = %+v", l.Stats())
+	}
+}
