@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test race vet chaos characterize clean
+.PHONY: all build test race vet fmt-check chaos characterize trace-smoke clean
 
-all: vet build test
+all: vet fmt-check build test
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,11 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Fail when any file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 # Run the link-fault chaos harness (nonzero exit on invariant violations).
 chaos:
 	$(GO) run ./cmd/chaos -failover
@@ -23,6 +28,15 @@ chaos:
 # Regenerate every figure/table CSV under results/.
 characterize:
 	$(GO) run ./cmd/characterize -out results
+
+# Smoke-test span tracing: a tiny traced STREAM run must emit valid
+# Chrome-trace JSON and a nonempty per-stage breakdown.
+trace-smoke:
+	$(GO) run ./cmd/tfsim -workload stream -elements 4096 \
+		-trace /tmp/thymesim-trace.json | tee /tmp/thymesim-trace.out
+	grep -q '"traceEvents"' /tmp/thymesim-trace.json
+	grep -q 'end_to_end' /tmp/thymesim-trace.out
+	grep -q 'valid JSON' /tmp/thymesim-trace.out
 
 clean:
 	$(GO) clean ./...

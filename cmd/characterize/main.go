@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	characterize [-out dir] [-paper] [-experiment all|validation|resilience|table1|fig5|mcbn|mcln|pool|dists|qos|migration|interconnect|prefetch|recovery|chaos]
+//	characterize [-out dir] [-paper] [-trace file] [-trace-sample N]
+//	             [-experiment all|validation|resilience|table1|fig5|mcbn|mcln|pool|dists|qos|migration|interconnect|prefetch|recovery|chaos|breakdown]
 package main
 
 import (
@@ -27,6 +28,8 @@ func main() {
 		paper      = flag.Bool("paper", false, "use the paper's full experiment sizes (slow)")
 		experiment = flag.String("experiment", "all", "which experiment to run")
 		seed       = flag.Uint64("seed", 1, "simulation seed")
+		trace      = flag.String("trace", "", "Chrome trace-event JSON of the breakdown run's spans")
+		traceSamp  = flag.Int("trace-sample", 1, "trace every Nth line fill in the breakdown sweep")
 	)
 	flag.Parse()
 
@@ -92,9 +95,31 @@ func main() {
 			rep.Chaos = opts.RunChaos(ccfg)
 		})
 	}
+	if want("breakdown") {
+		run("per-stage latency breakdown (Table I decomposition)", func() {
+			rep.Breakdown = opts.RunLatencyBreakdown(core.DefaultPeriods(), *traceSamp)
+		})
+	}
 
 	if err := rep.Render(os.Stdout); err != nil {
 		log.Fatal(err)
+	}
+	if *trace != "" {
+		if rep.Breakdown == nil || rep.Breakdown.Tracer == nil {
+			log.Fatal("-trace needs the breakdown experiment (use -experiment all or breakdown)")
+		}
+		f, err := os.Create(*trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.Breakdown.Tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "Chrome trace written to %s\n", *trace)
 	}
 	if *outDir != "" {
 		if err := rep.WriteCSVDir(*outDir); err != nil {

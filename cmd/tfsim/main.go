@@ -7,15 +7,18 @@
 //
 //	tfsim -workload stream|graph500|redis [-period N] [-placement remote|local]
 //	      [-elements N] [-scale N] [-requests N] [-seed N]
+//	      [-trace FILE] [-trace-sample N] [-telemetry FILE]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
 	"thymesim/internal/core"
+	"thymesim/internal/obs"
 	"thymesim/internal/sim"
 	"thymesim/internal/telemetry"
 	"thymesim/internal/workloads/stream"
@@ -33,6 +36,8 @@ func main() {
 		requests  = flag.Int("requests", 0, "Memtier requests per client (0 = default)")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		telem     = flag.String("telemetry", "", "CSV file for time-series telemetry (stream/remote only)")
+		trace     = flag.String("trace", "", "Chrome trace-event JSON file for span tracing (remote only)")
+		traceSamp = flag.Int("trace-sample", 1, "trace every Nth line fill (bounds tracer memory)")
 	)
 	flag.Parse()
 
@@ -60,6 +65,10 @@ func main() {
 	if !remote && *period != 1 {
 		log.Fatal("delay injection applies to remote placement only")
 	}
+	if *trace != "" && !remote {
+		log.Fatal("span tracing requires remote placement")
+	}
+	tcfg := obs.Config{Sample: *traceSamp}
 
 	switch *workload {
 	case "stream":
@@ -67,14 +76,18 @@ func main() {
 			if !remote {
 				log.Fatal("telemetry requires remote placement")
 			}
-			runStreamTelemetry(opts, *period, *telem)
+			runStreamTelemetry(opts, *period, *telem, *trace, tcfg)
 			return
 		}
 		var m core.StreamMeasurement
-		if remote {
-			m = opts.StreamRemote(*period)
-		} else {
+		var tr *obs.Tracer
+		switch {
+		case !remote:
 			m = opts.StreamLocal()
+		case *trace != "":
+			m, tr = opts.StreamRemoteTraced(*period, tcfg)
+		default:
+			m = opts.StreamRemote(*period)
 		}
 		fmt.Printf("STREAM %s PERIOD=%d\n", *placement, *period)
 		for _, r := range m.PerKernel {
@@ -83,41 +96,93 @@ func main() {
 		}
 		fmt.Printf("  total  %8.3f GB/s  mean latency %8.3f us  BDP %.2f kB\n",
 			m.BandwidthBps/1e9, m.FillLatUs, m.BandwidthBps*m.FillLatUs/1e9)
+		finishTrace(tr, *trace)
 	case "graph500":
 		var m core.GraphMeasurement
-		if remote {
-			m = opts.GraphRemote(*period)
-		} else {
+		var tr *obs.Tracer
+		switch {
+		case !remote:
 			m = opts.GraphLocal()
+		case *trace != "":
+			m, tr = opts.GraphRemoteTraced(*period, tcfg)
+		default:
+			m = opts.GraphRemote(*period)
 		}
 		fmt.Printf("Graph500 scale=%d %s PERIOD=%d\n", opts.GraphScale, *placement, *period)
 		fmt.Printf("  BFS  %12v  %10.0f TEPS\n", m.BFSTime, m.BFSTeps)
 		fmt.Printf("  SSSP %12v  %10.0f TEPS\n", m.SSSPTime, m.SSSPTeps)
+		finishTrace(tr, *trace)
 	case "redis":
 		var m core.KVMeasurement
-		if remote {
-			m = opts.KVRemote(*period)
-		} else {
+		var tr *obs.Tracer
+		switch {
+		case !remote:
 			m = opts.KVLocal()
+		case *trace != "":
+			m, tr = opts.KVRemoteTraced(*period, tcfg)
+		default:
+			m = opts.KVRemote(*period)
 		}
 		fmt.Printf("Redis+Memtier %s PERIOD=%d\n", *placement, *period)
 		fmt.Printf("  throughput %10.0f req/s\n", m.Throughput)
 		fmt.Printf("  latency    mean %.1f us  p99 %.1f us\n", m.MeanLatUs, m.P99LatUs)
+		finishTrace(tr, *trace)
 	default:
 		log.Fatalf("unknown workload %q", *workload)
 	}
 }
 
+// finishTrace prints the traced run's per-stage breakdown, exports the
+// Chrome trace, and re-parses the file to prove it is valid JSON. No-op
+// when tracing was off.
+func finishTrace(tr *obs.Tracer, path string) {
+	if tr == nil || path == "" {
+		return
+	}
+	if err := tr.BreakdownTable("per-stage latency breakdown").Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		log.Fatalf("trace %s: invalid JSON: %v", path, err)
+	}
+	fmt.Printf("trace: %d spans (%d retained) -> %s (%d events, valid JSON)\n",
+		tr.Finished(), tr.Retained(), path, len(parsed.TraceEvents))
+}
+
 // runStreamTelemetry runs STREAM on the remote testbed while sampling the
 // datapath's observables every 10us of simulated time, then writes the
-// series as CSV.
-func runStreamTelemetry(opts core.Options, period int64, path string) {
+// series as CSV. With tracePath set, span tracing runs alongside and its
+// per-stage running means join the sampled probes.
+func runStreamTelemetry(opts core.Options, period int64, path, tracePath string, tcfg obs.Config) {
 	tb := opts.Testbed(period)
+	var tr *obs.Tracer
+	if tracePath != "" {
+		tr = tb.EnableTracing(tcfg)
+	}
 	h := tb.NewRemoteHierarchy()
 	cfg := stream.DefaultConfig(tb.RemoteAddr(0))
 	cfg.Elements = opts.StreamElements
 
 	sampler := telemetry.NewSampler(tb.K, 10*sim.Microsecond)
+	tr.RegisterProbes(sampler)
 	sampler.Register("injector_backlog", func() float64 {
 		return float64(tb.BorrowerNIC.InjectorBacklog())
 	})
@@ -154,4 +219,5 @@ func runStreamTelemetry(opts core.Options, period int64, path string) {
 	bw, lat := stream.Summary(results)
 	fmt.Printf("STREAM remote PERIOD=%d: %.3f GB/s, fill latency %.2f us\n", period, bw/1e9, lat)
 	fmt.Printf("telemetry: %d samples x %d probes -> %s\n", sampler.Samples(), len(sampler.Names()), path)
+	finishTrace(tr, tracePath)
 }

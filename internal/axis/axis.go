@@ -46,6 +46,7 @@ type FIFO struct {
 	count   int
 	onData  []func()
 	onSpace []func()
+	onPush  func(Beat)
 
 	pushed uint64
 	popped uint64
@@ -88,6 +89,17 @@ func (f *FIFO) OnData(fn func()) { f.onData = append(f.onData, fn) }
 // OnSpace registers fn to run after every Pop.
 func (f *FIFO) OnSpace(fn func()) { f.onSpace = append(f.onSpace, fn) }
 
+// OnPush registers the per-beat push observer: unlike OnData it receives
+// the accepted beat, which observability taps need to attribute queue
+// residency to a transaction. A single observer keeps the untraced fast
+// path to one nil check; wire a fan-out closure for more.
+func (f *FIFO) OnPush(fn func(Beat)) {
+	if f.onPush != nil {
+		panic(fmt.Sprintf("axis: second push observer on FIFO %q", f.name))
+	}
+	f.onPush = fn
+}
+
 // TryPush appends b and reports success; it fails when the FIFO is full.
 func (f *FIFO) TryPush(b Beat) bool {
 	if f.count == len(f.buf) {
@@ -97,6 +109,9 @@ func (f *FIFO) TryPush(b Beat) bool {
 	f.count++
 	f.pushed++
 	f.bytes += uint64(b.Bytes)
+	if f.onPush != nil {
+		f.onPush(b)
+	}
 	for _, fn := range f.onData {
 		fn()
 	}

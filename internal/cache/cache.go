@@ -79,6 +79,7 @@ type Cache struct {
 	lineBits uint
 	clock    uint64
 	stats    Stats
+	onEvict  func(victimAddr uint64, dirty bool)
 }
 
 // New builds a cache; invalid configs panic.
@@ -107,6 +108,16 @@ func (c *Cache) Stats() Stats { return c.stats }
 
 // Sets returns the number of sets.
 func (c *Cache) Sets() int { return len(c.sets) }
+
+// OnEviction registers an observer fired whenever a valid line is
+// displaced, with the victim's line address and dirtiness. A single
+// observer keeps Access allocation-free; a second registration panics.
+func (c *Cache) OnEviction(fn func(victimAddr uint64, dirty bool)) {
+	if c.onEvict != nil {
+		panic("cache: second eviction observer")
+	}
+	c.onEvict = fn
+}
 
 func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
 	lineAddr := addr >> c.lineBits
@@ -161,6 +172,9 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 			res.Writeback = true
 			res.VictimAddr = c.lineAddr(set, lines[victim].tag)
 			c.stats.Writebacks++
+		}
+		if c.onEvict != nil {
+			c.onEvict(c.lineAddr(set, lines[victim].tag), lines[victim].dirty)
 		}
 	}
 	lines[victim] = line{tag: tag, valid: true, dirty: write, lru: c.clock}

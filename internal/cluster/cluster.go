@@ -14,6 +14,7 @@ import (
 	"thymesim/internal/inject"
 	"thymesim/internal/memport"
 	"thymesim/internal/netlink"
+	"thymesim/internal/obs"
 	"thymesim/internal/ocapi"
 	"thymesim/internal/sim"
 	"thymesim/internal/tfnic"
@@ -162,6 +163,8 @@ type Testbed struct {
 	probeWaiters map[uint32]func(ocapi.Packet)
 	probeCursor  uint32
 	staleProbes  uint64
+
+	tracer *obs.Tracer // nil when tracing is disabled
 }
 
 // NewTestbed wires the system and programs the remote-memory window.
@@ -233,6 +236,27 @@ func (tb *Testbed) Kernel() *sim.Kernel { return tb.K }
 // Gate returns the active injection gate.
 func (tb *Testbed) Gate() axis.Gate { return tb.gate }
 
+// EnableTracing builds a span tracer on the testbed's kernel and installs
+// its taps across the datapath (both NICs, every existing backend). Call
+// it before creating hierarchies so they pick up the tracer at
+// construction; hierarchies created earlier stay untraced. Tracing only
+// observes — timing is bit-identical with it on or off.
+func (tb *Testbed) EnableTracing(cfg obs.Config) *obs.Tracer {
+	if tb.tracer != nil {
+		panic("cluster: tracing already enabled")
+	}
+	tb.tracer = obs.New(tb.K, cfg)
+	tb.BorrowerNIC.SetTracer(tb.tracer)
+	tb.LenderNIC.SetTracer(tb.tracer)
+	for _, b := range tb.backends {
+		b.SetTracer(tb.tracer)
+	}
+	return tb.tracer
+}
+
+// Tracer returns the span tracer, or nil when tracing is disabled.
+func (tb *Testbed) Tracer() *obs.Tracer { return tb.tracer }
+
 // RemoteBackend exposes the shared borrower port (diagnostics).
 func (tb *Testbed) RemoteBackend() *memport.RemoteBackend { return tb.backend }
 
@@ -274,6 +298,9 @@ func (tb *Testbed) newBackend() *memport.RemoteBackend {
 		panic("cluster: backend tag range collides with probe tags")
 	}
 	b := memport.NewRemoteBackendTags(tb.K, tb.sender, base, tb.cfg.TagSpace, tb.cfg.PortLatency, BorrowerID, LenderID)
+	if tb.tracer != nil {
+		b.SetTracer(tb.tracer)
+	}
 	tb.backends = append(tb.backends, b)
 	return b
 }
@@ -283,7 +310,9 @@ func (tb *Testbed) newBackend() *memport.RemoteBackend {
 // DRAM). Multiple hierarchies share the NIC and tag space, which is how
 // MCBN contention arises.
 func (tb *Testbed) NewRemoteHierarchy() *memport.Hierarchy {
-	return memport.NewHierarchy(tb.K, cache.New(tb.cfg.LLC), tb.backend, tb.cfg.MSHRs)
+	h := memport.NewHierarchy(tb.K, cache.New(tb.cfg.LLC), tb.backend, tb.cfg.MSHRs)
+	h.SetTracer(tb.tracer)
+	return h
 }
 
 // NewRemoteHierarchyPrio is NewRemoteHierarchy with a dedicated backend
@@ -292,14 +321,21 @@ func (tb *Testbed) NewRemoteHierarchy() *memport.Hierarchy {
 func (tb *Testbed) NewRemoteHierarchyPrio(prio uint8) *memport.Hierarchy {
 	b := tb.newBackend()
 	b.SetPriority(prio)
-	return memport.NewHierarchy(tb.K, cache.New(tb.cfg.LLC), b, tb.cfg.MSHRs)
+	h := memport.NewHierarchy(tb.K, cache.New(tb.cfg.LLC), b, tb.cfg.MSHRs)
+	h.SetTracer(tb.tracer)
+	return h
 }
 
 // NewLocalHierarchy returns a hierarchy against the borrower's own DRAM —
 // the "local memory" baseline of Table I.
 func (tb *Testbed) NewLocalHierarchy() *memport.Hierarchy {
 	backend := memport.NewDRAMBackend(tb.BorrowerMem)
-	return memport.NewHierarchy(tb.K, cache.New(tb.cfg.LLC), backend, tb.cfg.MSHRs)
+	if tb.tracer != nil {
+		backend.SetTracer(tb.tracer)
+	}
+	h := memport.NewHierarchy(tb.K, cache.New(tb.cfg.LLC), backend, tb.cfg.MSHRs)
+	h.SetTracer(tb.tracer)
+	return h
 }
 
 // NewLenderLocalHierarchy returns a hierarchy for applications running on
@@ -307,7 +343,12 @@ func (tb *Testbed) NewLocalHierarchy() *memport.Hierarchy {
 // MCLN scenario (Fig. 7).
 func (tb *Testbed) NewLenderLocalHierarchy() *memport.Hierarchy {
 	backend := memport.NewDRAMBackend(tb.LenderMem)
-	return memport.NewHierarchy(tb.K, cache.New(tb.cfg.LLC), backend, tb.cfg.MSHRs)
+	if tb.tracer != nil {
+		backend.SetTracer(tb.tracer)
+	}
+	h := memport.NewHierarchy(tb.K, cache.New(tb.cfg.LLC), backend, tb.cfg.MSHRs)
+	h.SetTracer(tb.tracer)
+	return h
 }
 
 // nextProbeTag allocates a unique probe tag, skipping any still awaiting a

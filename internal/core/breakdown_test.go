@@ -1,0 +1,103 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"thymesim/internal/obs"
+)
+
+// TestBreakdownSumsToEndToEnd checks the decomposition's accounting: per
+// PERIOD, the stage mean_us column sums to the end_to_end mean exactly,
+// and the end_to_end mean agrees with the untraced STREAM fill latency
+// (fig2's value) to well within 1%.
+func TestBreakdownSumsToEndToEnd(t *testing.T) {
+	o := fastOptions()
+	sb := o.RunLatencyBreakdown([]int64{1, 100}, 1)
+	if len(sb.Points) != 2 || sb.Tracer == nil {
+		t.Fatalf("points = %d, tracer = %v", len(sb.Points), sb.Tracer)
+	}
+	for _, pt := range sb.Points {
+		if pt.Spans == 0 || len(pt.Rows) == 0 {
+			t.Fatalf("PERIOD=%d: no spans traced (%+v)", pt.Period, pt)
+		}
+		sum := 0.0
+		for _, r := range pt.Rows {
+			sum += r.MeanUs
+		}
+		if math.Abs(sum-pt.EndToEndUs) > 1e-9*pt.EndToEndUs {
+			t.Errorf("PERIOD=%d: stage means sum to %v, end_to_end %v",
+				pt.Period, sum, pt.EndToEndUs)
+		}
+		if dev := math.Abs(pt.EndToEndUs-pt.FillLatUs) / pt.FillLatUs; dev > 0.01 {
+			t.Errorf("PERIOD=%d: tracer e2e %v vs STREAM fill %v (%.2f%% off, want <1%%)",
+				pt.Period, pt.EndToEndUs, pt.FillLatUs, 100*dev)
+		}
+	}
+	// More delay injection must show up as more injector stall share.
+	inj := func(pt BreakdownPoint) float64 {
+		for _, r := range pt.Rows {
+			if r.Stage == obs.StageInjector {
+				return r.SharePct
+			}
+		}
+		return 0
+	}
+	if inj(sb.Points[1]) <= inj(sb.Points[0]) {
+		t.Errorf("injector share did not grow with PERIOD: %v%% -> %v%%",
+			inj(sb.Points[0]), inj(sb.Points[1]))
+	}
+
+	var buf bytes.Buffer
+	if err := sb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "period,stage,count,mean_us,p99_us,share_pct\n") {
+		t.Fatalf("csv header: %q", out)
+	}
+	if strings.Count(out, ",end_to_end,") != 2 {
+		t.Fatalf("csv missing end_to_end rows: %q", out)
+	}
+}
+
+// TestTracingIsTimingNeutral pins the tracer's core contract: enabling it
+// must not change any measurement. The traced and untraced runs must be
+// numerically identical, not merely close.
+func TestTracingIsTimingNeutral(t *testing.T) {
+	o := fastOptions()
+	for _, period := range []int64{1, 200} {
+		plain := o.StreamRemote(period)
+		traced, tr := o.StreamRemoteTraced(period, obs.Config{Sample: 1})
+		if tr == nil || tr.Finished() == 0 {
+			t.Fatalf("PERIOD=%d: tracer recorded nothing", period)
+		}
+		if plain.BandwidthBps != traced.BandwidthBps || plain.FillLatUs != traced.FillLatUs {
+			t.Errorf("PERIOD=%d: tracing perturbed timing: %v/%v vs %v/%v",
+				period, plain.BandwidthBps, plain.FillLatUs,
+				traced.BandwidthBps, traced.FillLatUs)
+		}
+		for i := range plain.PerKernel {
+			if plain.PerKernel[i] != traced.PerKernel[i] {
+				t.Errorf("PERIOD=%d kernel %s: traced run differs: %+v vs %+v",
+					period, plain.PerKernel[i].Kernel, plain.PerKernel[i], traced.PerKernel[i])
+			}
+		}
+	}
+}
+
+// TestTracedWrappersRun exercises the graph and KV traced entry points
+// used by tfsim -trace.
+func TestTracedWrappersRun(t *testing.T) {
+	o := fastOptions()
+	gm, gtr := o.GraphRemoteTraced(1, obs.Config{Sample: 4})
+	if gtr.Finished() == 0 || gm.BFSTeps <= 0 {
+		t.Fatalf("graph traced: %d spans, %v TEPS", gtr.Finished(), gm.BFSTeps)
+	}
+	km, ktr := o.KVRemoteTraced(1, obs.Config{Sample: 4})
+	if ktr.Finished() == 0 || km.Throughput <= 0 {
+		t.Fatalf("kv traced: %d spans, %v req/s", ktr.Finished(), km.Throughput)
+	}
+}

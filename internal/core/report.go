@@ -28,6 +28,7 @@ type Report struct {
 	Prefetch   *PrefetchResult
 	Recovery   *ResilienceRecovery
 	Chaos      *ChaosReport
+	Breakdown  *StageBreakdown
 }
 
 // RunAll executes every experiment with default sweeps.
@@ -50,6 +51,7 @@ func (o Options) RunAll() *Report {
 		Prefetch:   o.RunPrefetchAblation(250),
 		Recovery:   o.RunResilienceRecovery(),
 		Chaos:      o.RunChaos(ccfg),
+		Breakdown:  o.RunLatencyBreakdown(DefaultPeriods(), 1),
 	}
 }
 
@@ -180,6 +182,11 @@ func (r *Report) WriteCSVDir(dir string) error {
 			return err
 		}
 	}
+	if r.Breakdown != nil {
+		if err := write("table1_breakdown.csv", r.Breakdown.WriteCSV); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -290,6 +297,16 @@ func (r *Report) Render(w io.Writer) error {
 		p("\n")
 		if err := rec.Figure.RenderASCII(w, 60, 10); err != nil {
 			return err
+		}
+		p("\n")
+	}
+	if b := r.Breakdown; b != nil {
+		if err := b.Table.Render(w); err != nil {
+			return err
+		}
+		for _, pt := range b.Points {
+			p("  PERIOD=%-6d spans=%-8d stages sum to %.4f us (STREAM fill %.4f us)\n",
+				pt.Period, pt.Spans, pt.EndToEndUs, pt.FillLatUs)
 		}
 		p("\n")
 	}

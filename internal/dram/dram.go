@@ -10,6 +10,7 @@ package dram
 import (
 	"fmt"
 
+	"thymesim/internal/obs"
 	"thymesim/internal/ocapi"
 	"thymesim/internal/sim"
 )
@@ -127,11 +128,20 @@ func (d *DRAM) burstTime(bytes int) sim.Duration {
 // when the data has transferred. Concurrent requests to different channels
 // proceed in parallel; requests to one channel share its bus.
 func (d *DRAM) Access(addr uint64, bytes int, write bool, done func()) {
+	d.AccessSpan(addr, bytes, write, nil, 0, done)
+}
+
+// AccessSpan is Access with span tracing: the memory-controller queue wait
+// and the device access + bus burst are attributed to sp as separate
+// stages. tr may be nil and sp zero (untraced).
+func (d *DRAM) AccessSpan(addr uint64, bytes int, write bool, tr *obs.Tracer, sp obs.SpanID, done func()) {
 	if bytes <= 0 {
 		panic("dram: non-positive access size")
 	}
 	ch := d.channelFor(addr)
+	tr.Enter(sp, obs.StageDRAMQueue)
 	ch.slots.Acquire(func() {
+		tr.Enter(sp, obs.StageDRAMAccess)
 		// Device access latency, then bus occupancy.
 		d.k.After(d.cfg.AccessLatency, func() {
 			ch.bus.Serve(d.burstTime(bytes), func() {

@@ -2,6 +2,7 @@ package memport
 
 import (
 	"thymesim/internal/dram"
+	"thymesim/internal/obs"
 	"thymesim/internal/ocapi"
 	"thymesim/internal/sim"
 )
@@ -9,14 +10,23 @@ import (
 // DRAMBackend services lines against local memory — the baseline
 // ("local") configuration of the paper's Table I.
 type DRAMBackend struct {
-	mem *dram.DRAM
+	mem    *dram.DRAM
+	tracer *obs.Tracer
 }
 
 // NewDRAMBackend wraps a DRAM instance.
 func NewDRAMBackend(mem *dram.DRAM) *DRAMBackend { return &DRAMBackend{mem: mem} }
 
+// SetTracer enables span attribution of the DRAM queue/access stages.
+func (b *DRAMBackend) SetTracer(tr *obs.Tracer) { b.tracer = tr }
+
 // ReadLine implements LineBackend.
 func (b *DRAMBackend) ReadLine(addr uint64, done func()) { b.mem.ReadLine(addr, done) }
+
+// ReadLineSpan implements SpanBackend.
+func (b *DRAMBackend) ReadLineSpan(addr uint64, sp obs.SpanID, done func()) {
+	b.mem.AccessSpan(addr, ocapi.CacheLineSize, false, b.tracer, sp, done)
+}
 
 // WriteLine implements LineBackend.
 func (b *DRAMBackend) WriteLine(addr uint64, done func()) { b.mem.WriteLine(addr, done) }
@@ -54,6 +64,8 @@ type RemoteBackend struct {
 
 	reads, writes uint64
 	poisoned      uint64
+
+	tracer *obs.Tracer // nil when tracing is disabled
 }
 
 // NewRemoteBackend builds the borrower-side remote memory backend. tags
@@ -82,6 +94,11 @@ func NewRemoteBackendTags(k *sim.Kernel, nic Sender, tagBase uint32, tagSpace in
 	nic.OnCmdSpace(b.pump)
 	return b
 }
+
+// SetTracer enables span attribution of the port/tag stages; the span id
+// is stamped into outgoing packets so the NIC layers downstream can keep
+// attributing.
+func (b *RemoteBackend) SetTracer(tr *obs.Tracer) { b.tracer = tr }
 
 // SetPriority assigns the QoS class stamped on this backend's requests
 // (0 = highest). It takes effect for subsequently issued commands.
@@ -120,17 +137,24 @@ func (b *RemoteBackend) QueuedSends() int { return len(b.sendQ) }
 
 // ReadLine implements LineBackend.
 func (b *RemoteBackend) ReadLine(addr uint64, done func()) {
-	b.issue(ocapi.OpReadBlock, addr, done)
+	b.issue(ocapi.OpReadBlock, addr, 0, done)
+}
+
+// ReadLineSpan implements SpanBackend.
+func (b *RemoteBackend) ReadLineSpan(addr uint64, sp obs.SpanID, done func()) {
+	b.issue(ocapi.OpReadBlock, addr, sp, done)
 }
 
 // WriteLine implements LineBackend.
 func (b *RemoteBackend) WriteLine(addr uint64, done func()) {
-	b.issue(ocapi.OpWriteBlock, addr, done)
+	b.issue(ocapi.OpWriteBlock, addr, 0, done)
 }
 
-func (b *RemoteBackend) issue(op ocapi.Op, addr uint64, done func()) {
+func (b *RemoteBackend) issue(op ocapi.Op, addr uint64, sp obs.SpanID, done func()) {
 	// CPU -> NIC transport latency, then queue for a tag + NIC entry.
+	b.tracer.Enter(sp, obs.StagePortTx)
 	b.k.After(b.portLatency, func() {
+		b.tracer.Enter(sp, obs.StageTagWait)
 		p := ocapi.Packet{
 			Op:     op,
 			Addr:   ocapi.LineAlign(addr),
@@ -139,6 +163,7 @@ func (b *RemoteBackend) issue(op ocapi.Op, addr uint64, done func()) {
 			Dst:    b.dst,
 			Issued: b.k.Now(),
 			Prio:   b.prio,
+			Trace:  uint64(sp),
 		}
 		b.sendQ = append(b.sendQ, p)
 		b.sendCbs = append(b.sendCbs, done)
@@ -184,6 +209,7 @@ func (b *RemoteBackend) Deliver(p ocapi.Packet) {
 		b.poisoned++
 	}
 	// NIC -> CPU transport latency before the fill reaches the cache.
+	b.tracer.Enter(obs.SpanID(p.Trace), obs.StagePortRx)
 	b.k.After(b.portLatency, func() {
 		if isWrite {
 			b.writes++

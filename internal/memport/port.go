@@ -11,6 +11,7 @@ import (
 
 	"thymesim/internal/cache"
 	"thymesim/internal/metrics"
+	"thymesim/internal/obs"
 	"thymesim/internal/ocapi"
 	"thymesim/internal/sim"
 )
@@ -26,6 +27,14 @@ type LineBackend interface {
 	// WriteLine writes the line at addr and calls done (may be nil) when
 	// the write is acknowledged.
 	WriteLine(addr uint64, done func())
+}
+
+// SpanBackend is an optional LineBackend extension: backends that can
+// attribute their per-stage latency to an obs span implement it, and a
+// traced Hierarchy routes line fills through it. sp may be zero (the fill
+// was sampled out), in which case it behaves exactly like ReadLine.
+type SpanBackend interface {
+	ReadLineSpan(addr uint64, sp obs.SpanID, done func())
 }
 
 // Stats aggregates hierarchy-level counters.
@@ -48,6 +57,9 @@ type Hierarchy struct {
 	onFill   func(sim.Duration)
 	onAccess func(addr uint64, size int, write bool)
 	onMiss   func(lineAddr uint64) // prefetcher hook
+
+	tracer *obs.Tracer // nil when tracing is disabled
+	spanBE SpanBackend // backend's traced read path, if it has one
 }
 
 // NewHierarchy builds a hierarchy with the given LLC and backend. mshrs
@@ -85,6 +97,26 @@ func (h *Hierarchy) OnFill(fn func(sim.Duration)) { h.onFill = fn }
 // cache lookup) — used to capture workload memory traces.
 func (h *Hierarchy) OnAccess(fn func(addr uint64, size int, write bool)) { h.onAccess = fn }
 
+// SetTracer enables span tracing: each sampled line fill opens a span
+// covering the same interval as the fill-latency histogram (MSHR acquire
+// through response delivery), and LLC evictions become instant events.
+// Tracing observes only — it schedules no events and consumes no
+// randomness — so timing is bit-identical with it on or off.
+func (h *Hierarchy) SetTracer(tr *obs.Tracer) {
+	if tr == nil {
+		return
+	}
+	h.tracer = tr
+	h.spanBE, _ = h.backend.(SpanBackend)
+	h.llc.OnEviction(func(victimAddr uint64, dirty bool) {
+		name := "llc_evict"
+		if dirty {
+			name = "llc_writeback"
+		}
+		tr.Instant(name, victimAddr)
+	})
+}
+
 // Access touches [addr, addr+size) with the given intent and calls done
 // when every line is resolved (hits immediately; misses when their fill
 // completes). Writebacks of dirty victims are posted: they consume backend
@@ -115,18 +147,26 @@ func (h *Hierarchy) Access(addr uint64, size int, write bool, done func()) {
 			h.onMiss(lineAddr)
 		}
 		issued := h.k.Now()
+		sp := h.tracer.Start(obs.KindRead, lineAddr)
+		h.tracer.Enter(sp, obs.StageMSHR)
 		h.mshr.Acquire(func() {
-			h.backend.ReadLine(lineAddr, func() {
+			fillDone := func() {
 				lat := h.k.Now().Sub(issued)
 				h.fillLat.Observe(lat.Micros())
 				if h.onFill != nil {
 					h.onFill(lat)
 				}
+				h.tracer.Finish(sp)
 				h.stats.LineFills++
 				h.stats.BytesMoved += ocapi.CacheLineSize
 				h.mshr.Release()
 				wg.Done()
-			})
+			}
+			if sp != 0 && h.spanBE != nil {
+				h.spanBE.ReadLineSpan(lineAddr, sp, fillDone)
+			} else {
+				h.backend.ReadLine(lineAddr, fillDone)
+			}
 		})
 	}
 	if done == nil {

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+)
+
+// TestCounterSetWriteCSVRoundTrip proves WriteCSV output parses back into
+// an equivalent counter set with a standards-compliant CSV reader,
+// including names that require quoting.
+func TestCounterSetWriteCSVRoundTrip(t *testing.T) {
+	orig := NewCounterSet()
+	orig.Declare("drops", "retransmits")
+	orig.Add("drops", 17)
+	orig.Add("weird,name", 3) // needs csvEscape quoting
+	orig.Add(`quote"name`, 5)
+	orig.Set("retransmits", 0)
+
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	rows, err := csv.NewReader(bytes.NewReader(buf.Bytes())).ReadAll()
+	if err != nil {
+		t.Fatalf("WriteCSV output does not re-parse: %v", err)
+	}
+	if len(rows) != 5 || rows[0][0] != "counter" || rows[0][1] != "value" {
+		t.Fatalf("rows = %v", rows)
+	}
+	back := NewCounterSet()
+	for _, row := range rows[1:] {
+		v, err := strconv.ParseUint(row[1], 10, 64)
+		if err != nil {
+			t.Fatalf("value %q: %v", row[1], err)
+		}
+		back.Set(row[0], v)
+	}
+	names := orig.Names()
+	if got := back.Names(); len(got) != len(names) {
+		t.Fatalf("round-trip names = %v, want %v", got, names)
+	}
+	for i, n := range names {
+		if back.Names()[i] != n {
+			t.Fatalf("name order changed: %v vs %v", back.Names(), names)
+		}
+		if back.Get(n) != orig.Get(n) {
+			t.Fatalf("counter %q = %d after round trip, want %d", n, back.Get(n), orig.Get(n))
+		}
+	}
+}
+
+// TestHistogramQuantileSingleSample checks that every quantile of a
+// one-sample distribution is that sample (the bucket upper bound must be
+// clamped to the observed max, not rounded up).
+func TestHistogramQuantileSingleSample(t *testing.T) {
+	h := NewHistogram(0.001)
+	h.Observe(3.7)
+	for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 3.7 {
+			t.Fatalf("Quantile(%v) = %v with single sample 3.7", q, got)
+		}
+	}
+	if h.Min() != 3.7 || h.Max() != 3.7 || h.Mean() != 3.7 {
+		t.Fatalf("min/max/mean = %v/%v/%v", h.Min(), h.Max(), h.Mean())
+	}
+}
+
+// TestHistogramQuantileAllZero checks the zero-bucket path: a
+// distribution of only zeros reports zero at every quantile.
+func TestHistogramQuantileAllZero(t *testing.T) {
+	h := NewHistogram(0.001)
+	for i := 0; i < 100; i++ {
+		h.Observe(0)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("Quantile(%v) = %v for all-zero samples", q, got)
+		}
+	}
+	if h.Count() != 100 || h.Sum() != 0 || h.Max() != 0 {
+		t.Fatalf("count/sum/max = %d/%v/%v", h.Count(), h.Sum(), h.Max())
+	}
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"testing"
+
+	"thymesim/internal/sim"
+)
+
+// TestDisabledTracerPathAllocatesNothing pins the design contract that
+// lets the datapath call the tracer unconditionally: with a nil tracer
+// the whole Start/Enter/Finish sequence must not allocate.
+func TestDisabledTracerPathAllocatesNothing(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		id := tr.Start(KindRead, 0x1000)
+		tr.Enter(id, StageMSHR)
+		tr.Enter(id, StageDRAMAccess)
+		tr.Finish(id)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer path allocates %v bytes/op, want 0", allocs)
+	}
+}
+
+func BenchmarkDisabledSpan(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := tr.Start(KindRead, uint64(i))
+		tr.Enter(id, StageMSHR)
+		tr.Finish(id)
+	}
+}
+
+// BenchmarkSpanRecordFinish measures the enabled steady state: the span
+// pool is warm (slots recycle), retention is capped, so per-span cost is
+// the aggregation arithmetic.
+func BenchmarkSpanRecordFinish(b *testing.B) {
+	k := sim.NewKernel()
+	tr := New(k, Config{MaxRetained: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := tr.Start(KindRead, uint64(i))
+		tr.Enter(id, StageMSHR)
+		tr.Enter(id, StagePortTx)
+		tr.Enter(id, StageLinkRequest)
+		tr.Enter(id, StageDRAMAccess)
+		tr.Enter(id, StageLinkResponse)
+		tr.Finish(id)
+	}
+}
+
+func BenchmarkSpanSampled(b *testing.B) {
+	k := sim.NewKernel()
+	tr := New(k, Config{Sample: 100, MaxRetained: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := tr.Start(KindRead, uint64(i))
+		tr.Enter(id, StageMSHR)
+		tr.Finish(id)
+	}
+}

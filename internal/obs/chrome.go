@@ -1,0 +1,87 @@
+// Chrome trace-event export: retained spans become "X" (complete) events
+// nested under one event per transaction, loadable in chrome://tracing or
+// Perfetto for visual inspection of a single remote access.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry of the trace-event JSON format. Timestamps and
+// durations are in (possibly fractional) microseconds of simulated time.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace emits the retained spans (and instant events) as Chrome
+// trace-event JSON. Each span becomes an enclosing complete event on its
+// own track plus one nested complete event per stage, so the per-stage
+// decomposition of a transaction is directly visible on the timeline.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	trace := chromeTrace{DisplayTimeUnit: "ns", TraceEvents: []chromeEvent{
+		{Name: "process_name", Phase: "M", PID: 0,
+			Args: map[string]any{"name": "thymesim datapath"}},
+	}}
+	if t != nil {
+		// Spans are laid out on tracks by span-slot id: slots are recycled
+		// only after their span finishes, so events on one track never
+		// overlap and concurrent transactions land on different tracks.
+		tracks := make(map[int]int) // pool slot -> compact track id
+		track := func(slot int) int {
+			id, ok := tracks[slot]
+			if !ok {
+				id = len(tracks) + 1
+				tracks[slot] = id
+			}
+			return id
+		}
+		for i := range t.retained {
+			sp := &t.retained[i]
+			tid := track(int(sp.slot))
+			dur := sp.end.Sub(sp.start).Micros()
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: sp.kind.String(), Phase: "X",
+				TS: sp.start.Micros(), Dur: &dur, PID: 0, TID: tid,
+				Args: map[string]any{"addr": fmt.Sprintf("%#x", sp.addr)},
+			})
+			for j := range sp.tr {
+				from := sp.tr[j].at
+				if j == 0 {
+					from = sp.start
+				}
+				to := sp.end
+				if j+1 < len(sp.tr) {
+					to = sp.tr[j+1].at
+				}
+				d := to.Sub(from).Micros()
+				trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+					Name: sp.tr[j].stage.String(), Phase: "X",
+					TS: from.Micros(), Dur: &d, PID: 0, TID: tid,
+				})
+			}
+		}
+		for _, ev := range t.instants {
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: ev.name, Phase: "i", TS: ev.at.Micros(),
+				PID: 0, TID: 0, Scope: "p",
+				Args: map[string]any{"addr": fmt.Sprintf("%#x", ev.addr)},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(trace)
+}

@@ -95,6 +95,12 @@ type Packet struct {
 	// nacked the request or the ARQ layer exhausted its retries and
 	// completed the transaction as dead.
 	Poison bool
+	// Trace carries the observability span id of the transaction this
+	// packet belongs to (0 = untraced). Simulation metadata only — it is
+	// never encoded on the wire — but it rides through retransmissions and
+	// into responses so the span tracer can stitch per-stage timings
+	// across the full datapath.
+	Trace uint64
 }
 
 // Validate checks protocol invariants.
@@ -169,7 +175,7 @@ func (pr Profile) WireBytes(p *Packet) int {
 // Response constructs the reply packet for a request, swapping direction
 // and preserving the tag, attempt sequence, and issue timestamp.
 func (p *Packet) Response() Packet {
-	r := Packet{Tag: p.Tag, Addr: p.Addr, Src: p.Dst, Dst: p.Src, Issued: p.Issued, Prio: p.Prio, Seq: p.Seq}
+	r := Packet{Tag: p.Tag, Addr: p.Addr, Src: p.Dst, Dst: p.Src, Issued: p.Issued, Prio: p.Prio, Seq: p.Seq, Trace: p.Trace}
 	switch p.Op {
 	case OpReadBlock:
 		r.Op = OpReadResp
@@ -195,7 +201,7 @@ func (p *Packet) Nack() Packet {
 		Op: OpNack, Tag: p.Tag, Addr: p.Addr,
 		Src: p.Dst, Dst: p.Src,
 		Issued: p.Issued, Prio: p.Prio, Seq: p.Seq,
-		Poison: true,
+		Poison: true, Trace: p.Trace,
 	}
 }
 

@@ -74,8 +74,17 @@ func (s *Sampler) Start() {
 	})
 }
 
-// Stop ends sampling after the next tick.
-func (s *Sampler) Stop() { s.stopped = true }
+// Stop ends sampling after the next tick. Stopping a sampler that is not
+// running is a documented no-op, so callers may pair Stop with Start
+// unconditionally (e.g. in deferred cleanup) without poisoning a later
+// Start: a premature Stop must not leave the stop flag set, or the first
+// tick after Start would silently cancel sampling.
+func (s *Sampler) Stop() {
+	if !s.running {
+		return
+	}
+	s.stopped = true
+}
 
 func (s *Sampler) sample() {
 	now := s.k.Now().Micros()

@@ -62,6 +62,27 @@ func TestSamplerMultipleProbesAndCSV(t *testing.T) {
 	}
 }
 
+// A Stop before Start must be a no-op: it used to leave the stop flag
+// set, so the first tick after a later Start silently cancelled sampling
+// and every series came back empty.
+func TestSamplerStopBeforeStartIsNoOp(t *testing.T) {
+	k := sim.NewKernel()
+	s := NewSampler(k, sim.Duration(sim.Microsecond))
+	s.Register("x", func() float64 { return 1 })
+	s.Stop() // premature: nothing running yet
+	s.Stop() // and it must stay idempotent
+	s.Start()
+	k.RunUntil(sim.Time(5 * sim.Microsecond))
+	s.Stop()
+	k.Run()
+	if s.Samples() < 4 {
+		t.Fatalf("samples = %d after premature Stop, want sampling to run", s.Samples())
+	}
+	if got := s.Series("x").Len(); got < 4 {
+		t.Fatalf("series has %d points, want sampling to run", got)
+	}
+}
+
 func TestSamplerValidation(t *testing.T) {
 	k := sim.NewKernel()
 	for _, fn := range []func(){
