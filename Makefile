@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check chaos characterize trace-smoke clean
+.PHONY: all build test race vet fmt-check chaos characterize trace-smoke bench clean
 
 all: vet fmt-check build test
 
@@ -24,6 +24,14 @@ fmt-check:
 # Run the link-fault chaos harness (nonzero exit on invariant violations).
 chaos:
 	$(GO) run ./cmd/chaos -failover
+
+# Run the sim/core/obs benchmarks with allocation stats and record them as
+# a machine-diffable JSON artifact (uploaded by CI).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem \
+		./internal/sim ./internal/core ./internal/obs > bench.out
+	$(GO) run ./cmd/benchjson -out BENCH_4.json < bench.out
+	@rm -f bench.out
 
 # Regenerate every figure/table CSV under results/.
 characterize:

@@ -1,0 +1,131 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a JSON array of benchmark records, one per benchmark line:
+//
+//	[{"pkg": "thymesim/internal/sim", "name": "BenchmarkKernelEventThroughput",
+//	  "iterations": 34730608, "ns_per_op": 29.3, "bytes_per_op": 0,
+//	  "allocs_per_op": 0}, ...]
+//
+// It is the bridge between `make bench` and the BENCH_N.json artifacts CI
+// uploads, so benchmark history stays machine-diffable across PRs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson [-out file]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one parsed benchmark result.
+type Record struct {
+	Pkg         string  `json:"pkg"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	records, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(records) == 0 {
+		log.Fatal("no benchmark lines found on stdin (did the bench run fail?)")
+	}
+	enc, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d benchmarks to %s\n", len(records), *out)
+}
+
+// parse scans go test output, tracking the current "pkg:" header and
+// collecting Benchmark lines. Lines that do not match either are echoed to
+// stderr so failures stay visible in CI logs.
+func parse(sc *bufio.Scanner) ([]Record, error) {
+	var records []Record
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			fmt.Fprintln(os.Stderr, line)
+			continue
+		}
+		rec, err := parseBench(pkg, line)
+		if err != nil {
+			return nil, fmt.Errorf("%v (line: %q)", err, line)
+		}
+		records = append(records, rec)
+	}
+	return records, sc.Err()
+}
+
+// parseBench parses one benchmark line of the form
+//
+//	BenchmarkName-8   1234   56.7 ns/op   8 B/op   1 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped from the name so records compare
+// across machines. B/op and allocs/op are optional (absent without
+// -benchmem).
+func parseBench(pkg, line string) (Record, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Record{}, fmt.Errorf("short benchmark line")
+	}
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("bad iteration count: %v", err)
+	}
+	rec := Record{Pkg: pkg, Name: name, Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		val, unit := f[i], f[i+1]
+		switch unit {
+		case "ns/op":
+			if rec.NsPerOp, err = strconv.ParseFloat(val, 64); err != nil {
+				return Record{}, fmt.Errorf("bad ns/op: %v", err)
+			}
+		case "B/op":
+			if rec.BytesPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return Record{}, fmt.Errorf("bad B/op: %v", err)
+			}
+		case "allocs/op":
+			if rec.AllocsPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return Record{}, fmt.Errorf("bad allocs/op: %v", err)
+			}
+		}
+	}
+	return rec, nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: thymesim/internal/sim
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkKernelEventThroughput 	34730608	        29.30 ns/op	       0 B/op	       0 allocs/op
+BenchmarkKernelHeapChurn-8     	33793118	        34.35 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	thymesim/internal/sim	3.676s
+pkg: thymesim/internal/obs
+BenchmarkDisabledSpan 	1000000000	         0.25 ns/op
+PASS
+`
+	recs, err := parse(bufio.NewScanner(strings.NewReader(input)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want 3", len(recs))
+	}
+	r := recs[0]
+	if r.Pkg != "thymesim/internal/sim" || r.Name != "BenchmarkKernelEventThroughput" {
+		t.Fatalf("record 0 = %+v", r)
+	}
+	if r.Iterations != 34730608 || r.NsPerOp != 29.30 || r.BytesPerOp != 0 || r.AllocsPerOp != 0 {
+		t.Fatalf("record 0 metrics = %+v", r)
+	}
+	// The -8 GOMAXPROCS suffix is stripped.
+	if recs[1].Name != "BenchmarkKernelHeapChurn" {
+		t.Fatalf("record 1 name = %q", recs[1].Name)
+	}
+	// -benchmem columns are optional.
+	if recs[2].Pkg != "thymesim/internal/obs" || recs[2].NsPerOp != 0.25 || recs[2].AllocsPerOp != 0 {
+		t.Fatalf("record 2 = %+v", recs[2])
+	}
+}
+
+func TestParseBenchRejectsGarbage(t *testing.T) {
+	if _, err := parse(bufio.NewScanner(strings.NewReader("BenchmarkBroken abc 1 ns/op\n"))); err == nil {
+		t.Fatal("bad iteration count accepted")
+	}
+}

@@ -7,8 +7,12 @@
 //
 // Usage:
 //
-//	chaos [-seed n] [-ber p] [-drop p] [-flap-up us] [-flap-down us]
+//	chaos [-seed n] [-j n] [-ber p] [-drop p] [-flap-up us] [-flap-down us]
 //	      [-workloads stream,kvstore,graph500] [-failover]
+//
+// Trials fan out across -j worker goroutines (default: one per CPU); each
+// trial owns its testbed and fault schedule, so results are identical at
+// any -j.
 package main
 
 import (
@@ -33,12 +37,14 @@ func main() {
 		flapUp    = flag.Float64("flap-up", def.FlapMeanUp.Micros(), "mean link up-phase (us)")
 		flapDown  = flag.Float64("flap-down", def.FlapMeanDown.Micros(), "mean link down-phase (us, 0 disables flapping)")
 		workloads = flag.String("workloads", strings.Join(core.ChaosWorkloads, ","), "comma-separated workloads")
+		jobs      = flag.Int("j", 0, "concurrent chaos trials (0 = one per CPU); results are identical at any -j")
 		failover  = flag.Bool("failover", false, "also run the dead-link degraded-failover scenario")
 	)
 	flag.Parse()
 
 	opts := core.Default()
 	opts.Seed = *seed
+	opts.Workers = *jobs
 	cfg := core.DefaultChaosConfig()
 	cfg.Seed = *seed
 	cfg.Faults.BER = *ber

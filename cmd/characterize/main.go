@@ -6,8 +6,12 @@
 //
 // Usage:
 //
-//	characterize [-out dir] [-paper] [-trace file] [-trace-sample N]
+//	characterize [-out dir] [-paper] [-j N] [-trace file] [-trace-sample N]
 //	             [-experiment all|validation|resilience|table1|fig5|mcbn|mcln|pool|dists|qos|migration|interconnect|prefetch|recovery|chaos|breakdown]
+//
+// Sweep points fan out across -j worker goroutines (default: one per
+// CPU). Every point owns its testbed and derives its randomness from
+// -seed, so output is byte-identical at every -j setting.
 package main
 
 import (
@@ -15,6 +19,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"slices"
+	"strings"
 
 	"thymesim/internal/core"
 	"thymesim/internal/sim"
@@ -28,6 +34,7 @@ func main() {
 		paper      = flag.Bool("paper", false, "use the paper's full experiment sizes (slow)")
 		experiment = flag.String("experiment", "all", "which experiment to run")
 		seed       = flag.Uint64("seed", 1, "simulation seed")
+		jobs       = flag.Int("j", 0, "concurrent sweep points (0 = one per CPU); results are identical at any -j")
 		trace      = flag.String("trace", "", "Chrome trace-event JSON of the breakdown run's spans")
 		traceSamp  = flag.Int("trace-sample", 1, "trace every Nth line fill in the breakdown sweep")
 	)
@@ -38,6 +45,7 @@ func main() {
 		opts = core.Paper()
 	}
 	opts.Seed = *seed
+	opts.Workers = *jobs
 	if err := opts.Validate(); err != nil {
 		log.Fatal(err)
 	}
@@ -46,6 +54,12 @@ func main() {
 	run := func(name string, fn func()) {
 		fmt.Fprintf(os.Stderr, "running %s...\n", name)
 		fn()
+	}
+	known := []string{"all", "validation", "resilience", "table1", "fig5", "mcbn",
+		"mcln", "pool", "dists", "qos", "migration", "interconnect", "prefetch",
+		"recovery", "chaos", "breakdown"}
+	if !slices.Contains(known, *experiment) {
+		log.Fatalf("unknown experiment %q (choose one of %s)", *experiment, strings.Join(known, "|"))
 	}
 	want := func(name string) bool { return *experiment == "all" || *experiment == name }
 

@@ -1,0 +1,50 @@
+package core
+
+import "testing"
+
+// benchOptions shrinks the workloads so one sweep point is cheap enough to
+// iterate.
+func benchOptions() Options {
+	o := Default()
+	o.StreamElements = 1 << 12
+	return o
+}
+
+// BenchmarkStreamRemotePoint measures one validation sweep point end to
+// end: testbed construction plus a full STREAM run over the simulated
+// datapath. This is the unit of work the sweep pool schedules.
+func BenchmarkStreamRemotePoint(b *testing.B) {
+	o := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := o.StreamRemote(50)
+		if m.BandwidthBps <= 0 {
+			b.Fatal("no bandwidth measured")
+		}
+	}
+}
+
+// BenchmarkValidationSweepSerial is the Figs. 2-3 sweep with the pool
+// disabled: the serial reference the parallel variant is compared against.
+func BenchmarkValidationSweepSerial(b *testing.B) {
+	o := benchOptions()
+	o.Workers = 1
+	periods := []int64{1, 10, 50, 100}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.RunDelayValidation(periods)
+	}
+}
+
+// BenchmarkValidationSweepParallel is the same sweep with one worker per
+// CPU; the ratio to the serial variant is the sweep harness's speedup on
+// this machine.
+func BenchmarkValidationSweepParallel(b *testing.B) {
+	o := benchOptions()
+	o.Workers = 0 // GOMAXPROCS
+	periods := []int64{1, 10, 50, 100}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.RunDelayValidation(periods)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"thymesim/internal/metrics"
 	"thymesim/internal/obs"
+	"thymesim/internal/sweep"
 )
 
 // BreakdownPoint is one PERIOD's per-stage latency decomposition.
@@ -43,18 +44,29 @@ func (o Options) RunLatencyBreakdown(periods []int64, sample int) *StageBreakdow
 		Title:   "Table I (simulated): per-stage decomposition of a remote line fill",
 		Columns: []string{"PERIOD", "stage", "count", "mean (us)", "p99 (us)", "share (%)"},
 	}}
-	for i, period := range periods {
+	type traced struct {
+		pt BreakdownPoint
+		tr *obs.Tracer
+	}
+	runs := sweep.Map(o.Workers, len(periods), func(i int) traced {
+		period := periods[i]
 		tb := o.Testbed(period)
 		tr := tb.EnableTracing(obs.Config{Sample: sample})
 		m := o.runStream(tb, tb.NewRemoteHierarchy(), tb.RemoteAddr(0))
-		pt := BreakdownPoint{
-			Period:     period,
-			FillLatUs:  m.FillLatUs,
-			EndToEndUs: tr.EndToEndMeanUs(),
-			P99Us:      tr.EndToEnd().Quantile(0.99),
-			Spans:      tr.Finished(),
-			Rows:       tr.Breakdown(),
+		return traced{
+			pt: BreakdownPoint{
+				Period:     period,
+				FillLatUs:  m.FillLatUs,
+				EndToEndUs: tr.EndToEndMeanUs(),
+				P99Us:      tr.EndToEnd().Quantile(0.99),
+				Spans:      tr.Finished(),
+				Rows:       tr.Breakdown(),
+			},
+			tr: tr,
 		}
+	})
+	for i, period := range periods {
+		pt := runs[i].pt
 		sb.Points = append(sb.Points, pt)
 		for _, r := range pt.Rows {
 			sb.Table.AddRow(fmt.Sprintf("%d", period), r.Stage.String(),
@@ -69,7 +81,7 @@ func (o Options) RunLatencyBreakdown(periods []int64, sample int) *StageBreakdow
 			fmt.Sprintf("%.4f", pt.P99Us),
 			"100.0")
 		if i == 0 {
-			sb.Tracer = tr
+			sb.Tracer = runs[i].tr
 		}
 	}
 	return sb

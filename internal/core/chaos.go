@@ -20,6 +20,7 @@ import (
 	"thymesim/internal/metrics"
 	"thymesim/internal/migrate"
 	"thymesim/internal/sim"
+	"thymesim/internal/sweep"
 	"thymesim/internal/telemetry"
 	"thymesim/internal/tfnic"
 	"thymesim/internal/workloads/graph500"
@@ -389,9 +390,12 @@ func (o Options) RunChaos(cfg ChaosConfig) *ChaosReport {
 		Title:   "Chaos harness: workloads under corruption+drop+flap",
 		Columns: []string{"workload", "completed", "elapsed (us)", "retransmits", "dead", "poisoned", "downs", "recoveries", "violations"},
 	}
-	for _, w := range cfg.Workloads {
-		res := o.runChaosWorkload(cfg, w)
-		rep.Results = append(rep.Results, res)
+	// Each trial owns its testbed, fault gates, and counters; fan the
+	// workloads out and aggregate in input order.
+	rep.Results = sweep.Map(o.Workers, len(cfg.Workloads), func(i int) ChaosResult {
+		return o.runChaosWorkload(cfg, cfg.Workloads[i])
+	})
+	for _, res := range rep.Results {
 		rep.Counters.Add("gate_dropped", res.Dropped)
 		rep.Counters.Add("gate_corrupted", res.Corrupted)
 		rep.Counters.Add("flap_blocked", res.FlapBlocked)
@@ -577,7 +581,7 @@ func (o Options) recoveryPoint(scenario string, level float64) RecoveryPoint {
 // and measures what the system still delivers and how fast it recovers —
 // the robustness counterpart of Fig. 4's delay-only stress test.
 func (o Options) RunResilienceRecovery() *ResilienceRecovery {
-	sweep := []struct {
+	families := []struct {
 		scenario string
 		levels   []float64
 	}{
@@ -596,7 +600,21 @@ func (o Options) RunResilienceRecovery() *ResilienceRecovery {
 		Counters: metrics.NewCounterSet(),
 	}
 	rr.Counters.Declare("retransmits", "dead", "poisoned", "downs", "recoveries")
-	rr.Baseline = o.recoveryPoint("baseline", 0)
+	// Flatten the baseline plus every (scenario, level) pair into one
+	// sweep so the whole grid shares the pool.
+	type job struct {
+		scenario string
+		level    float64
+	}
+	jobs := []job{{"baseline", 0}}
+	for _, f := range families {
+		for _, level := range f.levels {
+			jobs = append(jobs, job{f.scenario, level})
+		}
+	}
+	pts := sweep.Map(o.Workers, len(jobs), func(i int) RecoveryPoint {
+		return o.recoveryPoint(jobs[i].scenario, jobs[i].level)
+	})
 	account := func(p RecoveryPoint) {
 		rr.Counters.Add("retransmits", p.Retransmits)
 		rr.Counters.Add("dead", p.Dead)
@@ -604,13 +622,16 @@ func (o Options) RunResilienceRecovery() *ResilienceRecovery {
 		rr.Counters.Add("downs", p.Downs)
 		rr.Counters.Add("recoveries", p.Recoveries)
 	}
+	rr.Baseline = pts[0]
 	account(rr.Baseline)
-	for _, s := range sweep {
-		series := rr.Figure.AddSeries(s.scenario)
-		for _, level := range s.levels {
-			p := o.recoveryPoint(s.scenario, level)
+	next := 1
+	for _, f := range families {
+		series := rr.Figure.AddSeries(f.scenario)
+		for range f.levels {
+			p := pts[next]
+			next++
 			rr.Points = append(rr.Points, p)
-			series.Add(level, p.BandwidthGBs)
+			series.Add(p.Level, p.BandwidthGBs)
 			account(p)
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"thymesim/internal/inject"
 	"thymesim/internal/metrics"
 	"thymesim/internal/sim"
+	"thymesim/internal/sweep"
 	"thymesim/internal/workloads/stream"
 )
 
@@ -37,8 +38,11 @@ func (o Options) RunDelayValidation(periods []int64) *DelayValidation {
 	lat := v.Latency.AddSeries("stream")
 	bw := v.Bandwidth.AddSeries("stream")
 	bdp := v.BDP.AddSeries("stream")
-	for _, p := range periods {
-		m := o.StreamRemote(p)
+	ms := sweep.Map(o.Workers, len(periods), func(i int) StreamMeasurement {
+		return o.StreamRemote(periods[i])
+	})
+	for i, p := range periods {
+		m := ms[i]
 		lat.Add(float64(p), m.FillLatUs)
 		bw.Add(float64(p), m.BandwidthBps/1e9)
 		bdp.Add(float64(p), m.BandwidthBps*m.FillLatUs/1e6/1e3)
@@ -76,7 +80,8 @@ func (o Options) RunResilience(periods []int64) *Resilience {
 		Figure: &metrics.Figure{Title: "Figure 4: reliability under heavy delay injection", XLabel: "PERIOD (FPGA cycles)", YLabel: "latency (us)", LogX: true, LogY: true},
 	}
 	s := res.Figure.AddSeries("stream")
-	for _, p := range periods {
+	res.Points = sweep.Map(o.Workers, len(periods), func(i int) ResiliencePoint {
+		p := periods[i]
 		tb := o.Testbed(p)
 		var attach control.AttachResult
 		// Start the handshake off the slot grid, as a real attach would
@@ -89,9 +94,13 @@ func (o Options) RunResilience(periods []int64) *Resilience {
 		if attach.OK {
 			m := o.runStream(tb, tb.NewRemoteHierarchy(), tb.RemoteAddr(0))
 			pt.LatencyUs = m.FillLatUs
-			s.Add(float64(p), m.FillLatUs)
 		}
-		res.Points = append(res.Points, pt)
+		return pt
+	})
+	for _, pt := range res.Points {
+		if pt.AttachOK {
+			s.Add(float64(pt.Period), pt.LatencyUs)
+		}
 	}
 	return res
 }
@@ -108,15 +117,23 @@ type Table1 struct {
 // RunTable1 reproduces Table I.
 func (o Options) RunTable1() *Table1 {
 	t := &Table1{}
-	kvLocal := o.KVLocal()
-	kvLow := o.KVRemote(1)
-	kvHigh := o.KVRemote(1000)
+	// Six independent single-testbed measurements; fan them across the
+	// pool. Each job writes only its own variable, and sweep.Run's join
+	// orders all writes before the reads below.
+	var kvLocal, kvLow, kvHigh KVMeasurement
+	var gLocal, gLow, gHigh GraphMeasurement
+	jobs := []func(){
+		func() { kvLocal = o.KVLocal() },
+		func() { kvLow = o.KVRemote(1) },
+		func() { kvHigh = o.KVRemote(1000) },
+		func() { gLocal = o.GraphLocal() },
+		func() { gLow = o.GraphRemote(1) },
+		func() { gHigh = o.GraphRemote(1000) },
+	}
+	sweep.Run(o.Workers, len(jobs), func(i int) { jobs[i]() })
 	t.RedisLow = kvLocal.Throughput / kvLow.Throughput
 	t.RedisHigh = kvLocal.Throughput / kvHigh.Throughput
 
-	gLocal := o.GraphLocal()
-	gLow := o.GraphRemote(1)
-	gHigh := o.GraphRemote(1000)
 	t.BFSLow = float64(gLow.BFSTime) / float64(gLocal.BFSTime)
 	t.BFSHigh = float64(gHigh.BFSTime) / float64(gLocal.BFSTime)
 	t.SSSPLow = float64(gLow.SSSPTime) / float64(gLocal.SSSPTime)
@@ -155,17 +172,32 @@ func (o Options) RunAppDegradation(periods []int64) *AppDegradation {
 	bfs := fig.AddSeries("graph500-bfs")
 	sssp := fig.AddSeries("graph500-sssp")
 
-	kvBase := o.KVRemote(1)
-	gBase := o.GraphRemote(1)
-	for _, p := range periods {
+	var kvBase KVMeasurement
+	var gBase GraphMeasurement
+	base := []func(){
+		func() { kvBase = o.KVRemote(1) },
+		func() { gBase = o.GraphRemote(1) },
+	}
+	sweep.Run(o.Workers, len(base), func(i int) { base[i]() })
+	type degPoint struct {
+		x  float64
+		kv KVMeasurement
+		g  GraphMeasurement
+	}
+	pts := sweep.Map(o.Workers, len(periods), func(i int) degPoint {
+		p := periods[i]
 		// The paper quantifies injected delay by the latency STREAM
 		// measures at that PERIOD (Fig. 2's calibration); do the same.
-		x := o.StreamRemote(p).FillLatUs
-		kv := o.KVRemote(p)
-		redis.Add(x, kvBase.Throughput/kv.Throughput)
-		g := o.GraphRemote(p)
-		bfs.Add(x, float64(g.BFSTime)/float64(gBase.BFSTime))
-		sssp.Add(x, float64(g.SSSPTime)/float64(gBase.SSSPTime))
+		return degPoint{
+			x:  o.StreamRemote(p).FillLatUs,
+			kv: o.KVRemote(p),
+			g:  o.GraphRemote(p),
+		}
+	})
+	for _, pt := range pts {
+		redis.Add(pt.x, kvBase.Throughput/pt.kv.Throughput)
+		bfs.Add(pt.x, float64(pt.g.BFSTime)/float64(gBase.BFSTime))
+		sssp.Add(pt.x, float64(pt.g.SSSPTime)/float64(gBase.SSSPTime))
 	}
 	return &AppDegradation{Figure: fig}
 }
@@ -192,7 +224,8 @@ func (o Options) runMCBN(counts []int, mkCfg func(int64) cluster.Config) *Conten
 		Counts: counts,
 	}
 	s := c.Figure.AddSeries("per-instance")
-	for _, n := range counts {
+	c.BorrowerBps = sweep.Map(o.Workers, len(counts), func(idx int) float64 {
+		n := counts[idx]
 		tb := cluster.NewTestbed(mkCfg(1))
 		var runners []*stream.Runner
 		for i := 0; i < n; i++ {
@@ -208,14 +241,20 @@ func (o Options) runMCBN(counts []int, mkCfg func(int64) cluster.Config) *Conten
 			}
 		})
 		tb.K.Run()
+		// n == 0 runs no instances; the mean over zero runs is zero
+		// bandwidth, not 0/0 (which would put a NaN into the figure).
+		if len(all) == 0 {
+			return 0
+		}
 		var sum float64
 		for _, res := range all {
 			bw, _ := stream.Summary(res)
 			sum += bw
 		}
-		mean := sum / float64(len(all))
-		s.Add(float64(n), mean/1e9)
-		c.BorrowerBps = append(c.BorrowerBps, mean)
+		return sum / float64(len(all))
+	})
+	for i, n := range counts {
+		s.Add(float64(n), c.BorrowerBps[i]/1e9)
 	}
 	return c
 }
@@ -241,7 +280,8 @@ func (o Options) runMCLN(counts []int, mkCfg func(int64) cluster.Config, title s
 		Counts: counts,
 	}
 	s := c.Figure.AddSeries("borrower")
-	for _, n := range counts {
+	c.BorrowerBps = sweep.Map(o.Workers, len(counts), func(idx int) float64 {
+		n := counts[idx]
 		tb := cluster.NewTestbed(mkCfg(1))
 		// Borrower's remote STREAM.
 		bCfg := stream.DefaultConfig(tb.RemoteAddr(0))
@@ -264,8 +304,10 @@ func (o Options) runMCLN(counts []int, mkCfg func(int64) cluster.Config, title s
 		})
 		tb.K.Run()
 		bw, _ := stream.Summary(bRes)
-		s.Add(float64(n), bw/1e9)
-		c.BorrowerBps = append(c.BorrowerBps, bw)
+		return bw
+	})
+	for i, n := range counts {
+		s.Add(float64(n), c.BorrowerBps[i]/1e9)
 	}
 	return c
 }
@@ -302,19 +344,29 @@ func (o Options) RunDistImpact(meanDelay sim.Duration) *DistImpact {
 		Table:  &metrics.Table{Title: "Extension (§VII): distribution-based injection", Columns: []string{"distribution", "bandwidth (GB/s)", "mean fill latency (us)", "p99 fill latency (us)"}},
 	}
 	s := d.Figure.AddSeries("stream")
-	for i, g := range gates {
+	// The gates above were drawn serially from the shared rng, so their
+	// seeds are fixed before the pool starts; each point then owns its
+	// gate and testbed outright.
+	type distPoint struct {
+		m   StreamMeasurement
+		p99 float64
+	}
+	pts := sweep.Map(o.Workers, len(gates), func(i int) distPoint {
 		cfg := o.TestbedConfig(0)
-		cfg.Gate = g.gate
+		cfg.Gate = gates[i].gate
 		cfg.Period = 0
 		tb := cluster.NewTestbed(cfg)
 		h := tb.NewRemoteHierarchy()
 		m := o.runStream(tb, h, tb.RemoteAddr(0))
-		p99 := h.FillLatency().Quantile(0.99)
-		s.Add(float64(i), m.BandwidthBps/1e9)
+		return distPoint{m: m, p99: h.FillLatency().Quantile(0.99)}
+	})
+	for i, g := range gates {
+		pt := pts[i]
+		s.Add(float64(i), pt.m.BandwidthBps/1e9)
 		d.Table.AddRow(g.name,
-			fmt.Sprintf("%.3f", m.BandwidthBps/1e9),
-			fmt.Sprintf("%.2f", m.FillLatUs),
-			fmt.Sprintf("%.2f", p99))
+			fmt.Sprintf("%.3f", pt.m.BandwidthBps/1e9),
+			fmt.Sprintf("%.2f", pt.m.FillLatUs),
+			fmt.Sprintf("%.2f", pt.p99))
 	}
 	return d
 }

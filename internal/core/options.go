@@ -37,6 +37,11 @@ type Options struct {
 	LLCWays  int
 	// Seed drives all generators.
 	Seed uint64
+	// Workers bounds how many sweep points run concurrently (< 1 means one
+	// per CPU). Every sweep point owns its testbed and derives its
+	// randomness from Seed, so the worker count changes wall clock only:
+	// results are byte-identical at any setting.
+	Workers int
 }
 
 // Default returns the scaled-down experiment sizes.

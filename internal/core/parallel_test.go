@@ -1,0 +1,120 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// writeReportDir renders a report's CSVs into a temp dir and returns its
+// files as name -> contents.
+func writeReportDir(t *testing.T, rep *Report) map[string][]byte {
+	t.Helper()
+	dir := t.TempDir()
+	if err := rep.WriteCSVDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string][]byte{}
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = b
+	}
+	return out
+}
+
+// TestParallelSweepDeterminism is the tentpole regression guarantee: the
+// worker count is a throughput knob, never a results knob. The same seed
+// must produce byte-identical CSVs at -j 1 and -j 8.
+func TestParallelSweepDeterminism(t *testing.T) {
+	periods := []int64{1, 10, 50, 100}
+	counts := []int{0, 1, 2}
+	build := func(workers int) *Report {
+		o := fastOptions()
+		o.Workers = workers
+		return &Report{
+			Options:    o,
+			Validation: o.RunDelayValidation(periods),
+			MCBN:       o.RunMCBN(counts),
+			MCLN:       o.RunMCLN(counts),
+			Breakdown:  o.RunLatencyBreakdown(periods, 4),
+		}
+	}
+	serial := writeReportDir(t, build(1))
+	parallel := writeReportDir(t, build(8))
+	if len(serial) == 0 {
+		t.Fatal("no CSV files written")
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("file sets differ: %d serial vs %d parallel", len(serial), len(parallel))
+	}
+	for name, want := range serial {
+		got, ok := parallel[name]
+		if !ok {
+			t.Fatalf("%s missing from parallel run", name)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s differs between -j 1 and -j 8:\nserial:\n%s\nparallel:\n%s", name, want, got)
+		}
+	}
+}
+
+// TestConcurrentSweepsUnderRace runs two full sweeps side by side — each
+// internally parallel, each registering telemetry probes and counter sets —
+// to prove (under -race) that concurrent testbeds share no mutable state.
+func TestConcurrentSweepsUnderRace(t *testing.T) {
+	run := func(seed uint64) *ChaosReport {
+		o := fastOptions()
+		o.Seed = seed
+		o.Workers = 2
+		cfg := DefaultChaosConfig()
+		cfg.Seed = seed
+		cfg.Workloads = []string{"stream", "kvstore"}
+		return o.RunChaos(cfg)
+	}
+	var wg sync.WaitGroup
+	reps := make([]*ChaosReport, 2)
+	for i := range reps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reps[i] = run(uint64(i + 1))
+		}(i)
+	}
+	wg.Wait()
+	for i, rep := range reps {
+		if !rep.OK() {
+			t.Errorf("sweep %d: chaos invariants violated: %+v", i, rep.Results)
+		}
+	}
+}
+
+// TestMCBNZeroCountNoNaN pins the divide-by-zero fix: a zero instance
+// count must contribute 0 GB/s, not NaN, to Fig. 6.
+func TestMCBNZeroCountNoNaN(t *testing.T) {
+	o := fastOptions()
+	c := o.RunMCBN([]int{0, 1})
+	if len(c.BorrowerBps) != 2 {
+		t.Fatalf("points = %d, want 2", len(c.BorrowerBps))
+	}
+	if math.IsNaN(c.BorrowerBps[0]) || c.BorrowerBps[0] != 0 {
+		t.Fatalf("n=0 bandwidth = %v, want 0", c.BorrowerBps[0])
+	}
+	if c.BorrowerBps[1] <= 0 || math.IsNaN(c.BorrowerBps[1]) {
+		t.Fatalf("n=1 bandwidth = %v, want > 0", c.BorrowerBps[1])
+	}
+	for _, pt := range c.Figure.Series[0].Points {
+		if math.IsNaN(pt.Y) {
+			t.Fatalf("NaN leaked into the figure: %+v", c.Figure.Series[0].Points)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"sync"
 )
 
 // CounterSet is an ordered collection of named cumulative counters — the
@@ -10,7 +11,13 @@ import (
 // across runs and exports through the report pipeline. Counters are
 // declared (or lazily created) by name and keep their declaration order,
 // so CSV and table output are stable across runs.
+//
+// All methods are safe for concurrent use: parallel sweeps run one testbed
+// per goroutine, and a set that aggregates across testbeds (or feeds
+// telemetry probes while a run mutates it) must not race. The mutex is
+// uncontended in the common single-testbed case.
 type CounterSet struct {
+	mu    sync.Mutex
 	names []string
 	vals  map[string]uint64
 }
@@ -24,11 +31,14 @@ func NewCounterSet() *CounterSet {
 // Declaring up front fixes output order and lets telemetry register probes
 // before any event fires.
 func (c *CounterSet) Declare(names ...string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for _, n := range names {
 		c.ensure(n)
 	}
 }
 
+// ensure must be called with c.mu held.
 func (c *CounterSet) ensure(name string) {
 	if _, ok := c.vals[name]; !ok {
 		c.names = append(c.names, name)
@@ -38,6 +48,8 @@ func (c *CounterSet) ensure(name string) {
 
 // Add increments a counter, creating it at zero first if needed.
 func (c *CounterSet) Add(name string, delta uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.ensure(name)
 	c.vals[name] += delta
 }
@@ -45,15 +57,23 @@ func (c *CounterSet) Add(name string, delta uint64) {
 // Set overwrites a counter's value, creating it if needed — for counters
 // mirrored from an external cumulative source.
 func (c *CounterSet) Set(name string, v uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.ensure(name)
 	c.vals[name] = v
 }
 
 // Get returns a counter's value (zero for unknown names).
-func (c *CounterSet) Get(name string) uint64 { return c.vals[name] }
+func (c *CounterSet) Get(name string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.vals[name]
+}
 
 // Names returns the counter names in declaration order.
 func (c *CounterSet) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([]string, len(c.names))
 	copy(out, c.names)
 	return out
@@ -66,22 +86,37 @@ func (c *CounterSet) Merge(other *CounterSet) {
 	}
 }
 
+// snapshot returns a consistent copy of names and values.
+func (c *CounterSet) snapshot() ([]string, map[string]uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, len(c.names))
+	copy(names, c.names)
+	vals := make(map[string]uint64, len(c.vals))
+	for k, v := range c.vals {
+		vals[k] = v
+	}
+	return names, vals
+}
+
 // Table renders the set as a two-column table.
 func (c *CounterSet) Table(title string) *Table {
+	names, vals := c.snapshot()
 	t := &Table{Title: title, Columns: []string{"counter", "value"}}
-	for _, n := range c.names {
-		t.AddRow(n, fmt.Sprintf("%d", c.vals[n]))
+	for _, n := range names {
+		t.AddRow(n, fmt.Sprintf("%d", vals[n]))
 	}
 	return t
 }
 
 // WriteCSV emits the set as counter,value rows.
 func (c *CounterSet) WriteCSV(w io.Writer) error {
+	names, vals := c.snapshot()
 	if _, err := fmt.Fprintln(w, "counter,value"); err != nil {
 		return err
 	}
-	for _, n := range c.names {
-		if _, err := fmt.Fprintf(w, "%s,%d\n", csvEscape(n), c.vals[n]); err != nil {
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "%s,%d\n", csvEscape(n), vals[n]); err != nil {
 			return err
 		}
 	}

@@ -3,6 +3,7 @@ package metrics
 import (
 	"bytes"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -50,6 +51,36 @@ func TestCounterSetDeclareIdempotent(t *testing.T) {
 	}
 	if len(c.Names()) != 2 {
 		t.Fatalf("names = %v", c.Names())
+	}
+}
+
+// TestCounterSetConcurrent hammers one set from many goroutines — the
+// shape a cross-testbed aggregate sees under parallel sweeps. Run with
+// -race; the final tally also checks no increment was lost.
+func TestCounterSetConcurrent(t *testing.T) {
+	c := NewCounterSet()
+	c.Declare("shared")
+	const goroutines, each = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Add("shared", 1)
+				c.Add(string(rune('a'+g)), 1) // per-goroutine lazy registration
+				_ = c.Get("shared")
+				_ = c.Names()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Get("shared"); got != goroutines*each {
+		t.Fatalf("shared = %d, want %d", got, goroutines*each)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
 	}
 }
 

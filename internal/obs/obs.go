@@ -16,6 +16,10 @@
 //     a sampling rate bounds how many transactions are traced at all, and
 //     raw spans retained for Chrome-trace export are capped; aggregation
 //     (per-stage histograms) continues past the cap.
+//
+// A Tracer is bound to one kernel and holds no package-global state, so
+// concurrent testbeds in a parallel sweep each trace independently; do not
+// share one Tracer across kernels.
 package obs
 
 import (

@@ -3,7 +3,8 @@ package sim
 import "testing"
 
 // BenchmarkKernelEventThroughput measures raw event dispatch rate — the
-// ceiling on every simulation in the repository.
+// ceiling on every simulation in the repository. Steady-state scheduling
+// must report 0 allocs/op (heap growth is amortized away by the warm slice).
 func BenchmarkKernelEventThroughput(b *testing.B) {
 	k := NewKernel()
 	n := 0
@@ -15,6 +16,7 @@ func BenchmarkKernelEventThroughput(b *testing.B) {
 		}
 	}
 	k.After(Nanosecond, tick)
+	b.ReportAllocs()
 	b.ResetTimer()
 	k.Run()
 }
@@ -35,6 +37,7 @@ func BenchmarkKernelHeapChurn(b *testing.B) {
 		}
 	}
 	k.At(0, tick)
+	b.ReportAllocs()
 	b.ResetTimer()
 	k.Run()
 }

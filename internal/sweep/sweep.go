@@ -1,0 +1,90 @@
+// Package sweep fans independent experiment points out across a bounded
+// worker pool. Every figure in the paper is a sweep — PERIOD grids,
+// instance counts, fault levels — and each point builds its own testbed
+// with its own single-threaded kernel, so points share nothing and can run
+// on separate goroutines. Results are always collected in input order,
+// which together with per-point seed derivation makes parallel output
+// byte-identical to serial: the worker count is a throughput knob, never a
+// results knob.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count request: values below 1 mean "one per
+// available CPU" (GOMAXPROCS).
+func Workers(n int) int {
+	if n >= 1 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(i) for every i in [0, n) across at most workers goroutines
+// and returns the results indexed by input position. workers < 1 uses
+// Workers' default. fn must be safe to call concurrently with itself;
+// distinct calls must not share mutable state. A panic in any fn is
+// re-raised on the caller's goroutine after the pool drains.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	Run(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// Run is Map without results: it calls fn(i) for every i in [0, n) across
+// the pool and returns once all calls finish.
+func Run(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Serial fast path: no goroutines, same call order as the pool's
+		// index order, so -j 1 is the reference execution.
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Pointer[panicValue]
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicked.CompareAndSwap(nil, &panicValue{index: i, value: r})
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if pv := panicked.Load(); pv != nil {
+		panic(fmt.Sprintf("sweep: point %d panicked: %v", pv.index, pv.value))
+	}
+}
+
+type panicValue struct {
+	index int
+	value any
+}

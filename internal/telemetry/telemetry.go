@@ -2,6 +2,13 @@
 // backlog, link utilization, MSHR occupancy, DRAM utilization) into time
 // series, the counterpart of the hardware performance counters related
 // work (§VI) uses to characterize memory subsystems.
+//
+// Concurrency contract: there is no package-global probe registry — every
+// Sampler belongs to one kernel and is driven only by that kernel's
+// (single-threaded) event loop, so concurrent testbeds in a parallel
+// sweep never share sampler state. A probe's closure may, however, read a
+// metrics.CounterSet that is also aggregated across testbeds; CounterSet
+// is mutex-protected for exactly that case.
 package telemetry
 
 import (
