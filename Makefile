@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check chaos characterize trace-smoke bench clean
+.PHONY: all build test race race-pools vet fmt-check chaos characterize trace-smoke bench bench-gate clean
+
+# Benchmark artifact for this PR and the committed baseline it is gated
+# against (previous PR's numbers).
+BENCH_OUT      ?= BENCH_5.json
+BENCH_BASELINE ?= BENCH_4.json
 
 all: vet fmt-check build test
 
@@ -30,8 +35,22 @@ chaos:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem \
 		./internal/sim ./internal/core ./internal/obs > bench.out
-	$(GO) run ./cmd/benchjson -out BENCH_4.json < bench.out
+	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) < bench.out
 	@rm -f bench.out
+
+# Allocation-regression gate: rerun the benchmarks and fail if any of them
+# regressed >20% in ns/op or grew allocs/op at all vs the committed baseline.
+bench-gate:
+	$(GO) test -run '^$$' -bench . -benchmem \
+		./internal/sim ./internal/core ./internal/obs > bench.out
+	$(GO) run ./cmd/benchjson -baseline $(BENCH_BASELINE) -gate < bench.out > /dev/null
+	@rm -f bench.out
+
+# Race-check the pool-heavy packages: pooled transactions and free-listed
+# continuations must stay data-race-free under concurrent sweep workers.
+race-pools:
+	$(GO) test -race ./internal/cluster ./internal/tfnic ./internal/ocapi \
+		./internal/workloads/kvstore ./internal/core
 
 # Regenerate every figure/table CSV under results/.
 characterize:

@@ -8,9 +8,16 @@
 // It is the bridge between `make bench` and the BENCH_N.json artifacts CI
 // uploads, so benchmark history stays machine-diffable across PRs.
 //
+// With -baseline, the run is compared against a previous benchjson output:
+// per-benchmark deltas are printed to stderr, and with -gate the command
+// exits non-zero when any benchmark regresses more than -ns-tolerance in
+// ns/op or by even one alloc/op — the allocation-regression gate CI runs
+// against the committed baseline.
+//
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchjson [-out file]
+//	    [-baseline BENCH_N.json] [-gate] [-ns-tolerance 0.20]
 package main
 
 import (
@@ -38,6 +45,9 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	out := flag.String("out", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "previous benchjson output to diff against")
+	gate := flag.Bool("gate", false, "exit non-zero when the -baseline diff shows a regression")
+	nsTol := flag.Float64("ns-tolerance", 0.20, "ns/op regression fraction tolerated before gating")
 	flag.Parse()
 
 	records, err := parse(bufio.NewScanner(os.Stdin))
@@ -54,12 +64,88 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d benchmarks to %s\n", len(records), *out)
+	}
+
+	if *baseline == "" {
 		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	base, err := loadRecords(*baseline)
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %d benchmarks to %s\n", len(records), *out)
+	lines, regressions := diff(records, base, *nsTol)
+	for _, l := range lines {
+		fmt.Fprintln(os.Stderr, l)
+	}
+	if len(regressions) == 0 {
+		fmt.Fprintf(os.Stderr, "no regressions vs %s\n", *baseline)
+		return
+	}
+	if *gate {
+		log.Fatalf("%d benchmark regression(s) vs %s", len(regressions), *baseline)
+	}
+	fmt.Fprintf(os.Stderr, "%d regression(s) vs %s (not gated; pass -gate to fail)\n", len(regressions), *baseline)
+}
+
+// loadRecords reads a previous benchjson output file.
+func loadRecords(path string) ([]Record, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []Record
+	if err := json.Unmarshal(buf, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return recs, nil
+}
+
+// diff compares a run against a baseline, returning one human-readable
+// delta line per benchmark and the subset that count as regressions: ns/op
+// grown beyond the tolerance fraction, or allocs/op grown at all (the
+// pooled datapath's zero-steady-state-allocation guarantee means any new
+// allocation is a leak in the making, not noise).
+func diff(cur, base []Record, nsTol float64) (lines, regressions []string) {
+	baseBy := make(map[string]Record, len(base))
+	for _, r := range base {
+		baseBy[r.Pkg+"."+r.Name] = r
+	}
+	seen := make(map[string]bool, len(cur))
+	for _, r := range cur {
+		key := r.Pkg + "." + r.Name
+		seen[key] = true
+		b, ok := baseBy[key]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("%s: new benchmark (no baseline)", key))
+			continue
+		}
+		nsFrac := 0.0
+		if b.NsPerOp > 0 {
+			nsFrac = (r.NsPerOp - b.NsPerOp) / b.NsPerOp
+		}
+		line := fmt.Sprintf("%s: ns/op %.4g -> %.4g (%+.1f%%), B/op %d -> %d, allocs/op %d -> %d",
+			key, b.NsPerOp, r.NsPerOp, 100*nsFrac, b.BytesPerOp, r.BytesPerOp, b.AllocsPerOp, r.AllocsPerOp)
+		switch {
+		case r.AllocsPerOp > b.AllocsPerOp:
+			line = "REGRESSION (allocs/op): " + line
+			regressions = append(regressions, line)
+		case nsFrac > nsTol:
+			line = "REGRESSION (ns/op): " + line
+			regressions = append(regressions, line)
+		}
+		lines = append(lines, line)
+	}
+	for _, r := range base {
+		if key := r.Pkg + "." + r.Name; !seen[key] {
+			lines = append(lines, fmt.Sprintf("%s: missing from this run (was %.4g ns/op)", key, r.NsPerOp))
+		}
+	}
+	return lines, regressions
 }
 
 // parse scans go test output, tracking the current "pkg:" header and

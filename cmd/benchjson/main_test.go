@@ -48,3 +48,49 @@ func TestParseBenchRejectsGarbage(t *testing.T) {
 		t.Fatal("bad iteration count accepted")
 	}
 }
+
+func TestDiffFlagsRegressions(t *testing.T) {
+	base := []Record{
+		{Pkg: "p", Name: "BenchmarkFast", NsPerOp: 100, AllocsPerOp: 0},
+		{Pkg: "p", Name: "BenchmarkSlow", NsPerOp: 1000, AllocsPerOp: 5},
+		{Pkg: "p", Name: "BenchmarkAlloc", NsPerOp: 100, AllocsPerOp: 2},
+		{Pkg: "p", Name: "BenchmarkGone", NsPerOp: 50},
+	}
+	cur := []Record{
+		{Pkg: "p", Name: "BenchmarkFast", NsPerOp: 115, AllocsPerOp: 0},  // +15%: within tolerance
+		{Pkg: "p", Name: "BenchmarkSlow", NsPerOp: 1300, AllocsPerOp: 5}, // +30%: ns/op regression
+		{Pkg: "p", Name: "BenchmarkAlloc", NsPerOp: 90, AllocsPerOp: 3},  // faster but +1 alloc: regression
+		{Pkg: "p", Name: "BenchmarkNew", NsPerOp: 10},
+	}
+	lines, regressions := diff(cur, base, 0.20)
+	if len(lines) != 5 { // 3 matched + 1 new + 1 missing
+		t.Fatalf("lines = %d, want 5:\n%s", len(lines), strings.Join(lines, "\n"))
+	}
+	if len(regressions) != 2 {
+		t.Fatalf("regressions = %d, want 2:\n%s", len(regressions), strings.Join(regressions, "\n"))
+	}
+	joined := strings.Join(regressions, "\n")
+	for _, want := range []string{"REGRESSION (ns/op): p.BenchmarkSlow", "REGRESSION (allocs/op): p.BenchmarkAlloc"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("regressions missing %q:\n%s", want, joined)
+		}
+	}
+	all := strings.Join(lines, "\n")
+	for _, want := range []string{"p.BenchmarkNew: new benchmark", "p.BenchmarkGone: missing from this run"} {
+		if !strings.Contains(all, want) {
+			t.Fatalf("lines missing %q:\n%s", want, all)
+		}
+	}
+}
+
+func TestDiffCleanRun(t *testing.T) {
+	base := []Record{{Pkg: "p", Name: "BenchmarkX", NsPerOp: 100, AllocsPerOp: 7}}
+	cur := []Record{{Pkg: "p", Name: "BenchmarkX", NsPerOp: 80, AllocsPerOp: 3}}
+	lines, regressions := diff(cur, base, 0.20)
+	if len(regressions) != 0 {
+		t.Fatalf("regressions on an improvement: %v", regressions)
+	}
+	if len(lines) != 1 || strings.Contains(lines[0], "REGRESSION") {
+		t.Fatalf("lines = %v", lines)
+	}
+}

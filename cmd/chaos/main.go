@@ -9,6 +9,7 @@
 //
 //	chaos [-seed n] [-j n] [-ber p] [-drop p] [-flap-up us] [-flap-down us]
 //	      [-workloads stream,kvstore,graph500] [-failover]
+//	      [-cpuprofile file] [-memprofile file]
 //
 // Trials fan out across -j worker goroutines (default: one per CPU); each
 // trial owns its testbed and fault schedule, so results are identical at
@@ -23,6 +24,7 @@ import (
 	"strings"
 
 	"thymesim/internal/core"
+	"thymesim/internal/prof"
 	"thymesim/internal/sim"
 )
 
@@ -31,14 +33,16 @@ func main() {
 	log.SetPrefix("chaos: ")
 	def := core.DefaultChaosFaults()
 	var (
-		seed      = flag.Uint64("seed", 1, "fault-schedule seed")
-		ber       = flag.Float64("ber", def.BER, "per-beat bit error rate (0 disables)")
-		drop      = flag.Float64("drop", def.DropProb, "per-beat drop probability (0 disables)")
-		flapUp    = flag.Float64("flap-up", def.FlapMeanUp.Micros(), "mean link up-phase (us)")
-		flapDown  = flag.Float64("flap-down", def.FlapMeanDown.Micros(), "mean link down-phase (us, 0 disables flapping)")
-		workloads = flag.String("workloads", strings.Join(core.ChaosWorkloads, ","), "comma-separated workloads")
-		jobs      = flag.Int("j", 0, "concurrent chaos trials (0 = one per CPU); results are identical at any -j")
-		failover  = flag.Bool("failover", false, "also run the dead-link degraded-failover scenario")
+		seed       = flag.Uint64("seed", 1, "fault-schedule seed")
+		ber        = flag.Float64("ber", def.BER, "per-beat bit error rate (0 disables)")
+		drop       = flag.Float64("drop", def.DropProb, "per-beat drop probability (0 disables)")
+		flapUp     = flag.Float64("flap-up", def.FlapMeanUp.Micros(), "mean link up-phase (us)")
+		flapDown   = flag.Float64("flap-down", def.FlapMeanDown.Micros(), "mean link down-phase (us, 0 disables flapping)")
+		workloads  = flag.String("workloads", strings.Join(core.ChaosWorkloads, ","), "comma-separated workloads")
+		jobs       = flag.Int("j", 0, "concurrent chaos trials (0 = one per CPU); results are identical at any -j")
+		failover   = flag.Bool("failover", false, "also run the dead-link degraded-failover scenario")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the chaos trials to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile (taken after the trials) to this file")
 	)
 	flag.Parse()
 
@@ -56,7 +60,20 @@ func main() {
 		log.Fatal(err)
 	}
 
+	stopCPU, err := prof.Start(*cpuProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
 	rep := opts.RunChaos(cfg)
+	var failoverResult *core.DegradedFailover
+	if *failover {
+		failoverResult = opts.RunDegradedFailover()
+	}
+	stopCPU()
+	if err := prof.WriteHeap(*memProfile); err != nil {
+		log.Fatal(err)
+	}
+
 	if err := rep.Table.Render(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
@@ -65,9 +82,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	if *failover {
+	if failoverResult != nil {
 		fmt.Println()
-		r := opts.RunDegradedFailover()
+		r := failoverResult
 		fmt.Printf("degraded failover: completed=%t dead_declared=%t degraded=%t pages=%d local_accesses=%d poisoned=%d elapsed=%.4g us\n",
 			r.Completed, r.DeadDeclared, r.Degraded, r.DegradedPages, r.LocalAccesses, r.Poisoned, r.ElapsedUs)
 		if !r.Completed || !r.DeadDeclared || !r.Degraded {

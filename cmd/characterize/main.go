@@ -7,6 +7,7 @@
 // Usage:
 //
 //	characterize [-out dir] [-paper] [-j N] [-trace file] [-trace-sample N]
+//	             [-cpuprofile file] [-memprofile file]
 //	             [-experiment all|validation|resilience|table1|fig5|mcbn|mcln|pool|dists|qos|migration|interconnect|prefetch|recovery|chaos|breakdown]
 //
 // Sweep points fan out across -j worker goroutines (default: one per
@@ -23,6 +24,7 @@ import (
 	"strings"
 
 	"thymesim/internal/core"
+	"thymesim/internal/prof"
 	"thymesim/internal/sim"
 )
 
@@ -37,6 +39,8 @@ func main() {
 		jobs       = flag.Int("j", 0, "concurrent sweep points (0 = one per CPU); results are identical at any -j")
 		trace      = flag.String("trace", "", "Chrome trace-event JSON of the breakdown run's spans")
 		traceSamp  = flag.Int("trace-sample", 1, "trace every Nth line fill in the breakdown sweep")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile (taken after the runs) to this file")
 	)
 	flag.Parse()
 
@@ -62,6 +66,11 @@ func main() {
 		log.Fatalf("unknown experiment %q (choose one of %s)", *experiment, strings.Join(known, "|"))
 	}
 	want := func(name string) bool { return *experiment == "all" || *experiment == name }
+
+	stopCPU, err := prof.Start(*cpuProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	if want("validation") {
 		run("delay validation (Figs. 2-3)", func() { rep.Validation = opts.RunDelayValidation(core.DefaultPeriods()) })
@@ -113,6 +122,11 @@ func main() {
 		run("per-stage latency breakdown (Table I decomposition)", func() {
 			rep.Breakdown = opts.RunLatencyBreakdown(core.DefaultPeriods(), *traceSamp)
 		})
+	}
+
+	stopCPU()
+	if err := prof.WriteHeap(*memProfile); err != nil {
+		log.Fatal(err)
 	}
 
 	if err := rep.Render(os.Stdout); err != nil {

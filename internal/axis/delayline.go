@@ -13,6 +13,32 @@ type DelayLine struct {
 	delay    sim.Duration
 	inflight int
 	moved    uint64
+	// free is an intrusive free list of flight contexts; each in-flight
+	// beat borrows one and returns it on delivery, so a warmed-up line
+	// schedules without allocating.
+	free *flight
+}
+
+// flight carries one in-transit beat through the kernel schedule. It is
+// the DelayLine's pooled continuation: the beat payload rides in the
+// struct instead of a captured closure variable.
+type flight struct {
+	d    *DelayLine
+	b    Beat
+	next *flight
+}
+
+// Handle implements sim.Handler: the beat arrives at the output and the
+// context returns to the pool.
+func (f *flight) Handle(uint64) {
+	d := f.d
+	d.inflight--
+	d.moved++
+	b := f.b
+	f.b = Beat{} // drop payload refs before pooling
+	f.next = d.free
+	d.free = f
+	d.out.Push(b)
 }
 
 // NewDelayLine wires a fixed-latency stage between in and out.
@@ -33,10 +59,14 @@ func (d *DelayLine) kick() {
 	for d.in.Len() > 0 && d.out.Space()-d.inflight > 0 {
 		b, _ := d.in.Pop()
 		d.inflight++
-		d.k.After(d.delay, func() {
-			d.inflight--
-			d.moved++
-			d.out.Push(b)
-		})
+		f := d.free
+		if f == nil {
+			f = &flight{d: d}
+		} else {
+			d.free = f.next
+			f.next = nil
+		}
+		f.b = b
+		d.k.AfterH(d.delay, f, 0)
 	}
 }

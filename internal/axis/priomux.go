@@ -71,8 +71,11 @@ func (m *PriorityMux) kick() {
 	}
 	t = m.gate.Next(t)
 	m.armed = true
-	m.k.At(t, m.fire)
+	m.k.AtH(t, m, 0)
 }
+
+// Handle implements sim.Handler for closure-free arming.
+func (m *PriorityMux) Handle(uint64) { m.fire() }
 
 func (m *PriorityMux) fire() {
 	m.armed = false

@@ -64,8 +64,12 @@ func (p *Pump) kick() {
 	}
 	t = p.gate.Next(t)
 	p.armed = true
-	p.k.At(t, p.fire)
+	p.k.AtH(t, p, 0)
 }
+
+// Handle implements sim.Handler so arming the pump does not allocate a
+// method-value closure per transfer.
+func (p *Pump) Handle(uint64) { p.fire() }
 
 // fire performs one transfer if the handshake still holds, then re-arms.
 func (p *Pump) fire() {
@@ -159,8 +163,11 @@ func (m *Mux) kick() {
 	}
 	t = m.gate.Next(t)
 	m.armed = true
-	m.k.At(t, m.fire)
+	m.k.AtH(t, m, 0)
 }
+
+// Handle implements sim.Handler for closure-free arming.
+func (m *Mux) Handle(uint64) { m.fire() }
 
 func (m *Mux) fire() {
 	m.armed = false
@@ -236,8 +243,11 @@ func (r *Router) kick() {
 		t = r.busyUntil
 	}
 	r.armed = true
-	r.k.At(t, r.fire)
+	r.k.AtH(t, r, 0)
 }
+
+// Handle implements sim.Handler for closure-free arming.
+func (r *Router) Handle(uint64) { r.fire() }
 
 func (r *Router) fire() {
 	r.armed = false

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"testing"
+
+	"thymesim/internal/memport"
+	"thymesim/internal/ocapi"
+	"thymesim/internal/tfnic"
+)
+
+// remoteFillLoop returns a function driving one always-miss remote line
+// fill end to end (hierarchy -> backend -> NIC -> injector -> link ->
+// lender NIC -> DRAM -> response) and running the kernel to completion.
+// The completion callback is created once, outside the measured region.
+func remoteFillLoop(tb *Testbed, h *memport.Hierarchy, fills *uint64) func() {
+	k := tb.Kernel()
+	done := func() { *fills++ }
+	next := uint64(0)
+	return func() {
+		// A fresh line every call: always a cold miss, never a dirty victim.
+		addr := tb.RemoteAddr(next * ocapi.CacheLineSize)
+		next++
+		h.Access(addr, ocapi.CacheLineSize, false, done)
+		k.Run()
+	}
+}
+
+// TestRemoteFillSteadyStateAllocs proves the pooled datapath end to end:
+// once the free lists and queues are warm, a remote line fill allocates
+// nothing on the heap.
+func TestRemoteFillSteadyStateAllocs(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"vanilla", DefaultConfig(1)},
+		{"delayed", DefaultConfig(50)},
+		{"arq", func() Config {
+			c := DefaultConfig(1)
+			arq := tfnic.DefaultARQConfig()
+			c.ARQ = &arq
+			return c
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tb := NewTestbed(tc.cfg)
+			h := tb.NewRemoteHierarchy()
+			var fills uint64
+			fill := remoteFillLoop(tb, h, &fills)
+			// Warm every pool on the path: event heap, packet/transaction
+			// free lists, ARQ timers, queues.
+			for i := 0; i < 512; i++ {
+				fill()
+			}
+			warm := fills
+			if warm == 0 {
+				t.Fatal("warm-up completed no fills")
+			}
+			avg := testing.AllocsPerRun(200, fill)
+			if avg != 0 {
+				t.Errorf("steady-state remote fill: %.2f allocs/op, want 0", avg)
+			}
+			if fills <= warm {
+				t.Fatal("measured region completed no fills")
+			}
+		})
+	}
+}
+
+// TestRemoteWriteSteadyStateAllocs covers the writeback/write path: dirty
+// line writes through the remote backend also run allocation-free once
+// warm.
+func TestRemoteWriteSteadyStateAllocs(t *testing.T) {
+	tb := NewTestbed(DefaultConfig(1))
+	h := tb.NewRemoteHierarchy()
+	k := tb.Kernel()
+	var fills uint64
+	done := func() { fills++ }
+	next := uint64(0)
+	fill := func() {
+		addr := tb.RemoteAddr(next * ocapi.CacheLineSize)
+		next++
+		h.Access(addr, ocapi.CacheLineSize, true, done)
+		k.Run()
+	}
+	for i := 0; i < 512; i++ {
+		fill()
+	}
+	if avg := testing.AllocsPerRun(200, fill); avg != 0 {
+		t.Errorf("steady-state remote write: %.2f allocs/op, want 0", avg)
+	}
+}

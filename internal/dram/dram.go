@@ -78,6 +78,49 @@ type DRAM struct {
 	reads  uint64
 	writes uint64
 	bytes  uint64
+	// free is an intrusive free list of staged access contexts; a
+	// warmed-up DRAM serves requests without allocating.
+	free *accessCtx
+}
+
+// accessCtx carries one in-flight request through the channel's three
+// stages — slot grant (arg 0), device latency (arg 1), bus burst (arg 2)
+// — as a pooled continuation instead of nested closures.
+type accessCtx struct {
+	d     *DRAM
+	ch    *channel
+	bytes int
+	write bool
+	tr    *obs.Tracer
+	sp    obs.SpanID
+	h     sim.Handler
+	arg   uint64
+	next  *accessCtx
+}
+
+// Handle implements sim.Handler.
+func (c *accessCtx) Handle(stage uint64) {
+	d := c.d
+	switch stage {
+	case 0: // memory-controller slot granted
+		c.tr.Enter(c.sp, obs.StageDRAMAccess)
+		d.k.AfterH(d.cfg.AccessLatency, c, 1)
+	case 1: // device access done; occupy the data bus
+		c.ch.bus.ServeH(d.burstTime(c.bytes), c, 2)
+	default: // burst complete
+		if c.write {
+			d.writes++
+		} else {
+			d.reads++
+		}
+		d.bytes += uint64(c.bytes)
+		ch, h, arg := c.ch, c.h, c.arg
+		c.tr, c.h = nil, nil
+		c.next = d.free
+		d.free = c
+		ch.slots.Release()
+		h.Handle(arg)
+	}
 }
 
 type channel struct {
@@ -158,6 +201,26 @@ func (d *DRAM) AccessSpan(addr uint64, bytes int, write bool, tr *obs.Tracer, sp
 			})
 		})
 	})
+}
+
+// AccessSpanH is the closure-free analog of AccessSpan: h.Handle(arg)
+// fires at completion, and the request's whole channel traversal rides a
+// pooled context so steady-state accesses allocate nothing.
+func (d *DRAM) AccessSpanH(addr uint64, bytes int, write bool, tr *obs.Tracer, sp obs.SpanID, h sim.Handler, arg uint64) {
+	if bytes <= 0 {
+		panic("dram: non-positive access size")
+	}
+	ch := d.channelFor(addr)
+	tr.Enter(sp, obs.StageDRAMQueue)
+	c := d.free
+	if c == nil {
+		c = &accessCtx{d: d}
+	} else {
+		d.free = c.next
+		c.next = nil
+	}
+	c.ch, c.bytes, c.write, c.tr, c.sp, c.h, c.arg = ch, bytes, write, tr, sp, h, arg
+	ch.slots.AcquireH(c, 0)
 }
 
 // ReadLine reads one cache line.

@@ -143,13 +143,18 @@ func (s *Switch) forwardLoop(in *axis.FIFO, outs []*axis.FIFO) {
 	}
 }
 
-// dstOf extracts the destination port from a beat's packet metadata.
+// dstOf extracts the destination port from a beat's packet metadata. The
+// pooled datapath carries *ocapi.Packet; value packets (tests, legacy
+// producers) are still understood.
 func (s *Switch) dstOf(b axis.Beat) int {
-	p, ok := b.Meta.(ocapi.Packet)
-	if !ok {
+	switch p := b.Meta.(type) {
+	case *ocapi.Packet:
+		return int(p.Dst)
+	case ocapi.Packet:
+		return int(p.Dst)
+	default:
 		return -1
 	}
-	return int(p.Dst)
 }
 
 // Forwarded returns the number of beats switched.

@@ -28,6 +28,11 @@ func (b *DRAMBackend) ReadLineSpan(addr uint64, sp obs.SpanID, done func()) {
 	b.mem.AccessSpan(addr, ocapi.CacheLineSize, false, b.tracer, sp, done)
 }
 
+// ReadLineSpanH implements HandlerBackend.
+func (b *DRAMBackend) ReadLineSpanH(addr uint64, sp obs.SpanID, h sim.Handler, arg uint64) {
+	b.mem.AccessSpanH(addr, ocapi.CacheLineSize, false, b.tracer, sp, h, arg)
+}
+
 // WriteLine implements LineBackend.
 func (b *DRAMBackend) WriteLine(addr uint64, done func()) { b.mem.WriteLine(addr, done) }
 
@@ -55,17 +60,68 @@ type RemoteBackend struct {
 	src, dst    uint16
 	prio        uint8
 
-	pending   map[uint32]func()
-	pendWrite map[uint32]bool
-	// sendQ holds requests waiting for a tag or for NIC command-queue
-	// space; sendCbs parallels it with completion callbacks.
-	sendQ   []ocapi.Packet
-	sendCbs []func()
+	// pending maps outstanding tags to their transaction contexts; sendQ
+	// holds contexts waiting for a tag or for NIC command-queue space.
+	pending map[uint32]*rtxn
+	sendQ   []*rtxn
+	// free recycles transaction contexts so steady-state issues allocate
+	// nothing.
+	free *rtxn
 
 	reads, writes uint64
 	poisoned      uint64
 
 	tracer *obs.Tracer // nil when tracing is disabled
+}
+
+// rtxn is the pooled per-command context: it rides the two port-latency
+// hops (arg 0 = CPU→NIC transport done, arg 1 = NIC→CPU transport done)
+// and carries everything the pump and the completion need, replacing the
+// per-issue closures and the parallel callback/pendWrite bookkeeping.
+type rtxn struct {
+	b      *RemoteBackend
+	op     ocapi.Op
+	addr   uint64
+	issued sim.Time
+	sp     obs.SpanID
+	tag    uint32
+	// Completion: done for closure callers (LineBackend), or h/arg for
+	// the pooled fill path. At most one is set; both may be nil for
+	// fire-and-forget writebacks.
+	done func()
+	h    sim.Handler
+	arg  uint64
+	next *rtxn
+}
+
+// Handle implements sim.Handler.
+func (t *rtxn) Handle(stage uint64) {
+	b := t.b
+	if stage == 0 {
+		// Arrived at the NIC port: wait for a tag + command-queue entry.
+		b.tracer.Enter(t.sp, obs.StageTagWait)
+		t.issued = b.k.Now()
+		b.sendQ = append(b.sendQ, t)
+		b.pump()
+		return
+	}
+	// Response crossed the port back to the CPU.
+	if t.op == ocapi.OpWriteBlock {
+		b.writes++
+	} else {
+		b.reads++
+	}
+	tag, done, h, arg := t.tag, t.done, t.h, t.arg
+	t.done, t.h = nil, nil
+	t.next = b.free
+	b.free = t
+	b.tagsRelease(tag)
+	b.pump()
+	if h != nil {
+		h.Handle(arg)
+	} else if done != nil {
+		done()
+	}
 }
 
 // NewRemoteBackend builds the borrower-side remote memory backend. tags
@@ -88,8 +144,7 @@ func NewRemoteBackendTags(k *sim.Kernel, nic Sender, tagBase uint32, tagSpace in
 		portLatency: portLatency,
 		src:         src,
 		dst:         dst,
-		pending:     make(map[uint32]func()),
-		pendWrite:   make(map[uint32]bool),
+		pending:     make(map[uint32]*rtxn),
 	}
 	nic.OnCmdSpace(b.pump)
 	return b
@@ -137,38 +192,49 @@ func (b *RemoteBackend) QueuedSends() int { return len(b.sendQ) }
 
 // ReadLine implements LineBackend.
 func (b *RemoteBackend) ReadLine(addr uint64, done func()) {
-	b.issue(ocapi.OpReadBlock, addr, 0, done)
+	t := b.newTxn(ocapi.OpReadBlock, addr, 0)
+	t.done = done
+	b.issue(t)
 }
 
 // ReadLineSpan implements SpanBackend.
 func (b *RemoteBackend) ReadLineSpan(addr uint64, sp obs.SpanID, done func()) {
-	b.issue(ocapi.OpReadBlock, addr, sp, done)
+	t := b.newTxn(ocapi.OpReadBlock, addr, sp)
+	t.done = done
+	b.issue(t)
+}
+
+// ReadLineSpanH implements HandlerBackend: the closure-free fill path.
+func (b *RemoteBackend) ReadLineSpanH(addr uint64, sp obs.SpanID, h sim.Handler, arg uint64) {
+	t := b.newTxn(ocapi.OpReadBlock, addr, sp)
+	t.h, t.arg = h, arg
+	b.issue(t)
 }
 
 // WriteLine implements LineBackend.
 func (b *RemoteBackend) WriteLine(addr uint64, done func()) {
-	b.issue(ocapi.OpWriteBlock, addr, 0, done)
+	t := b.newTxn(ocapi.OpWriteBlock, addr, 0)
+	t.done = done
+	b.issue(t)
 }
 
-func (b *RemoteBackend) issue(op ocapi.Op, addr uint64, sp obs.SpanID, done func()) {
+// newTxn borrows a transaction context from the free list.
+func (b *RemoteBackend) newTxn(op ocapi.Op, addr uint64, sp obs.SpanID) *rtxn {
+	t := b.free
+	if t == nil {
+		t = &rtxn{b: b}
+	} else {
+		b.free = t.next
+		t.next = nil
+	}
+	t.op, t.addr, t.sp = op, ocapi.LineAlign(addr), sp
+	return t
+}
+
+func (b *RemoteBackend) issue(t *rtxn) {
 	// CPU -> NIC transport latency, then queue for a tag + NIC entry.
-	b.tracer.Enter(sp, obs.StagePortTx)
-	b.k.After(b.portLatency, func() {
-		b.tracer.Enter(sp, obs.StageTagWait)
-		p := ocapi.Packet{
-			Op:     op,
-			Addr:   ocapi.LineAlign(addr),
-			Size:   ocapi.CacheLineSize,
-			Src:    b.src,
-			Dst:    b.dst,
-			Issued: b.k.Now(),
-			Prio:   b.prio,
-			Trace:  uint64(sp),
-		}
-		b.sendQ = append(b.sendQ, p)
-		b.sendCbs = append(b.sendCbs, done)
-		b.pump()
-	})
+	b.tracer.Enter(t.sp, obs.StagePortTx)
+	b.k.AfterH(b.portLatency, t, 0)
 }
 
 // pump drains the send queue while tags and NIC space allow.
@@ -179,17 +245,27 @@ func (b *RemoteBackend) pump() {
 			return
 		}
 		tag := b.tagBase + raw
-		p := b.sendQ[0]
-		p.Tag = tag
+		t := b.sendQ[0]
+		p := ocapi.Packet{
+			Op:     t.op,
+			Tag:    tag,
+			Addr:   t.addr,
+			Size:   ocapi.CacheLineSize,
+			Src:    b.src,
+			Dst:    b.dst,
+			Issued: t.issued,
+			Prio:   b.prio,
+			Trace:  uint64(t.sp),
+		}
 		if !b.nic.TrySend(p) {
 			b.tags.Release(raw)
 			return
 		}
-		done := b.sendCbs[0]
-		b.sendQ = b.sendQ[1:]
-		b.sendCbs = b.sendCbs[1:]
-		b.pending[tag] = done
-		b.pendWrite[tag] = p.Op == ocapi.OpWriteBlock
+		t.tag = tag
+		copy(b.sendQ, b.sendQ[1:])
+		b.sendQ[len(b.sendQ)-1] = nil
+		b.sendQ = b.sendQ[:len(b.sendQ)-1]
+		b.pending[tag] = t
 	}
 }
 
@@ -198,28 +274,15 @@ func (b *RemoteBackend) tagsRelease(tag uint32) { b.tags.Release(tag - b.tagBase
 
 // Deliver completes a response from the NIC; wire it to NIC.OnDeliver.
 func (b *RemoteBackend) Deliver(p ocapi.Packet) {
-	done, ok := b.pending[p.Tag]
+	t, ok := b.pending[p.Tag]
 	if !ok {
 		panic("memport: response for unknown tag")
 	}
 	delete(b.pending, p.Tag)
-	isWrite := b.pendWrite[p.Tag]
-	delete(b.pendWrite, p.Tag)
 	if p.Poison || p.Op == ocapi.OpNack {
 		b.poisoned++
 	}
 	// NIC -> CPU transport latency before the fill reaches the cache.
 	b.tracer.Enter(obs.SpanID(p.Trace), obs.StagePortRx)
-	b.k.After(b.portLatency, func() {
-		if isWrite {
-			b.writes++
-		} else {
-			b.reads++
-		}
-		b.tagsRelease(p.Tag)
-		b.pump()
-		if done != nil {
-			done()
-		}
-	})
+	b.k.AfterH(b.portLatency, t, 1)
 }

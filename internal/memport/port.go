@@ -37,6 +37,14 @@ type SpanBackend interface {
 	ReadLineSpan(addr uint64, sp obs.SpanID, done func())
 }
 
+// HandlerBackend is the closure-free LineBackend extension: h.Handle(arg)
+// fires when the line arrives. The in-tree backends implement it; the
+// Hierarchy falls back to ReadLine with a cached closure for third-party
+// backends that don't.
+type HandlerBackend interface {
+	ReadLineSpanH(addr uint64, sp obs.SpanID, h sim.Handler, arg uint64)
+}
+
 // Stats aggregates hierarchy-level counters.
 type Stats struct {
 	Accesses   uint64
@@ -60,6 +68,85 @@ type Hierarchy struct {
 
 	tracer *obs.Tracer // nil when tracing is disabled
 	spanBE SpanBackend // backend's traced read path, if it has one
+	hndlBE HandlerBackend
+
+	// freeAccess and freeFills recycle the per-access join contexts and
+	// per-miss fill continuations, so a warmed-up hierarchy resolves
+	// misses without allocating.
+	freeAccess *accessCtx
+	freeFills  *fillCtx
+}
+
+// accessCtx joins a multi-line access: it counts outstanding fills and
+// runs done when the last one lands, replacing the captured
+// sim.WaitGroup. It exists only for accesses with at least one miss.
+type accessCtx struct {
+	n    int
+	done func()
+	next *accessCtx
+}
+
+// fillCtx carries one line miss through MSHR grant (arg 0) and backend
+// completion (arg 1).
+type fillCtx struct {
+	h        *Hierarchy
+	ac       *accessCtx
+	lineAddr uint64
+	issued   sim.Time
+	sp       obs.SpanID
+	// fn is the lazily built, cached fallback closure for backends that
+	// do not implement HandlerBackend; amortized by pooling.
+	fn   func()
+	next *fillCtx
+}
+
+// Handle implements sim.Handler.
+func (fc *fillCtx) Handle(stage uint64) {
+	h := fc.h
+	if stage == 0 {
+		// MSHR granted: issue the line read.
+		if fc.sp != 0 && h.spanBE != nil && h.hndlBE == nil {
+			h.spanBE.ReadLineSpan(fc.lineAddr, fc.sp, fc.doneFn())
+			return
+		}
+		if h.hndlBE != nil {
+			h.hndlBE.ReadLineSpanH(fc.lineAddr, fc.sp, fc, 1)
+			return
+		}
+		h.backend.ReadLine(fc.lineAddr, fc.doneFn())
+		return
+	}
+	// Line arrived.
+	lat := h.k.Now().Sub(fc.issued)
+	h.fillLat.Observe(lat.Micros())
+	if h.onFill != nil {
+		h.onFill(lat)
+	}
+	h.tracer.Finish(fc.sp)
+	h.stats.LineFills++
+	h.stats.BytesMoved += ocapi.CacheLineSize
+	ac := fc.ac
+	fc.ac = nil
+	fc.next = h.freeFills
+	h.freeFills = fc
+	h.mshr.Release()
+	ac.n--
+	if ac.n == 0 && ac.done != nil {
+		done := ac.done
+		ac.done = nil
+		ac.next = h.freeAccess
+		h.freeAccess = ac
+		done()
+	}
+}
+
+// doneFn returns the cached closure completing this fill, for backends
+// without a handler path.
+func (fc *fillCtx) doneFn() func() {
+	if fc.fn == nil {
+		fc.fn = func() { fc.Handle(1) }
+	}
+	return fc.fn
 }
 
 // NewHierarchy builds a hierarchy with the given LLC and backend. mshrs
@@ -68,13 +155,15 @@ func NewHierarchy(k *sim.Kernel, llc *cache.Cache, backend LineBackend, mshrs in
 	if mshrs <= 0 {
 		panic("memport: mshrs must be positive")
 	}
-	return &Hierarchy{
+	h := &Hierarchy{
 		k:       k,
 		llc:     llc,
 		backend: backend,
 		mshr:    sim.NewCreditPool(k, mshrs),
 		fillLat: metrics.NewHistogram(0.001), // 1ns first bucket, in us
 	}
+	h.hndlBE, _ = backend.(HandlerBackend)
+	return h
 }
 
 // Stats returns the counters so far.
@@ -129,7 +218,7 @@ func (h *Hierarchy) Access(addr uint64, size int, write bool, done func()) {
 	if h.onAccess != nil {
 		h.onAccess(addr, size, write)
 	}
-	var wg sim.WaitGroup
+	var ac *accessCtx
 	first := ocapi.LineAlign(addr)
 	for a := first; a < addr+uint64(size); a += ocapi.CacheLineSize {
 		res := h.llc.Access(a, write)
@@ -141,39 +230,51 @@ func (h *Hierarchy) Access(addr uint64, size int, write bool, done func()) {
 		if res.Hit {
 			continue
 		}
-		wg.Add(1)
+		if ac == nil {
+			ac = h.freeAccess
+			if ac == nil {
+				ac = &accessCtx{}
+			} else {
+				h.freeAccess = ac.next
+				ac.next = nil
+			}
+		}
+		ac.n++
 		lineAddr := a
 		if h.onMiss != nil {
 			h.onMiss(lineAddr)
 		}
-		issued := h.k.Now()
 		sp := h.tracer.Start(obs.KindRead, lineAddr)
 		h.tracer.Enter(sp, obs.StageMSHR)
-		h.mshr.Acquire(func() {
-			fillDone := func() {
-				lat := h.k.Now().Sub(issued)
-				h.fillLat.Observe(lat.Micros())
-				if h.onFill != nil {
-					h.onFill(lat)
-				}
-				h.tracer.Finish(sp)
-				h.stats.LineFills++
-				h.stats.BytesMoved += ocapi.CacheLineSize
-				h.mshr.Release()
-				wg.Done()
-			}
-			if sp != 0 && h.spanBE != nil {
-				h.spanBE.ReadLineSpan(lineAddr, sp, fillDone)
-			} else {
-				h.backend.ReadLine(lineAddr, fillDone)
-			}
-		})
+		fc := h.freeFills
+		if fc == nil {
+			fc = &fillCtx{h: h}
+		} else {
+			h.freeFills = fc.next
+			fc.next = nil
+		}
+		fc.ac, fc.lineAddr, fc.issued, fc.sp = ac, lineAddr, h.k.Now(), sp
+		h.mshr.AcquireH(fc, 0)
 	}
-	if done == nil {
-		done = func() {}
+	if ac == nil {
+		// Every line hit: complete synchronously, as WaitGroup.OnZero did.
+		if done != nil {
+			done()
+		}
+		return
 	}
-	wg.OnZero(done)
+	// Fills never complete synchronously (every backend path crosses at
+	// least one kernel event), so registering done after the loop cannot
+	// miss the last fill.
+	ac.done = done
+	if ac.done == nil {
+		ac.done = nopDone
+	}
 }
+
+// nopDone stands in for a nil done so the join context always fires and
+// recycles.
+func nopDone() {}
 
 // Flush invalidates the cache, accounting dirty lines as writebacks. The
 // flush's backend traffic is not modelled: it is used between benchmark

@@ -59,6 +59,12 @@ func Replay(k *sim.Kernel, h *Hierarchy, src TraceSource, window int, done func(
 				k.Post(runPhase)
 			}
 		}
+		// One completion closure for the whole phase: Access must not be
+		// handed a fresh closure per operation on the hot path.
+		opDone := func() {
+			inflight--
+			pump()
+		}
 		pump = func() {
 			if pumping || finished {
 				return
@@ -68,10 +74,7 @@ func Replay(k *sim.Kernel, h *Hierarchy, src TraceSource, window int, done func(
 				op := ops[idx]
 				idx++
 				inflight++
-				h.Access(op.Addr, int(op.Size), op.Write, func() {
-					inflight--
-					pump()
-				})
+				h.Access(op.Addr, int(op.Size), op.Write, opDone)
 			}
 			pumping = false
 			if !finished && idx == len(ops) && inflight == 0 {

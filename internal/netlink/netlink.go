@@ -36,6 +36,40 @@ type Channel struct {
 
 	delivered uint64
 	bytes     uint64
+	// free is an intrusive free list of per-beat wire contexts; a warmed-up
+	// channel serves and propagates without allocating.
+	free *wireFlight
+}
+
+// wireFlight carries one beat across the channel's two stages: arg 0 fires
+// at serialization end (launch propagation, unarm, admit the next beat),
+// arg 1 at propagation end (deliver and return to the pool).
+type wireFlight struct {
+	c    *Channel
+	b    axis.Beat
+	next *wireFlight
+}
+
+// Handle implements sim.Handler.
+func (f *wireFlight) Handle(stage uint64) {
+	c := f.c
+	if stage == 0 {
+		// Order matters for determinism: the propagation event is
+		// scheduled before the next beat can reach the wire, exactly as
+		// the closure-based code did.
+		c.k.AfterH(c.propagation, f, 1)
+		c.armed = false
+		c.kick()
+		return
+	}
+	c.inflight--
+	c.delivered++
+	c.bytes += uint64(f.b.Bytes)
+	b := f.b
+	f.b = axis.Beat{} // drop payload refs before pooling
+	f.next = c.free
+	c.free = f
+	c.rx.Push(b)
 }
 
 // NewChannel wires a unidirectional channel between tx and rx.
@@ -85,16 +119,15 @@ func (c *Channel) kick() {
 	c.armed = true
 	c.inflight++
 	ser := c.SerializationTime(b.Bytes)
-	c.wire.Serve(ser, func() {
-		c.k.After(c.propagation, func() {
-			c.inflight--
-			c.delivered++
-			c.bytes += uint64(b.Bytes)
-			c.rx.Push(b)
-		})
-		c.armed = false
-		c.kick()
-	})
+	f := c.free
+	if f == nil {
+		f = &wireFlight{c: c}
+	} else {
+		c.free = f.next
+		f.next = nil
+	}
+	f.b = b
+	c.wire.ServeH(ser, f, 0)
 }
 
 // Link is a full-duplex point-to-point cable: direction A→B and B→A.

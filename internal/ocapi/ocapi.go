@@ -205,6 +205,73 @@ func (p *Packet) Nack() Packet {
 	}
 }
 
+// RespondInPlace mutates a request packet into its reply, swapping
+// direction and preserving tag, attempt sequence, issue timestamp, and
+// trace id. It is the allocation-free sibling of Response, used on the
+// pooled wire path where the same *Packet object rides the Beat back to
+// the requester. A corrupt request's flag is cleared: the reply is a
+// fresh transmission.
+func (p *Packet) RespondInPlace() {
+	switch p.Op {
+	case OpReadBlock:
+		p.Op = OpReadResp
+		p.Size = CacheLineSize
+	case OpWriteBlock:
+		p.Op = OpWriteAck
+		p.Size = 0
+	case OpProbe:
+		p.Op = OpProbeResp
+		p.Size = 0
+	default:
+		panic(fmt.Sprintf("ocapi: RespondInPlace of non-request %v", p.Op))
+	}
+	p.Src, p.Dst = p.Dst, p.Src
+	p.Corrupt = false
+	p.Poison = false
+}
+
+// NackInPlace mutates a damaged request into the lender's poisoned,
+// payload-free rejection, the allocation-free sibling of Nack.
+func (p *Packet) NackInPlace() {
+	if !p.Op.IsRequest() {
+		panic(fmt.Sprintf("ocapi: NackInPlace of non-request %v", p.Op))
+	}
+	p.Op = OpNack
+	p.Size = 0
+	p.Src, p.Dst = p.Dst, p.Src
+	p.Corrupt = false
+	p.Poison = true
+}
+
+// PacketPool is a free list of wire Packet objects for the pooled
+// datapath: a NIC borrows one per transmission, the far side mutates it in
+// place into the response, and the originator frees it on delivery. It is
+// single-threaded like everything else attached to a kernel.
+type PacketPool struct {
+	free []*Packet
+}
+
+// Get returns a zeroed *Packet, reusing a freed one when available.
+func (pp *PacketPool) Get() *Packet {
+	if n := len(pp.free); n > 0 {
+		p := pp.free[n-1]
+		pp.free[n-1] = nil
+		pp.free = pp.free[:n-1]
+		*p = Packet{}
+		return p
+	}
+	return new(Packet)
+}
+
+// Put returns a packet to the pool. Putting nil is a no-op. The caller
+// must not retain p afterwards: the next Get may hand it out again.
+func (pp *PacketPool) Put(p *Packet) {
+	if p == nil {
+		return
+	}
+	pp.free = append(pp.free, p)
+}
+
 // encodedLen is the fixed marshalled header length (payload is size-only):
 // op, tag, addr, size, src, dst, issued, prio, seq, flags.
 const encodedLen = 1 + 4 + 8 + 4 + 2 + 2 + 8 + 1 + 2 + 1

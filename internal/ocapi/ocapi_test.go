@@ -275,3 +275,150 @@ func TestResponseEchoesSeq(t *testing.T) {
 		t.Fatalf("response seq = %d, want 2", r.Seq)
 	}
 }
+
+// TestRespondInPlaceMatchesResponse pins the pooled in-place reply to the
+// value-returning Response for every request op, including the fault
+// flags the in-place path must clear.
+func TestRespondInPlaceMatchesResponse(t *testing.T) {
+	for _, req := range []Packet{
+		{Op: OpReadBlock, Tag: 7, Addr: 0x2000, Size: CacheLineSize, Src: 1, Dst: 2, Issued: 99, Seq: 3, Prio: 2, Trace: 11},
+		{Op: OpWriteBlock, Tag: 3, Addr: 0x80, Size: CacheLineSize, Src: 1, Dst: 2, Seq: 1},
+		{Op: OpProbe, Tag: 9, Src: 1, Dst: 2},
+		{Op: OpReadBlock, Tag: 8, Addr: 0x100, Size: CacheLineSize, Src: 4, Dst: 5, Corrupt: true},
+	} {
+		want := req.Response()
+		got := req
+		got.RespondInPlace()
+		if got != want {
+			t.Errorf("%v: RespondInPlace = %+v, Response = %+v", req.Op, got, want)
+		}
+	}
+}
+
+// TestNackInPlaceSemantics checks the poisoned in-place nack: op, size,
+// direction swap, and fault-flag handling.
+func TestNackInPlaceSemantics(t *testing.T) {
+	p := Packet{Op: OpReadBlock, Tag: 5, Addr: 0x400, Size: CacheLineSize, Src: 1, Dst: 2, Seq: 7, Corrupt: true}
+	p.NackInPlace()
+	if p.Op != OpNack || p.Size != 0 || p.Src != 2 || p.Dst != 1 || !p.Poison || p.Corrupt {
+		t.Fatalf("NackInPlace = %+v", p)
+	}
+	if p.Tag != 5 || p.Seq != 7 {
+		t.Fatalf("NackInPlace lost identity: %+v", p)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NackInPlace of a response did not panic")
+		}
+	}()
+	p.NackInPlace()
+}
+
+// TestPacketPoolRecycleZeroes checks pool hygiene: recycled packets come
+// back zeroed (no stale tag, fault flag, or payload metadata can leak into
+// the next transaction) and nil Puts are ignored.
+func TestPacketPoolRecycleZeroes(t *testing.T) {
+	var pool PacketPool
+	p := pool.Get()
+	*p = Packet{Op: OpReadResp, Tag: 42, Addr: 0x1000, Size: CacheLineSize, Poison: true, Corrupt: true, Seq: 9}
+	pool.Put(p)
+	q := pool.Get()
+	if q != p {
+		t.Fatal("pool did not recycle the packet")
+	}
+	if *q != (Packet{}) {
+		t.Fatalf("recycled packet not zeroed: %+v", *q)
+	}
+	pool.Put(nil) // must be a no-op
+	pool.Put(q)
+	if r := pool.Get(); r != q {
+		t.Fatal("pool lost the packet after nil Put")
+	}
+}
+
+// TestTagAllocatorExhaustRecycleEpochs exhausts the tag space repeatedly,
+// releasing in a different order each epoch: every tag must be issued
+// exactly once per epoch and allocation must fail exactly at exhaustion.
+func TestTagAllocatorExhaustRecycleEpochs(t *testing.T) {
+	const n = 16
+	a := NewTagAllocator(n)
+	held := make([]uint32, 0, n)
+	for epoch := 0; epoch < 8; epoch++ {
+		seen := map[uint32]bool{}
+		held = held[:0]
+		for i := 0; i < n; i++ {
+			tag, ok := a.Alloc()
+			if !ok {
+				t.Fatalf("epoch %d: alloc %d failed", epoch, i)
+			}
+			if seen[tag] {
+				t.Fatalf("epoch %d: tag %d double-issued", epoch, tag)
+			}
+			seen[tag] = true
+			held = append(held, tag)
+		}
+		if _, ok := a.Alloc(); ok {
+			t.Fatalf("epoch %d: alloc beyond capacity succeeded", epoch)
+		}
+		// Release in a rotating order so the free list sees every pattern.
+		for i := range held {
+			a.Release(held[(i+epoch)%n])
+		}
+		if a.Outstanding() != 0 {
+			t.Fatalf("epoch %d: outstanding = %d", epoch, a.Outstanding())
+		}
+	}
+}
+
+// TestTagAllocatorChurnWithPacketPool drives an interleaved alloc/release
+// churn through a PacketPool — the NIC's steady-state pattern — asserting
+// a tag is never issued while a pooled packet still carries it
+// outstanding.
+func TestTagAllocatorChurnWithPacketPool(t *testing.T) {
+	const n = 8
+	a := NewTagAllocator(n)
+	var pool PacketPool
+	inflight := map[uint32]*Packet{}
+	rng := uint64(0x9E3779B97F4A7C15)
+	next := func(mod int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(mod))
+	}
+	for step := 0; step < 4096; step++ {
+		if len(inflight) < n && (len(inflight) == 0 || next(2) == 0) {
+			tag, ok := a.Alloc()
+			if !ok {
+				t.Fatalf("step %d: alloc failed with %d in flight", step, len(inflight))
+			}
+			if _, dup := inflight[tag]; dup {
+				t.Fatalf("step %d: tag %d issued while outstanding", step, tag)
+			}
+			p := pool.Get()
+			if p.Tag != 0 || p.Op != OpInvalid {
+				t.Fatalf("step %d: pooled packet dirty: %+v", step, *p)
+			}
+			p.Op, p.Tag, p.Addr, p.Size = OpReadBlock, tag, uint64(step)*CacheLineSize, CacheLineSize
+			inflight[tag] = p
+		} else {
+			// Complete a pseudo-random outstanding transaction.
+			k := next(len(inflight))
+			for tag, p := range inflight {
+				if k--; k < 0 {
+					if p.Tag != tag {
+						t.Fatalf("step %d: packet tag mutated: %d != %d", step, p.Tag, tag)
+					}
+					p.RespondInPlace()
+					delete(inflight, tag)
+					pool.Put(p)
+					a.Release(tag)
+					break
+				}
+			}
+		}
+	}
+	if a.Outstanding() != len(inflight) {
+		t.Fatalf("outstanding %d != inflight %d", a.Outstanding(), len(inflight))
+	}
+}

@@ -102,6 +102,60 @@ func TestHeapPushPopSortedOrder(t *testing.T) {
 	}
 }
 
+// handlerProbe records dispatch order for TestDualHeapMergeOrder.
+type handlerProbe struct {
+	order *[]uint64
+}
+
+func (p *handlerProbe) Handle(arg uint64) { *p.order = append(*p.order, arg) }
+
+// TestDualHeapMergeOrder pins the merge contract between the closure heap
+// and the handler heap: events interleave strictly by (at, seq) no matter
+// which heap holds them, including closures and handlers at equal instants.
+func TestDualHeapMergeOrder(t *testing.T) {
+	rng := NewRand(11)
+	k := NewKernel()
+	var order []uint64
+	probe := &handlerProbe{order: &order}
+	const total = 500
+	want := make([]uint64, 0, total)
+	type sched struct {
+		at  Time
+		id  uint64
+		use bool // handler heap
+	}
+	var plan []sched
+	for i := 0; i < total; i++ {
+		plan = append(plan, sched{at: Time(rng.Intn(40)), id: uint64(i), use: rng.Intn(2) == 0})
+	}
+	// The kernel assigns seq in scheduling order, so a stable sort by time
+	// of the plan is the required dispatch order.
+	for _, s := range plan {
+		if s.use {
+			k.AtH(s.at, probe, s.id)
+		} else {
+			id := s.id
+			k.At(s.at, func() { order = append(order, id) })
+		}
+	}
+	for at := Time(0); at < 40; at++ {
+		for _, s := range plan {
+			if s.at == at {
+				want = append(want, s.id)
+			}
+		}
+	}
+	k.Run()
+	if len(order) != len(want) {
+		t.Fatalf("dispatched %d events, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch %d = event %d, want %d", i, order[i], want[i])
+		}
+	}
+}
+
 // TestSchedulePathZeroAlloc pins the tentpole guarantee: once the heap has
 // grown to its working depth, scheduling and dispatching allocate nothing.
 func TestSchedulePathZeroAlloc(t *testing.T) {

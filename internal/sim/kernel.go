@@ -4,8 +4,21 @@ import (
 	"fmt"
 )
 
-// An event is a callback scheduled at an instant. seq breaks ties so that
-// events at equal timestamps run in scheduling order.
+// Handler is the closure-free event callee: components that schedule on
+// every packet hop implement Handle and are dispatched with AtH/AfterH/
+// PostH. Scheduling a method value (k.At(t, p.fire)) or a capturing func
+// literal heap-allocates a closure per event; converting an existing
+// object to a Handler interface value does not, so the steady-state
+// datapath can schedule without touching the allocator. arg is an opaque
+// payload handed back at dispatch — callees that need more context than
+// one word carry it in the handler object itself (typically a free-listed
+// continuation struct reused across dispatches).
+type Handler interface {
+	Handle(arg uint64)
+}
+
+// An event is a func() closure scheduled at an instant. seq breaks ties so
+// that events at equal timestamps run in scheduling order.
 type event struct {
 	at  Time
 	seq uint64
@@ -21,14 +34,37 @@ func (e event) before(o event) bool {
 	return e.seq < o.seq
 }
 
+// An hEvent is a Handler/arg pair scheduled at an instant — the
+// closure-free twin of event, kept as a separate element type (and heap)
+// so that adding the handler fields does not widen every closure event:
+// sift cost is proportional to element size and pointer-field count
+// (write barriers), and the closure heap carries the bulk of the
+// kernel-microbenchmark load.
+type hEvent struct {
+	at  Time
+	seq uint64
+	arg uint64
+	h   Handler
+}
+
+func (e hEvent) before(o hEvent) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
 // eventHeap is a hand-rolled 4-ary min-heap ordered by (at, seq). It is
-// monomorphic on purpose: container/heap funnels every Push/Pop through an
-// interface{}, boxing one event per scheduled callback, which at the
-// simulator's event rates dominates the allocation profile. Storing events
-// by value in a flat slice makes the schedule path allocation-free beyond
-// slice growth, and the 4-ary shape halves the tree depth versus binary,
-// trading a wider (cache-line-friendly) sibling scan for fewer levels per
-// sift.
+// monomorphic on purpose — hand-specialized per element type rather than
+// written once with generics, because Go's gcshape stenciling turns the
+// per-sift before() calls into dictionary-indirect calls, and no
+// container/heap because interface funneling would box one event per
+// scheduled callback, which at the simulator's event rates dominates the
+// allocation profile. Storing events by value in a flat slice makes the
+// schedule path allocation-free beyond slice growth, and the 4-ary shape
+// halves the tree depth versus binary, trading a wider (cache-line-friendly)
+// sibling scan for fewer levels per sift. hEventHeap below mirrors this
+// code for handler events; keep the two in sync.
 type eventHeap []event
 
 // push inserts e, sifting it up from the tail.
@@ -86,10 +122,82 @@ func (h *eventHeap) pop() event {
 	return top
 }
 
+// hEventHeap is the handler-event twin of eventHeap (same 4-ary layout and
+// hole-based sift); see the comment there for why the code is duplicated
+// rather than shared.
+type hEventHeap []hEvent
+
+func (h *hEventHeap) push(e hEvent) {
+	q := append(*h, e)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !e.before(q[p]) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = e
+	*h = q
+}
+
+func (h *hEventHeap) pop() hEvent {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = hEvent{} // release the handler for GC
+	q = q[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			m := c
+			for j := c + 1; j < end; j++ {
+				if q[j].before(q[m]) {
+					m = j
+				}
+			}
+			if !q[m].before(last) {
+				break
+			}
+			q[i] = q[m]
+			i = m
+		}
+		q[i] = last
+	}
+	*h = q
+	return top
+}
+
 // Kernel is a single-threaded discrete-event scheduler. The zero value is
 // not usable; create kernels with NewKernel.
+// A ringEvent is an event scheduled at the kernel's current instant,
+// queued in the immediate ring instead of a heap: a key equal to the
+// running minimum would sift past every future event, so same-instant
+// scheduling — the datapath's kick/Post chains — would pay the full heap
+// depth. The ring appends in seq order (seq is monotonic), making it a
+// FIFO that the dispatcher merges with the heap tops by (at, seq).
+type ringEvent struct {
+	seq uint64
+	arg uint64
+	fn  func()
+	h   Handler
+}
+
 type Kernel struct {
-	pq        eventHeap
+	fq        eventHeap  // closure events
+	hq        hEventHeap // handler events
+	iq        []ringEvent
+	iqHead    int
 	now       Time
 	seq       uint64
 	processed uint64
@@ -106,7 +214,7 @@ func NewKernel() *Kernel {
 func (k *Kernel) Now() Time { return k.now }
 
 // Pending reports how many events are scheduled but not yet dispatched.
-func (k *Kernel) Pending() int { return len(k.pq) }
+func (k *Kernel) Pending() int { return len(k.fq) + len(k.hq) + len(k.iq) - k.iqHead }
 
 // Processed reports the total number of events dispatched so far.
 func (k *Kernel) Processed() uint64 { return k.processed }
@@ -118,7 +226,11 @@ func (k *Kernel) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
 	k.seq++
-	k.pq.push(event{at: t, seq: k.seq, fn: fn})
+	if t == k.now {
+		k.iq = append(k.iq, ringEvent{seq: k.seq, fn: fn})
+		return
+	}
+	k.fq.push(event{at: t, seq: k.seq, fn: fn})
 }
 
 // After schedules fn to run d after the current instant. Negative d panics.
@@ -133,22 +245,96 @@ func (k *Kernel) After(d Duration, fn func()) {
 // scheduled for this instant.
 func (k *Kernel) Post(fn func()) { k.At(k.now, fn) }
 
+// AtH schedules h.Handle(arg) at the absolute instant t. It is the
+// closure-free analog of At: the event carries the pre-existing handler
+// object instead of a freshly allocated func value, so steady-state
+// callers allocate nothing per schedule. Ordering is identical to At —
+// both draw from the same seq counter.
+func (k *Kernel) AtH(t Time, h Handler, arg uint64) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	k.seq++
+	if t == k.now {
+		k.iq = append(k.iq, ringEvent{seq: k.seq, arg: arg, h: h})
+		return
+	}
+	k.hq.push(hEvent{at: t, seq: k.seq, arg: arg, h: h})
+}
+
+// AfterH schedules h.Handle(arg) d after the current instant.
+func (k *Kernel) AfterH(d Duration, h Handler, arg uint64) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	k.AtH(k.now.Add(d), h, arg)
+}
+
+// PostH schedules h.Handle(arg) at the current instant, after all events
+// already scheduled for this instant.
+func (k *Kernel) PostH(h Handler, arg uint64) { k.AtH(k.now, h, arg) }
+
 // Stop makes the currently executing Run/RunUntil return after the current
 // event completes. Pending events remain queued.
 func (k *Kernel) Stop() { k.stopped = true }
 
-// step dispatches the earliest event. It reports false when no events remain.
+// step dispatches the earliest event across the two heaps and the immediate
+// ring. It reports false when no dispatchable events remain. seq values are
+// globally unique, so the (at, seq) order is total and the merge never ties;
+// ring entries all sit at the current instant, so a heap top precedes the
+// ring head only when it shares that instant with a smaller seq.
 func (k *Kernel) step(limit Time) bool {
-	if len(k.pq) == 0 {
+	nf, nh := len(k.fq), len(k.hq)
+	fromF := nf > 0 && (nh == 0 ||
+		k.fq[0].at < k.hq[0].at ||
+		(k.fq[0].at == k.hq[0].at && k.fq[0].seq < k.hq[0].seq))
+	if k.iqHead < len(k.iq) {
+		heapFirst := false
+		if fromF {
+			heapFirst = k.fq[0].at == k.now && k.fq[0].seq < k.iq[k.iqHead].seq
+		} else if nh > 0 {
+			heapFirst = k.hq[0].at == k.now && k.hq[0].seq < k.iq[k.iqHead].seq
+		}
+		if !heapFirst {
+			if k.now > limit {
+				return false
+			}
+			e := k.iq[k.iqHead]
+			k.iq[k.iqHead] = ringEvent{}
+			k.iqHead++
+			if k.iqHead == len(k.iq) { // drained: reuse the backing array
+				k.iq = k.iq[:0]
+				k.iqHead = 0
+			}
+			k.processed++
+			if e.h != nil {
+				e.h.Handle(e.arg)
+			} else {
+				e.fn()
+			}
+			return true
+		}
+	}
+	if fromF {
+		if k.fq[0].at > limit {
+			return false
+		}
+		e := k.fq.pop()
+		k.now = e.at
+		k.processed++
+		e.fn()
+		return true
+	}
+	if nh == 0 {
 		return false
 	}
-	if k.pq[0].at > limit {
+	if k.hq[0].at > limit {
 		return false
 	}
-	e := k.pq.pop()
+	e := k.hq.pop()
 	k.now = e.at
 	k.processed++
-	e.fn()
+	e.h.Handle(e.arg)
 	return true
 }
 

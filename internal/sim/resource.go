@@ -41,6 +41,28 @@ func (s *Server) Serve(service Duration, done func()) Time {
 	return end
 }
 
+// ServeH is the closure-free analog of Serve: h.Handle(arg) is scheduled
+// at the completion instant instead of a func callback.
+func (s *Server) ServeH(service Duration, h Handler, arg uint64) Time {
+	if service < 0 {
+		panic("sim: negative service time")
+	}
+	start := s.k.Now()
+	if s.freeAt > start {
+		wait := s.freeAt.Sub(start)
+		if wait > s.maxWait {
+			s.maxWait = wait
+		}
+		start = s.freeAt
+	}
+	end := start.Add(service)
+	s.freeAt = end
+	s.busy += service
+	s.served++
+	s.k.AtH(end, h, arg)
+	return end
+}
+
 // FreeAt returns the instant at which the server next becomes idle.
 func (s *Server) FreeAt() Time { return s.freeAt }
 
@@ -70,10 +92,18 @@ type CreditPool struct {
 	k        *Kernel
 	capacity int
 	avail    int
-	waiters  []func()
+	waiters  []waiter
 	// peakWaiters tracks the deepest backlog for diagnostics.
 	peakWaiters int
 	acquires    uint64
+}
+
+// waiter is one parked acquirer: either a func callback or a Handler/arg
+// pair (exactly one is set), mirroring the two scheduling flavors.
+type waiter struct {
+	fn  func()
+	h   Handler
+	arg uint64
 }
 
 // NewCreditPool returns a pool with the given capacity, all credits
@@ -112,7 +142,22 @@ func (p *CreditPool) Acquire(fn func()) {
 		fn()
 		return
 	}
-	p.waiters = append(p.waiters, fn)
+	p.waiters = append(p.waiters, waiter{fn: fn})
+	if len(p.waiters) > p.peakWaiters {
+		p.peakWaiters = len(p.waiters)
+	}
+}
+
+// AcquireH is the closure-free analog of Acquire: h.Handle(arg) runs
+// synchronously if a credit is free, otherwise the pair is parked FIFO.
+func (p *CreditPool) AcquireH(h Handler, arg uint64) {
+	if p.avail > 0 {
+		p.avail--
+		p.acquires++
+		h.Handle(arg)
+		return
+	}
+	p.waiters = append(p.waiters, waiter{h: h, arg: arg})
 	if len(p.waiters) > p.peakWaiters {
 		p.peakWaiters = len(p.waiters)
 	}
@@ -134,11 +179,16 @@ func (p *CreditPool) TryAcquire() bool {
 // chains shallow and causally ordered.
 func (p *CreditPool) Release() {
 	if len(p.waiters) > 0 {
-		fn := p.waiters[0]
+		w := p.waiters[0]
 		copy(p.waiters, p.waiters[1:])
+		p.waiters[len(p.waiters)-1] = waiter{} // release callback refs for GC
 		p.waiters = p.waiters[:len(p.waiters)-1]
 		p.acquires++
-		p.k.Post(fn)
+		if w.h != nil {
+			p.k.PostH(w.h, w.arg)
+		} else {
+			p.k.Post(w.fn)
+		}
 		return
 	}
 	p.avail++

@@ -81,6 +81,35 @@ type arqTxn struct {
 	pkt      ocapi.Packet // as given by the port, pre-translation
 	attempts int          // transmissions so far; Seq of the live attempt is attempts-1
 	gen      uint64       // invalidates in-flight timeout timers
+	next     *arqTxn      // free-list link while recycled
+}
+
+// arqTimer is the pooled continuation for one armed response deadline. It
+// snapshots the transaction pointer and generation at arming time so a
+// timer that outlives its attempt — or fires against a recycled
+// transaction reusing the same tag — detects the mismatch and does
+// nothing. Timers are single-shot: the context returns to the pool at the
+// top of Handle, before any retry logic can re-arm and reuse it.
+type arqTimer struct {
+	a    *ARQ
+	tag  uint32
+	t    *arqTxn
+	gen  uint64
+	next *arqTimer
+}
+
+// Handle implements sim.Handler: the attempt's deadline expired.
+func (tm *arqTimer) Handle(uint64) {
+	a, tag, t, gen := tm.a, tm.tag, tm.t, tm.gen
+	tm.t = nil
+	tm.next = a.freeTimers
+	a.freeTimers = tm
+	cur, ok := a.txns[tag]
+	if !ok || cur != t || cur.gen != gen {
+		return // resolved or superseded while the timer was in flight
+	}
+	a.stats.Timeouts++
+	a.retryOrDie(tag, t)
 }
 
 // ARQ wraps a NIC with go-back-on-timeout retransmission for block
@@ -95,6 +124,14 @@ type ARQ struct {
 	rng *sim.Rand
 
 	txns map[uint32]*arqTxn
+	// freeTxns and freeTimers recycle transaction entries and timeout
+	// contexts so a warmed-up ARQ layer tracks and times out without
+	// allocating. A recycled arqTxn keeps (and bumps) its gen across
+	// reuse: a stale timer holding the old generation can then never
+	// mistake the recycled entry for its own attempt, even when the same
+	// tag and the same object meet again.
+	freeTxns   *arqTxn
+	freeTimers *arqTimer
 	// retryQ holds retransmissions waiting for NIC command-queue space;
 	// they take precedence over new sends so recovery cannot starve.
 	retryQ []ocapi.Packet
@@ -156,11 +193,29 @@ func (a *ARQ) TrySend(p ocapi.Packet) bool {
 	if !a.nic.TrySend(p) {
 		return false
 	}
-	t := &arqTxn{pkt: p, attempts: 1}
+	t := a.freeTxns
+	if t == nil {
+		t = &arqTxn{}
+	} else {
+		a.freeTxns = t.next
+		t.next = nil
+	}
+	t.pkt = p
+	t.attempts = 1
+	// t.gen is deliberately NOT reset: see freeTxns.
 	a.txns[p.Tag] = t
 	a.stats.Tracked++
 	a.armTimeout(p.Tag, t)
 	return true
+}
+
+// recycle returns a resolved transaction entry to the free list, bumping
+// its generation so stale in-flight timers can never match it again.
+func (a *ARQ) recycle(t *arqTxn) {
+	t.gen++
+	t.pkt = ocapi.Packet{}
+	t.next = a.freeTxns
+	a.freeTxns = t
 }
 
 // OnCmdSpace implements memport.Sender.
@@ -194,24 +249,25 @@ func (a *ARQ) OnResponse(p ocapi.Packet) {
 		t.gen++ // cancel the attempt's timeout
 		a.retryOrDie(p.Tag, t)
 	default:
-		t.gen++
 		delete(a.txns, p.Tag)
+		a.recycle(t)
 		a.stats.Completed++
 		a.deliver(p)
 	}
 }
 
-// armTimeout schedules the live attempt's response deadline.
+// armTimeout schedules the live attempt's response deadline on a pooled
+// timer context.
 func (a *ARQ) armTimeout(tag uint32, t *arqTxn) {
-	gen := t.gen
-	a.k.After(a.timeoutFor(t.attempts-1), func() {
-		cur, ok := a.txns[tag]
-		if !ok || cur != t || cur.gen != gen {
-			return // resolved or superseded while the timer was in flight
-		}
-		a.stats.Timeouts++
-		a.retryOrDie(tag, t)
-	})
+	tm := a.freeTimers
+	if tm == nil {
+		tm = &arqTimer{a: a}
+	} else {
+		a.freeTimers = tm.next
+		tm.next = nil
+	}
+	tm.tag, tm.t, tm.gen = tag, t, t.gen
+	a.k.AfterH(a.timeoutFor(t.attempts-1), tm, 0)
 }
 
 // timeoutFor returns attempt's deadline: Timeout * BackoffMult^attempt,
@@ -242,6 +298,7 @@ func (a *ARQ) retryOrDie(tag uint32, t *arqTxn) {
 		a.stats.Dead++
 		r := t.pkt.Response()
 		r.Poison = true
+		a.recycle(t)
 		a.deliver(r)
 		return
 	}

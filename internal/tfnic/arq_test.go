@@ -318,3 +318,74 @@ func TestARQConfigValidation(t *testing.T) {
 		t.Fatalf("default config invalid: %v", err)
 	}
 }
+
+// TestARQRecycledTxnImmuneToStaleTimer pins the pooled-entry generation
+// guard: a transaction whose retry is acked returns its entry to the free
+// list while the retry's own deadline timer is still scheduled. Reusing
+// the same tag immediately pops that same entry; when the stale timer
+// fires it sees the same object under the same tag and must detect the
+// bumped generation and do nothing — neither retransmitting nor killing
+// the new transaction, and never mutating the already-delivered response.
+func TestARQRecycledTxnImmuneToStaleTimer(t *testing.T) {
+	k := sim.NewKernel()
+	link := &fakeLink{space: 64}
+	a := NewARQ(k, link, arqConfig()) // 10us timeout, x2 backoff, no jitter
+	var got []ocapi.Packet
+	a.OnComplete = func(p ocapi.Packet) { got = append(got, p) }
+
+	// Transaction 1: attempt 0 is never answered; the 10us deadline
+	// retransmits Seq 1 and arms a 20us deadline (fires at 30us).
+	if !a.TrySend(readReq(1)) {
+		t.Fatal("send refused")
+	}
+	k.At(sim.Time(11*sim.Microsecond), func() {
+		var retry ocapi.Packet
+		for _, p := range link.sent {
+			if p.Seq == 1 {
+				retry = p
+			}
+		}
+		if retry.Op == ocapi.OpInvalid {
+			t.Fatal("no retransmission by 11us")
+		}
+		a.OnResponse(retry.Response()) // completes + recycles the entry
+		recycled := a.freeTxns
+		if recycled == nil {
+			t.Fatal("completed transaction was not recycled")
+		}
+		// Reuse the tag while the 30us timer still holds the old
+		// generation of the very same entry.
+		if !a.TrySend(readReq(1)) {
+			t.Fatal("reissue refused")
+		}
+		if a.txns[1] != recycled {
+			t.Fatal("reissue did not pop the recycled entry")
+		}
+	})
+	// Transaction 2 times out at 21us and retransmits (Seq 1, deadline
+	// 41us); ack that retry at 32us — after the stale 30us timer fired
+	// against the live recycled entry.
+	k.At(sim.Time(32*sim.Microsecond), func() {
+		a.OnResponse(link.sent[len(link.sent)-1].Response())
+	})
+	k.Run()
+
+	if len(got) != 2 {
+		t.Fatalf("completions = %d, want 2", len(got))
+	}
+	for i, p := range got {
+		if p.Op != ocapi.OpReadResp || p.Tag != 1 || p.Poison {
+			t.Fatalf("completion %d mutated or poisoned: %+v", i, p)
+		}
+	}
+	s := a.Stats()
+	// Exactly two genuine timeouts (one per transaction's first attempt):
+	// had the stale timer matched the recycled entry it would have added a
+	// third timeout and retransmit, or killed the live transaction.
+	if s.Tracked != 2 || s.Completed != 2 || s.Timeouts != 2 || s.Retransmits != 2 || s.Dead != 0 || s.StaleDrops != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if a.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d", a.Outstanding())
+	}
+}

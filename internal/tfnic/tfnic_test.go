@@ -256,7 +256,7 @@ func TestNICResponsesBypassInjector(t *testing.T) {
 	l := New(k, DefaultConfig(1), blockedGate, mem)
 	// Push a request directly into the lender's RxQ, as if off the wire.
 	k.At(0, func() {
-		p := ocapi.Packet{Op: ocapi.OpReadBlock, Tag: 3, Addr: 0, Size: ocapi.CacheLineSize, Src: 0, Dst: 1}
+		p := &ocapi.Packet{Op: ocapi.OpReadBlock, Tag: 3, Addr: 0, Size: ocapi.CacheLineSize, Src: 0, Dst: 1}
 		l.RxQ.Push(axis.Beat{Bytes: p.WireBytes(), Dest: 0, Meta: p})
 	})
 	end := k.RunUntil(sim.Time(10 * sim.Microsecond))

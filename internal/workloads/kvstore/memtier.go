@@ -89,16 +89,97 @@ type BenchResult struct {
 // keyName formats key i (fixed width, memtier-style).
 func keyName(i int) string { return fmt.Sprintf("memtier-%012d", i) }
 
+// makeKeyTable formats the full keyspace once, so the request loop picks
+// keys by index instead of formatting a fresh string per request.
+func makeKeyTable(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = keyName(i)
+	}
+	return keys
+}
+
 // Prepopulate loads the full keyspace directly (untimed setup, as memtier
 // does before its measured phase).
 func Prepopulate(store *Store, cfg BenchConfig, rng *sim.Rand) {
+	prepopulate(store, cfg, makeKeyTable(cfg.KeySpace))
+}
+
+func prepopulate(store *Store, cfg BenchConfig, keys []string) {
 	val := make([]byte, cfg.ValueBytes)
 	for i := range val {
 		val[i] = byte('a' + i%26)
 	}
-	for i := 0; i < cfg.KeySpace; i++ {
-		store.Set(keyName(i), val)
+	for _, key := range keys {
+		t := store.Set(key, val)
+		store.RecycleTrace(&t)
 	}
+}
+
+// benchRun is the state shared by every client of one RunBench call.
+type benchRun struct {
+	k    *sim.Kernel
+	srv  *Server
+	cfg  BenchConfig
+	keys []string
+	val  []byte
+
+	res       BenchResult
+	start     sim.Time
+	remaining int
+	done      func(BenchResult)
+}
+
+// benchClient is one closed-loop connection. It is a sim.Handler so the
+// two half-RTT hops of every request reuse the client object instead of
+// allocating closures: arg 0 = request reached the server, arg 1 =
+// response reached the client.
+type benchClient struct {
+	run    *benchRun
+	rng    *sim.Rand
+	sent   int
+	issued sim.Time
+	req    Request
+	respFn func(Response) // cached Submit callback
+}
+
+// Handle implements sim.Handler.
+func (c *benchClient) Handle(arg uint64) {
+	r := c.run
+	if arg == 0 {
+		r.srv.Submit(c.req, c.respFn)
+		return
+	}
+	r.res.Requests++
+	if c.req.Cmd == CmdSet {
+		r.res.Sets++
+	} else {
+		r.res.Gets++
+	}
+	r.res.LatencyUs.Observe(r.k.Now().Sub(c.issued).Micros())
+	c.sendNext()
+}
+
+func (c *benchClient) sendNext() {
+	r := c.run
+	if c.sent == r.cfg.RequestsPerClient {
+		r.remaining--
+		if r.remaining == 0 {
+			r.res.Elapsed = r.k.Now().Sub(r.start)
+			r.res.Throughput = sim.PerSecond(float64(r.res.Requests), r.res.Elapsed)
+			r.done(r.res)
+		}
+		return
+	}
+	c.sent++
+	key := r.keys[c.rng.Intn(r.cfg.KeySpace)]
+	c.req = Request{Cmd: CmdGet, Key: key}
+	if c.rng.Float64() < r.cfg.SetFraction {
+		c.req = Request{Cmd: CmdSet, Key: key, Value: r.val}
+	}
+	c.issued = r.k.Now()
+	// Half RTT to the server, service, half RTT back.
+	r.k.AfterH(sim.Duration(r.cfg.ClientRTT/2), c, 0)
 }
 
 // RunBench drives the closed-loop benchmark against a server and calls
@@ -108,57 +189,31 @@ func RunBench(k *sim.Kernel, srv *Server, cfg BenchConfig, done func(BenchResult
 		panic(err)
 	}
 	rng := sim.NewRand(cfg.Seed)
+	keys := makeKeyTable(cfg.KeySpace)
 	if cfg.Prepopulate {
-		Prepopulate(srv.Store(), cfg, rng)
+		prepopulate(srv.Store(), cfg, keys)
 	}
 	val := make([]byte, cfg.ValueBytes)
 	for i := range val {
 		val[i] = byte('A' + i%26)
 	}
 
-	res := BenchResult{LatencyUs: metrics.NewHistogram(0.1)}
-	start := k.Now()
-	remaining := cfg.Clients()
-
-	clientLoop := func(clientRng *sim.Rand) {
-		sent := 0
-		var sendNext func()
-		sendNext = func() {
-			if sent == cfg.RequestsPerClient {
-				remaining--
-				if remaining == 0 {
-					res.Elapsed = k.Now().Sub(start)
-					res.Throughput = sim.PerSecond(float64(res.Requests), res.Elapsed)
-					done(res)
-				}
-				return
-			}
-			sent++
-			key := keyName(clientRng.Intn(cfg.KeySpace))
-			req := Request{Cmd: CmdGet, Key: key}
-			if clientRng.Float64() < cfg.SetFraction {
-				req = Request{Cmd: CmdSet, Key: key, Value: val}
-			}
-			issued := k.Now()
-			// Half RTT to the server, service, half RTT back.
-			k.After(sim.Duration(cfg.ClientRTT/2), func() {
-				srv.Submit(req, func(resp Response) {
-					k.After(sim.Duration(cfg.ClientRTT/2), func() {
-						res.Requests++
-						if req.Cmd == CmdSet {
-							res.Sets++
-						} else {
-							res.Gets++
-						}
-						res.LatencyUs.Observe(k.Now().Sub(issued).Micros())
-						sendNext()
-					})
-				})
-			})
-		}
-		sendNext()
+	run := &benchRun{
+		k:         k,
+		srv:       srv,
+		cfg:       cfg,
+		keys:      keys,
+		val:       val,
+		res:       BenchResult{LatencyUs: metrics.NewHistogram(0.1)},
+		start:     k.Now(),
+		remaining: cfg.Clients(),
+		done:      done,
 	}
-	for c := 0; c < cfg.Clients(); c++ {
-		clientLoop(rng.Split())
+	for i := 0; i < cfg.Clients(); i++ {
+		c := &benchClient{run: run, rng: rng.Split()}
+		c.respFn = func(Response) {
+			c.run.k.AfterH(sim.Duration(c.run.cfg.ClientRTT/2), c, 1)
+		}
+		c.sendNext()
 	}
 }

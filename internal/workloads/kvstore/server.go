@@ -117,6 +117,15 @@ type Server struct {
 	busy  bool
 	stats Stats
 	depth int // peak queue depth
+
+	// In-flight request state (the loop serves one request at a time), plus
+	// the one replay-completion closure reused for every request: the
+	// per-request service path allocates nothing beyond what the command
+	// itself needs.
+	cur        pendingReq
+	curResp    Response
+	curTrace   Trace
+	replayDone func(sim.Duration)
 }
 
 type pendingReq struct {
@@ -131,7 +140,16 @@ func NewServer(k *sim.Kernel, h *memport.Hierarchy, store *Store, cfg ServerConf
 		panic(err)
 	}
 	store.SetClock(k.Now)
-	return &Server{k: k, h: h, store: store, cfg: cfg}
+	s := &Server{k: k, h: h, store: store, cfg: cfg}
+	s.replayDone = func(sim.Duration) {
+		s.store.RecycleTrace(&s.curTrace)
+		done, resp := s.cur.done, s.curResp
+		s.cur, s.curResp = pendingReq{}, Response{}
+		s.busy = false
+		done(resp)
+		s.pump()
+	}
+	return s
 }
 
 // Store returns the underlying store.
@@ -158,21 +176,23 @@ func (s *Server) pump() {
 		return
 	}
 	s.busy = true
-	p := s.queue[0]
-	s.queue = s.queue[1:]
+	s.cur = s.queue[0]
+	copy(s.queue, s.queue[1:])
+	s.queue[len(s.queue)-1] = pendingReq{}
+	s.queue = s.queue[:len(s.queue)-1]
 	s.stats.Requests++
 
-	resp, trace := s.execute(p.req)
+	s.curResp, s.curTrace = s.execute(s.cur.req)
 	// Service: network stack + command CPU, then the command's memory
 	// trace (Redis interleaves them; serializing is a conservative
 	// single-thread model).
-	s.k.After(s.cfg.NetStack+s.cfg.PerOpCPU, func() {
-		memport.Replay(s.k, s.h, traceSource{t: trace}, s.cfg.Window, func(sim.Duration) {
-			s.busy = false
-			p.done(resp)
-			s.pump()
-		})
-	})
+	s.k.AfterH(s.cfg.NetStack+s.cfg.PerOpCPU, s, 0)
+}
+
+// Handle implements sim.Handler: service time elapsed, replay the
+// command's memory trace.
+func (s *Server) Handle(uint64) {
+	memport.Replay(s.k, s.h, traceSource{t: s.curTrace}, s.cfg.Window, s.replayDone)
 }
 
 // execute runs the real command against the real store.

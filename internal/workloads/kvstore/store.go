@@ -30,13 +30,35 @@ const (
 // Trace is the memory behaviour of one command: groups are sequential
 // (dependent pointer-chase steps), operations within a group are
 // independent.
+//
+// Traces built by a Store draw their group storage from the store's
+// recycling pools; callers that are done with a trace should hand it back
+// via Store.RecycleTrace so steady-state serving allocates nothing. A
+// zero-value Trace still works (groups are allocated fresh).
 type Trace struct {
 	Groups [][]memport.Op
+
+	s *Store // pool owner; nil for zero-value traces
 }
 
-// add starts a new dependent group with the given ops.
+// newGroup returns an empty op slice, pooled when the trace has a store.
+func (t *Trace) newGroup() []memport.Op {
+	if t.s == nil {
+		return nil
+	}
+	if n := len(t.s.freeOps); n > 0 {
+		g := t.s.freeOps[n-1]
+		t.s.freeOps[n-1] = nil
+		t.s.freeOps = t.s.freeOps[:n-1]
+		return g
+	}
+	return make([]memport.Op, 0, 8)
+}
+
+// add starts a new dependent group with the given ops. The ops are copied
+// into pooled storage, so the variadic temporary stays on the stack.
 func (t *Trace) add(ops ...memport.Op) {
-	t.Groups = append(t.Groups, ops)
+	t.Groups = append(t.Groups, append(t.newGroup(), ops...))
 }
 
 // appendTo extends the last group (independent with it).
@@ -46,6 +68,21 @@ func (t *Trace) appendTo(ops ...memport.Op) {
 		return
 	}
 	t.Groups[len(t.Groups)-1] = append(t.Groups[len(t.Groups)-1], ops...)
+}
+
+// addValue starts a new group covering a value's line accesses.
+func (t *Trace) addValue(addr uint64, n int, write bool) {
+	t.Groups = append(t.Groups, appendValueOps(t.newGroup(), addr, n, write))
+}
+
+// appendValueTo extends the last group with a value's line accesses.
+func (t *Trace) appendValueTo(addr uint64, n int, write bool) {
+	if len(t.Groups) == 0 {
+		t.addValue(addr, n, write)
+		return
+	}
+	i := len(t.Groups) - 1
+	t.Groups[i] = appendValueOps(t.Groups[i], addr, n, write)
 }
 
 // Ops returns the total operation count.
@@ -107,6 +144,12 @@ type Store struct {
 	clock func() sim.Time
 	// expired counts lazily deleted entries.
 	expired uint64
+
+	// freeOps and freeGroups recycle trace storage (op slices and group
+	// lists) returned through RecycleTrace, so steady-state command
+	// execution generates traces without allocating.
+	freeOps    [][]memport.Op
+	freeGroups [][][]memport.Op
 }
 
 // Config sizes the store's simulated heap.
@@ -187,6 +230,36 @@ func (s *Store) Footprint() uint64 {
 	return (s.valuesAt + s.valBump) - s.base
 }
 
+// newTrace starts a trace backed by the store's recycling pools.
+func (s *Store) newTrace() Trace {
+	t := Trace{s: s}
+	if n := len(s.freeGroups); n > 0 {
+		t.Groups = s.freeGroups[n-1]
+		s.freeGroups[n-1] = nil
+		s.freeGroups = s.freeGroups[:n-1]
+	}
+	return t
+}
+
+// RecycleTrace returns a trace's storage to the store's pools once its
+// consumer (the replayer) is done with it. Recycling is optional — an
+// unrecycled trace is simply collected — and idempotent; traces from other
+// stores (or zero-value traces) are ignored.
+func (s *Store) RecycleTrace(t *Trace) {
+	if t.s != s || t.Groups == nil {
+		return
+	}
+	for i, g := range t.Groups {
+		if g != nil {
+			s.freeOps = append(s.freeOps, g[:0])
+		}
+		t.Groups[i] = nil
+	}
+	s.freeGroups = append(s.freeGroups, t.Groups[:0])
+	t.Groups = nil
+	t.s = nil
+}
+
 // hash is FNV-1a over the key.
 func hash(key string) uint64 {
 	var h uint64 = 1469598103934665603
@@ -248,12 +321,8 @@ func (s *Store) allocNode() int32 {
 	return int32(len(s.nodes) - 1)
 }
 
-// valueOps returns the independent line accesses covering a value.
-func valueOps(addr uint64, n int, write bool) []memport.Op {
-	if n == 0 {
-		return nil
-	}
-	var ops []memport.Op
+// appendValueOps appends the independent line accesses covering a value.
+func appendValueOps(ops []memport.Op, addr uint64, n int, write bool) []memport.Op {
 	for off := 0; off < n; off += lineBytes {
 		sz := lineBytes
 		if n-off < sz {
@@ -355,7 +424,7 @@ func (s *Store) lookup(key string, t *Trace) (ei, prev int32, inOld bool) {
 
 // Set stores a string value, returning the command's memory trace.
 func (s *Store) Set(key string, val []byte) Trace {
-	var t Trace
+	t := s.newTrace()
 	s.rehashStep(&t)
 	s.maybeGrow()
 	ei, _, _ := s.lookup(key, &t)
@@ -368,7 +437,7 @@ func (s *Store) Set(key string, val []byte) Trace {
 		e.val = append(e.val[:0], val...)
 		e.listHd, e.listLen = 0, 0
 		t.add(memport.Op{Addr: s.entryAddr(ei - 1), Size: entryBytes, Write: true})
-		t.appendTo(valueOps(e.valAddr, len(val), true)...)
+		t.appendValueTo(e.valAddr, len(val), true)
 		return t
 	}
 	ni := s.allocEntry()
@@ -385,12 +454,13 @@ func (s *Store) Set(key string, val []byte) Trace {
 		memport.Op{Addr: s.entryAddr(ni), Size: entryBytes, Write: true},
 		memport.Op{Addr: s.bucketAddr(bi, false), Size: bucketBytes, Write: true},
 	)
-	t.appendTo(valueOps(e.valAddr, len(val), true)...)
+	t.appendValueTo(e.valAddr, len(val), true)
 	return t
 }
 
 // Get fetches a string value.
 func (s *Store) Get(key string) (val []byte, ok bool, t Trace) {
+	t = s.newTrace()
 	s.rehashStep(&t)
 	ei, _, _ := s.lookup(key, &t)
 	if ei == 0 {
@@ -400,12 +470,13 @@ func (s *Store) Get(key string) (val []byte, ok bool, t Trace) {
 	if e.listHd != 0 {
 		return nil, false, t // wrong type, like Redis WRONGTYPE
 	}
-	t.add(valueOps(e.valAddr, len(e.val), false)...)
+	t.addValue(e.valAddr, len(e.val), false)
 	return e.val, true, t
 }
 
 // Del removes a key, reporting whether it existed.
 func (s *Store) Del(key string) (existed bool, t Trace) {
+	t = s.newTrace()
 	s.rehashStep(&t)
 	ei, prev, inOld := s.lookup(key, &t)
 	if ei == 0 {
@@ -440,13 +511,19 @@ func (s *Store) Del(key string) (existed bool, t Trace) {
 // Incr atomically increments an integer-valued key (creating it at 1),
 // returning the new value, like Redis INCR.
 func (s *Store) Incr(key string) (int64, error, Trace) {
-	var t Trace
+	t := s.newTrace()
 	s.rehashStep(&t)
 	s.maybeGrow()
 	ei, _, _ := s.lookup(key, &t)
 	if ei == 0 {
 		st := s.Set(key, []byte("1"))
+		// Splice the nested Set's groups: the op slices now belong to t, so
+		// only st's emptied outer list goes back to the pool.
 		t.Groups = append(t.Groups, st.Groups...)
+		for i := range st.Groups {
+			st.Groups[i] = nil
+		}
+		s.freeGroups = append(s.freeGroups, st.Groups[:0])
 		return 1, nil, t
 	}
 	e := &s.entries[ei-1]
@@ -456,14 +533,14 @@ func (s *Store) Incr(key string) (int64, error, Trace) {
 	}
 	n++
 	e.val = strconv.AppendInt(e.val[:0], n, 10)
-	t.add(valueOps(e.valAddr, len(e.val), true)...)
+	t.addValue(e.valAddr, len(e.val), true)
 	return n, nil, t
 }
 
 // LPush prepends a value to the list at key (creating it), returning the
 // new length.
 func (s *Store) LPush(key string, val []byte) (int, Trace) {
-	var t Trace
+	t := s.newTrace()
 	s.rehashStep(&t)
 	s.maybeGrow()
 	ei, _, _ := s.lookup(key, &t)
@@ -499,7 +576,7 @@ func (s *Store) LPush(key string, val []byte) (int, Trace) {
 // LRange returns up to count values from the head of the list at key. The
 // traversal is a genuine pointer chase: one dependent group per node.
 func (s *Store) LRange(key string, count int) ([][]byte, Trace) {
-	var t Trace
+	t := s.newTrace()
 	s.rehashStep(&t)
 	ei, _, _ := s.lookup(key, &t)
 	if ei == 0 {
@@ -559,7 +636,7 @@ func (s *Store) reapLocked(key string, ei, prev int32, inOld bool, t *Trace) {
 // Expire sets an absolute expiry on a key, returning whether it existed.
 // A zero instant clears the TTL (PERSIST).
 func (s *Store) Expire(key string, at sim.Time) (bool, Trace) {
-	var t Trace
+	t := s.newTrace()
 	s.rehashStep(&t)
 	ei, _, _ := s.lookup(key, &t)
 	if ei == 0 {
@@ -573,6 +650,7 @@ func (s *Store) Expire(key string, at sim.Time) (bool, Trace) {
 // TTL returns the remaining lifetime of key: ok is false when the key is
 // missing; a zero duration with ok means no TTL is set.
 func (s *Store) TTL(key string) (remaining sim.Duration, hasTTL, ok bool, t Trace) {
+	t = s.newTrace()
 	s.rehashStep(&t)
 	ei, _, _ := s.lookup(key, &t)
 	if ei == 0 {

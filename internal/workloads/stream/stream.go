@@ -247,6 +247,12 @@ func (r *Runner) runKernel(kern Kernel, done func()) {
 	finished := false
 
 	var pump func()
+	// One completion closure for the whole kernel: Access must not be
+	// handed a fresh closure per line group on the hot path.
+	accessDone := func() {
+		inflight--
+		pump()
+	}
 	pump = func() {
 		if pumping {
 			return
@@ -264,10 +270,7 @@ func (r *Runner) runKernel(kern Kernel, done func()) {
 			for _, op := range ops {
 				addr := r.arrayBase(op.arr) + lineOff
 				inflight++
-				r.h.Access(addr, int(n)*elemBytes, op.write, func() {
-					inflight--
-					pump()
-				})
+				r.h.Access(addr, int(n)*elemBytes, op.write, accessDone)
 			}
 			idx++
 		}
