@@ -4,8 +4,8 @@ GO ?= go
 
 # Benchmark artifact for this PR and the committed baseline it is gated
 # against (previous PR's numbers).
-BENCH_OUT      ?= BENCH_5.json
-BENCH_BASELINE ?= BENCH_4.json
+BENCH_OUT      ?= BENCH_6.json
+BENCH_BASELINE ?= BENCH_5.json
 
 all: vet fmt-check build test
 

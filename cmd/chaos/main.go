@@ -41,6 +41,7 @@ func main() {
 		workloads  = flag.String("workloads", strings.Join(core.ChaosWorkloads, ","), "comma-separated workloads")
 		jobs       = flag.Int("j", 0, "concurrent chaos trials (0 = one per CPU); results are identical at any -j")
 		failover   = flag.Bool("failover", false, "also run the dead-link degraded-failover scenario")
+		schedule   = flag.Bool("schedule", false, "also run the scheduled lender-fault campaign (crash/wipe/burst/brownout) with the deadline+breaker stack")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the chaos trials to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile (taken after the trials) to this file")
 	)
@@ -69,6 +70,16 @@ func main() {
 	if *failover {
 		failoverResult = opts.RunDegradedFailover()
 	}
+	var scheduleResult *core.ChaosScheduleReport
+	if *schedule {
+		scfg := core.DefaultChaosScheduleConfig()
+		scfg.Seed = *seed
+		var err error
+		scheduleResult, err = opts.RunChaosSchedule(scfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 	stopCPU()
 	if err := prof.WriteHeap(*memProfile); err != nil {
 		log.Fatal(err)
@@ -89,6 +100,26 @@ func main() {
 			r.Completed, r.DeadDeclared, r.Degraded, r.DegradedPages, r.LocalAccesses, r.Poisoned, r.ElapsedUs)
 		if !r.Completed || !r.DeadDeclared || !r.Degraded {
 			log.Fatal("degraded failover did not complete cleanly")
+		}
+	}
+
+	if scheduleResult != nil {
+		fmt.Println()
+		if err := scheduleResult.Events.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		if err := scheduleResult.Table.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		r := scheduleResult.Result
+		fmt.Printf("scheduled campaign: trips=%d reopens=%d closes=%d trip=%.4g us recovery=%.4g us final=%s\n",
+			r.Trips, r.Reopens, r.Closes, r.TripUs, r.RecoveryUs, r.FinalBreaker)
+		if !scheduleResult.OK() {
+			for _, v := range r.Violations {
+				log.Printf("schedule: VIOLATION: %s", v)
+			}
+			log.Fatal("scheduled campaign failed its audit")
 		}
 	}
 

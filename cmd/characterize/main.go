@@ -8,7 +8,7 @@
 //
 //	characterize [-out dir] [-paper] [-j N] [-trace file] [-trace-sample N]
 //	             [-cpuprofile file] [-memprofile file]
-//	             [-experiment all|validation|resilience|table1|fig5|mcbn|mcln|pool|dists|qos|migration|interconnect|prefetch|recovery|chaos|breakdown]
+//	             [-experiment all|validation|resilience|table1|fig5|mcbn|mcln|pool|dists|qos|migration|interconnect|prefetch|recovery|chaos|schedule|breaker-recovery|breakdown]
 //
 // Sweep points fan out across -j worker goroutines (default: one per
 // CPU). Every point owns its testbed and derives its randomness from
@@ -61,7 +61,7 @@ func main() {
 	}
 	known := []string{"all", "validation", "resilience", "table1", "fig5", "mcbn",
 		"mcln", "pool", "dists", "qos", "migration", "interconnect", "prefetch",
-		"recovery", "chaos", "breakdown"}
+		"recovery", "chaos", "schedule", "breaker-recovery", "breakdown"}
 	if !slices.Contains(known, *experiment) {
 		log.Fatalf("unknown experiment %q (choose one of %s)", *experiment, strings.Join(known, "|"))
 	}
@@ -116,6 +116,26 @@ func main() {
 			ccfg := core.DefaultChaosConfig()
 			ccfg.Seed = opts.Seed
 			rep.Chaos = opts.RunChaos(ccfg)
+		})
+	}
+	if want("schedule") {
+		run("scheduled chaos campaign (lender fault domains)", func() {
+			scfg := core.DefaultChaosScheduleConfig()
+			scfg.Seed = opts.Seed
+			var err error
+			rep.Schedule, err = opts.RunChaosSchedule(scfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+		})
+	}
+	if want("breaker-recovery") {
+		run("breaker recovery sweep (outage length vs re-close time)", func() {
+			br, err := opts.RunBreakerRecovery()
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep.BreakerRec = br
 		})
 	}
 	if want("breakdown") {

@@ -5,6 +5,7 @@ import (
 
 	"thymesim/internal/memport"
 	"thymesim/internal/ocapi"
+	"thymesim/internal/sim"
 	"thymesim/internal/tfnic"
 )
 
@@ -41,10 +42,27 @@ func TestRemoteFillSteadyStateAllocs(t *testing.T) {
 			c.ARQ = &arq
 			return c
 		}()},
+		{"deadline+breaker", func() Config {
+			// The robustness stack: ARQ plus a per-transaction deadline,
+			// with the outcome observer attached below (the breaker's feed).
+			c := DefaultConfig(1)
+			arq := tfnic.DefaultARQConfig()
+			c.ARQ = &arq
+			c.FillDeadline = 10 * sim.Millisecond
+			return c
+		}()},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			tb := NewTestbed(tc.cfg)
+			if tc.cfg.FillDeadline > 0 {
+				ok := uint64(0)
+				tb.SetFillOutcomeObserver(func(healthy bool) {
+					if healthy {
+						ok++
+					}
+				})
+			}
 			h := tb.NewRemoteHierarchy()
 			var fills uint64
 			fill := remoteFillLoop(tb, h, &fills)

@@ -73,6 +73,11 @@ type Config struct {
 	// with a poisoned completion). Nil reproduces the prototype's
 	// recovery-free datapath.
 	ARQ *tfnic.ARQConfig
+	// FillDeadline, when positive, bounds every borrower-port transaction
+	// end to end: a fill or writeback that has not resolved within it
+	// completes poisoned immediately instead of waiting out ARQ death or a
+	// hung lender. 0 reproduces the unbounded prototype.
+	FillDeadline sim.Duration
 	// Profile sets interconnect wire overheads (zero value = OpenCAPI
 	// over Ethernet).
 	Profile ocapi.Profile
@@ -124,6 +129,9 @@ func (c Config) Validate() error {
 		if err := c.ARQ.Validate(); err != nil {
 			return err
 		}
+	}
+	if c.FillDeadline < 0 {
+		return fmt.Errorf("cluster: negative FillDeadline")
 	}
 	if c.WindowSize == 0 || c.WindowSize%ocapi.CacheLineSize != 0 {
 		return fmt.Errorf("cluster: window size %d", c.WindowSize)
@@ -298,6 +306,9 @@ func (tb *Testbed) newBackend() *memport.RemoteBackend {
 		panic("cluster: backend tag range collides with probe tags")
 	}
 	b := memport.NewRemoteBackendTags(tb.K, tb.sender, base, tb.cfg.TagSpace, tb.cfg.PortLatency, BorrowerID, LenderID)
+	if tb.cfg.FillDeadline > 0 {
+		b.SetDeadline(tb.cfg.FillDeadline)
+	}
 	if tb.tracer != nil {
 		b.SetTracer(tb.tracer)
 	}
@@ -409,6 +420,27 @@ func (tb *Testbed) Probe(deadline sim.Duration, done func(ok bool, rtt sim.Durat
 		})
 	}
 	return true
+}
+
+// CrashLender stops the lender's memory service: in-flight serves are
+// lost and subsequent requests — probes included — are black-holed, so the
+// borrower sees a silent peer, not an error (inject.FaultTarget).
+func (tb *Testbed) CrashLender() { tb.LenderNIC.Crash() }
+
+// RestoreLender restarts the lender. With wipe, the window state was lost
+// across the crash: block requests are nacked until a control-plane probe
+// re-arms the window (the supervisor's re-attach does exactly that).
+func (tb *Testbed) RestoreLender(wipe bool) { tb.LenderNIC.Restore(wipe) }
+
+// SetLenderSlowdown sets the lender memory service-time inflation factor
+// (brownout injection); 1 restores nominal service.
+func (tb *Testbed) SetLenderSlowdown(factor float64) { tb.LenderMem.SetSlowdown(factor) }
+
+// SetFillOutcomeObserver registers fn on the shared borrower-port backend
+// to observe every transaction outcome exactly once (the circuit breaker's
+// feed). Per-priority backends created later are unaffected.
+func (tb *Testbed) SetFillOutcomeObserver(fn func(ok bool)) {
+	tb.backend.SetOutcomeObserver(fn)
 }
 
 // RemoteAddr maps an offset within the reservation to a borrower physical

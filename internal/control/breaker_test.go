@@ -1,0 +1,276 @@
+package control
+
+import (
+	"testing"
+
+	"thymesim/internal/sim"
+)
+
+func breakerConfig() BreakerConfig {
+	return BreakerConfig{
+		Window:         8,
+		MinSamples:     4,
+		TripRatio:      0.5,
+		OpenTimeout:    100 * sim.Microsecond,
+		OpenMult:       2,
+		OpenCap:        400 * sim.Microsecond,
+		HalfOpenProbes: 2,
+		CloseAfter:     3,
+	}
+}
+
+func mustBreaker(t *testing.T, k *sim.Kernel) *Breaker {
+	t.Helper()
+	b, err := NewBreaker(k, breakerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBreakerConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*BreakerConfig)
+	}{
+		{"zero window", func(c *BreakerConfig) { c.Window = 0 }},
+		{"zero min samples", func(c *BreakerConfig) { c.MinSamples = 0 }},
+		{"min samples above window", func(c *BreakerConfig) { c.MinSamples = c.Window + 1 }},
+		{"trip ratio zero", func(c *BreakerConfig) { c.TripRatio = 0 }},
+		{"trip ratio above one", func(c *BreakerConfig) { c.TripRatio = 1.5 }},
+		{"zero dwell", func(c *BreakerConfig) { c.OpenTimeout = 0 }},
+		{"open mult below one", func(c *BreakerConfig) { c.OpenMult = 0.5 }},
+		{"cap below dwell", func(c *BreakerConfig) { c.OpenCap = c.OpenTimeout / 2 }},
+		{"zero half-open probes", func(c *BreakerConfig) { c.HalfOpenProbes = 0 }},
+		{"zero close-after", func(c *BreakerConfig) { c.CloseAfter = 0 }},
+	}
+	for _, tc := range cases {
+		cfg := breakerConfig()
+		tc.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if err := DefaultBreakerConfig().Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestBreakerTripsAtWindowThreshold(t *testing.T) {
+	k := sim.NewKernel()
+	b := mustBreaker(t, k)
+	if b.State() != BreakerClosed {
+		t.Fatalf("initial state %v", b.State())
+	}
+	// Three samples: below MinSamples, never trips even at 100% failure.
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker denied")
+		}
+		b.Record(false)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("tripped below MinSamples")
+	}
+	// Fourth failure reaches MinSamples=4 with ratio 1.0 >= 0.5: trip.
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after threshold", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed")
+	}
+	st := b.Stats()
+	if st.Trips != 1 || st.ShortCircuited != 1 {
+		t.Fatalf("trips=%d shortCircuited=%d", st.Trips, st.ShortCircuited)
+	}
+}
+
+func TestBreakerMixedWindowBelowRatioStaysClosed(t *testing.T) {
+	k := sim.NewKernel()
+	b := mustBreaker(t, k)
+	// 1 failure in every 4 samples: 25% < 50% trip ratio.
+	for i := 0; i < 32; i++ {
+		b.Record(i%4 == 0)
+		b.Record(true)
+		b.Record(true)
+		b.Record(i%4 != 0)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("tripped at %.2f error rate", b.ErrorRate())
+	}
+}
+
+func TestBreakerHalfOpenProbeLimit(t *testing.T) {
+	k := sim.NewKernel()
+	b := mustBreaker(t, k)
+	for i := 0; i < 4; i++ {
+		b.Record(false)
+	}
+	k.Run() // dwell elapses -> half-open
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v after dwell", b.State())
+	}
+	// Exactly HalfOpenProbes=2 trials admitted while none resolve.
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("half-open denied a trial")
+	}
+	if b.Allow() {
+		t.Fatal("half-open exceeded its trial budget")
+	}
+	// A resolved trial frees a slot.
+	b.Record(true)
+	if !b.Allow() {
+		t.Fatal("resolved trial did not free a probe slot")
+	}
+}
+
+func TestBreakerReopenDoublesDwell(t *testing.T) {
+	k := sim.NewKernel()
+	b := mustBreaker(t, k)
+	for i := 0; i < 4; i++ {
+		b.Record(false)
+	}
+	tripAt := k.Now()
+	k.Run() // -> half-open after 100us
+	b.Allow()
+	b.Record(false) // trial fails -> reopen, dwell 200us
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after failed trial", b.State())
+	}
+	k.Run() // -> half-open again
+	b.Allow()
+	b.Record(false) // dwell 400us (capped)
+	k.Run()
+	b.Allow()
+	b.Record(false) // dwell stays at cap 400us
+	k.Run()
+	tr := b.Transitions()
+	// closed->open, open->half, half->open, open->half, half->open, open->half,
+	// half->open, open->half.
+	var halfAt []sim.Time
+	for _, e := range tr {
+		if e.To == BreakerHalfOpen {
+			halfAt = append(halfAt, e.At)
+		}
+	}
+	if len(halfAt) != 4 {
+		t.Fatalf("half-open entries = %d", len(halfAt))
+	}
+	gaps := []sim.Duration{
+		sim.Duration(halfAt[0] - tripAt),
+		sim.Duration(halfAt[1] - halfAt[0]),
+		sim.Duration(halfAt[2] - halfAt[1]),
+		sim.Duration(halfAt[3] - halfAt[2]),
+	}
+	want := []sim.Duration{100 * sim.Microsecond, 200 * sim.Microsecond,
+		400 * sim.Microsecond, 400 * sim.Microsecond}
+	for i, g := range gaps {
+		if g != want[i] {
+			t.Fatalf("dwell %d = %v, want %v (backoff must double then cap)", i, g, want[i])
+		}
+	}
+	if b.Stats().Reopens != 3 {
+		t.Fatalf("reopens = %d", b.Stats().Reopens)
+	}
+}
+
+func TestBreakerClosesAfterStreakAndResetsWindow(t *testing.T) {
+	k := sim.NewKernel()
+	b := mustBreaker(t, k)
+	for i := 0; i < 4; i++ {
+		b.Record(false)
+	}
+	k.Run() // -> half-open
+	// CloseAfter=3 consecutive successes re-close the breaker.
+	for i := 0; i < 3; i++ {
+		if b.State() != BreakerHalfOpen {
+			t.Fatalf("state %v mid-streak", b.State())
+		}
+		b.Allow()
+		b.Record(true)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after success streak", b.State())
+	}
+	if b.ErrorRate() != 0 {
+		t.Fatalf("window not reset on close: rate %.2f", b.ErrorRate())
+	}
+	if b.Stats().Closes != 1 {
+		t.Fatalf("closes = %d", b.Stats().Closes)
+	}
+	// Dwell resets too: a fresh trip waits the base 100us again.
+	for i := 0; i < 4; i++ {
+		b.Record(false)
+	}
+	tripAt := k.Now()
+	k.Run()
+	tr := b.Transitions()
+	last := tr[len(tr)-1]
+	if last.To != BreakerHalfOpen || sim.Duration(last.At-tripAt) != 100*sim.Microsecond {
+		t.Fatalf("dwell not reset on close: %+v (trip at %v)", last, tripAt)
+	}
+}
+
+func TestBreakerTransitionLogLegal(t *testing.T) {
+	k := sim.NewKernel()
+	b := mustBreaker(t, k)
+	for i := 0; i < 4; i++ {
+		b.Record(false)
+	}
+	k.Run()
+	b.Allow()
+	b.Record(false)
+	k.Run()
+	for i := 0; i < 3; i++ {
+		b.Allow()
+		b.Record(true)
+	}
+	prev := BreakerClosed
+	for i, e := range b.Transitions() {
+		if e.From != prev {
+			t.Fatalf("transition %d: from %v, previous state %v", i, e.From, prev)
+		}
+		if !ValidBreakerTransition(e.From, e.To) {
+			t.Fatalf("illegal transition %v -> %v", e.From, e.To)
+		}
+		prev = e.To
+	}
+	if prev != b.State() {
+		t.Fatalf("log ends at %v, state is %v", prev, b.State())
+	}
+}
+
+func TestValidBreakerTransitionTable(t *testing.T) {
+	legal := map[[2]BreakerState]bool{
+		{BreakerClosed, BreakerOpen}:     true,
+		{BreakerOpen, BreakerHalfOpen}:   true,
+		{BreakerHalfOpen, BreakerOpen}:   true,
+		{BreakerHalfOpen, BreakerClosed}: true,
+	}
+	states := []BreakerState{BreakerClosed, BreakerOpen, BreakerHalfOpen}
+	for _, from := range states {
+		for _, to := range states {
+			want := legal[[2]BreakerState{from, to}]
+			if got := ValidBreakerTransition(from, to); got != want {
+				t.Errorf("ValidBreakerTransition(%v, %v) = %t, want %t", from, to, got, want)
+			}
+		}
+	}
+}
+
+func TestBreakerClosedPathAllocs(t *testing.T) {
+	k := sim.NewKernel()
+	b := mustBreaker(t, k)
+	// Warm the ring.
+	for i := 0; i < 16; i++ {
+		b.Allow()
+		b.Record(true)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		b.Allow()
+		b.Record(true)
+	}); n != 0 {
+		t.Fatalf("closed-path Allow+Record allocates %.1f/op", n)
+	}
+}

@@ -160,11 +160,24 @@ type Supervisor struct {
 }
 
 // NewSupervisor builds a supervisor; call Start to begin heartbeating.
+// Invalid configurations panic; harness code that assembles configurations
+// at runtime should prefer NewSupervisorChecked.
 func NewSupervisor(p HeartbeatProber, cfg SupervisorConfig) *Supervisor {
-	if err := cfg.Validate(); err != nil {
+	s, err := NewSupervisorChecked(p, cfg)
+	if err != nil {
 		panic(err)
 	}
-	return &Supervisor{p: p, cfg: cfg, rng: sim.NewRand(cfg.Seed), state: LinkUp}
+	return s
+}
+
+// NewSupervisorChecked is NewSupervisor returning configuration errors
+// instead of panicking — a zero Heartbeat or MissThreshold would otherwise
+// be accepted as "supervision that never detects anything".
+func NewSupervisorChecked(p HeartbeatProber, cfg SupervisorConfig) (*Supervisor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Supervisor{p: p, cfg: cfg, rng: sim.NewRand(cfg.Seed), state: LinkUp}, nil
 }
 
 // State returns the current link state.

@@ -1,6 +1,14 @@
 package core
 
-import "testing"
+import (
+	"testing"
+
+	"thymesim/internal/cluster"
+	"thymesim/internal/control"
+	"thymesim/internal/ocapi"
+	"thymesim/internal/sim"
+	"thymesim/internal/tfnic"
+)
 
 // benchOptions shrinks the workloads so one sweep point is cheap enough to
 // iterate.
@@ -21,6 +29,48 @@ func BenchmarkStreamRemotePoint(b *testing.B) {
 		if m.BandwidthBps <= 0 {
 			b.Fatal("no bandwidth measured")
 		}
+	}
+}
+
+// BenchmarkBreakerRemoteFill measures a single remote line fill through
+// the full robustness stack — breaker admission gate, deadline-armed
+// backend, ARQ tracking, outcome feedback into the breaker window — once
+// every pool on the path is warm. Guards the steady-state overhead the
+// deadline/breaker layers add to the datapath (allocs/op must stay 0).
+func BenchmarkBreakerRemoteFill(b *testing.B) {
+	cfg := cluster.DefaultConfig(1)
+	arq := tfnic.DefaultARQConfig()
+	cfg.ARQ = &arq
+	cfg.FillDeadline = 10 * sim.Millisecond
+	tb := cluster.NewTestbed(cfg)
+	brk, err := control.NewBreaker(tb.K, control.DefaultBreakerConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb.SetFillOutcomeObserver(brk.Record)
+	h := tb.NewRemoteHierarchy()
+	fills := 0
+	done := func() { fills++ }
+	next := uint64(0)
+	fill := func() {
+		if !brk.Allow() {
+			b.Fatal("breaker tripped on a healthy lender")
+		}
+		h.Access(tb.RemoteAddr(next*ocapi.CacheLineSize), ocapi.CacheLineSize, false, done)
+		next++
+		tb.K.Run()
+	}
+	for i := 0; i < 512; i++ {
+		fill()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fill()
+	}
+	b.StopTimer()
+	if fills != 512+b.N {
+		b.Fatalf("fills = %d", fills)
 	}
 }
 

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"thymesim/internal/control"
+	"thymesim/internal/inject"
+	"thymesim/internal/sim"
+)
+
+// TestChaosScheduleCampaign runs the default crash+wipe+burst+brownout
+// campaign and requires a green audit with real breaker activity.
+func TestChaosScheduleCampaign(t *testing.T) {
+	o := Default()
+	o.Workers = 1
+	rep, err := o.RunChaosSchedule(DefaultChaosScheduleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rep.Result
+	if !rep.OK() {
+		t.Fatalf("campaign not OK: completed=%t violations=%v", res.Completed, res.Violations)
+	}
+	if res.Trips == 0 {
+		t.Fatal("lender crash never tripped the breaker")
+	}
+	if res.Closes == 0 {
+		t.Fatal("breaker never re-closed")
+	}
+	if res.FinalBreaker != control.BreakerClosed.String() {
+		t.Fatalf("breaker ended %s", res.FinalBreaker)
+	}
+	if res.RecoveryUs <= 0 || res.TripUs <= 0 {
+		t.Fatalf("recovery not measured: trip %g us, recovery %g us", res.TripUs, res.RecoveryUs)
+	}
+	if res.CrashDrops == 0 {
+		t.Fatal("crash window black-holed nothing")
+	}
+	if res.WipeNacks == 0 {
+		t.Fatal("window wipe nacked nothing before re-arm")
+	}
+	if res.Bursts == 0 || res.Corrupted == 0 {
+		t.Fatalf("burst window inert: %d bursts, %d corrupted", res.Bursts, res.Corrupted)
+	}
+	if res.Expired == 0 {
+		t.Fatal("no transaction ever expired at its deadline")
+	}
+	if res.GateLocalized == 0 {
+		t.Fatal("open breaker never localized a page")
+	}
+}
+
+// TestChaosScheduleConfigErrors exercises the harness-path validation:
+// zero windows and thresholds must come back as errors, not as silently
+// inert supervision.
+func TestChaosScheduleConfigErrors(t *testing.T) {
+	o := Default()
+	o.Workers = 1
+	cases := []struct {
+		name string
+		mut  func(*ChaosScheduleConfig)
+	}{
+		{"zero breaker window", func(c *ChaosScheduleConfig) { c.Breaker.Window = 0 }},
+		{"zero breaker min samples", func(c *ChaosScheduleConfig) { c.Breaker.MinSamples = 0 }},
+		{"zero breaker dwell", func(c *ChaosScheduleConfig) { c.Breaker.OpenTimeout = 0 }},
+		{"zero supervisor heartbeat", func(c *ChaosScheduleConfig) { c.Supervisor.Heartbeat = 0 }},
+		{"zero supervisor threshold", func(c *ChaosScheduleConfig) { c.Supervisor.MissThreshold = 0 }},
+		{"zero deadline", func(c *ChaosScheduleConfig) { c.Deadline = 0 }},
+		{"empty schedule", func(c *ChaosScheduleConfig) { c.Schedule = nil }},
+		{"unpaired crash", func(c *ChaosScheduleConfig) {
+			c.Schedule = inject.Schedule{{At: 0, Op: inject.OpLenderRestore}}
+		}},
+		{"bad burst chain", func(c *ChaosScheduleConfig) { c.Burst.PBadGood = 0 }},
+		{"poison bound", func(c *ChaosScheduleConfig) { c.MaxPoisonedFrac = 0 }},
+	}
+	for _, tc := range cases {
+		cfg := DefaultChaosScheduleConfig()
+		tc.mut(&cfg)
+		if _, err := o.RunChaosSchedule(cfg); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if _, err := control.NewBreaker(sim.NewKernel(), control.BreakerConfig{}); err == nil {
+		t.Error("zero breaker config accepted")
+	}
+	if _, err := control.NewSupervisorChecked(nil, control.SupervisorConfig{}); err == nil {
+		t.Error("zero supervisor config accepted")
+	}
+}
+
+// breakerRecoveryCSV renders the sweep the same way the report does.
+func breakerRecoveryCSV(br *BreakerRecovery) string {
+	var buf bytes.Buffer
+	for _, p := range br.Points {
+		fmt.Fprintf(&buf, "%+v\n", p)
+	}
+	return buf.String()
+}
+
+// TestBreakerRecoveryDeterminism requires the sweep to be byte-identical
+// across worker counts and across repeated same-seed runs.
+func TestBreakerRecoveryDeterminism(t *testing.T) {
+	run := func(workers int) string {
+		o := Default()
+		o.Workers = workers
+		br, err := o.RunBreakerRecovery()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return breakerRecoveryCSV(br)
+	}
+	j1 := run(1)
+	if j8 := run(8); j8 != j1 {
+		t.Fatalf("-j 8 diverged from -j 1:\n%s\nvs\n%s", j8, j1)
+	}
+	if again := run(1); again != j1 {
+		t.Fatal("repeated same-seed run diverged")
+	}
+}
+
+// TestChaosScheduleConcurrentSeeds drives campaigns across several seeds
+// in one parallel sweep (run under -race in CI): per-seed results must not
+// leak across points, and each seed's audit must hold independently.
+func TestChaosScheduleConcurrentSeeds(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 4, 5, 6}
+	type out struct {
+		seed  uint64
+		fills uint64
+		viol  []string
+	}
+	results := make([]out, len(seeds))
+	run := func(workers int) []out {
+		o := Default()
+		o.Workers = workers
+		got := make([]out, len(seeds))
+		done := make(chan int, len(seeds))
+		for i, seed := range seeds {
+			i, seed := i, seed
+			go func() {
+				cfg := DefaultChaosScheduleConfig()
+				cfg.Seed = seed
+				rep, err := o.RunChaosSchedule(cfg)
+				if err != nil {
+					t.Error(err)
+					done <- i
+					return
+				}
+				got[i] = out{seed: seed, fills: rep.Result.Fills, viol: rep.Result.Violations}
+				done <- i
+			}()
+		}
+		for range seeds {
+			<-done
+		}
+		return got
+	}
+	results = run(1)
+	for i, r := range results {
+		if len(r.viol) > 0 {
+			t.Fatalf("seed %d violated invariants: %v", r.seed, r.viol)
+		}
+		if r.fills == 0 {
+			t.Fatalf("seed %d completed no fills", r.seed)
+		}
+		if i > 0 && r.fills == 0 {
+			t.Fatalf("cross-point leakage suspected at seed %d", r.seed)
+		}
+	}
+	// Same seeds again, concurrently: byte-identical per-seed outcomes.
+	again := run(4)
+	for i := range seeds {
+		if again[i].fills != results[i].fills {
+			t.Fatalf("seed %d: fills %d != %d across runs (cross-point leakage)",
+				seeds[i], again[i].fills, results[i].fills)
+		}
+	}
+}

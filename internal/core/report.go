@@ -28,6 +28,8 @@ type Report struct {
 	Prefetch   *PrefetchResult
 	Recovery   *ResilienceRecovery
 	Chaos      *ChaosReport
+	Schedule   *ChaosScheduleReport
+	BreakerRec *BreakerRecovery
 	Breakdown  *StageBreakdown
 }
 
@@ -35,6 +37,16 @@ type Report struct {
 func (o Options) RunAll() *Report {
 	ccfg := DefaultChaosConfig()
 	ccfg.Seed = o.Seed
+	scfg := DefaultChaosScheduleConfig()
+	scfg.Seed = o.Seed
+	sched, err := o.RunChaosSchedule(scfg)
+	if err != nil {
+		panic(err)
+	}
+	brec, err := o.RunBreakerRecovery()
+	if err != nil {
+		panic(err)
+	}
 	return &Report{
 		Options:    o,
 		Validation: o.RunDelayValidation(DefaultPeriods()),
@@ -51,6 +63,8 @@ func (o Options) RunAll() *Report {
 		Prefetch:   o.RunPrefetchAblation(250),
 		Recovery:   o.RunResilienceRecovery(),
 		Chaos:      o.RunChaos(ccfg),
+		Schedule:   sched,
+		BreakerRec: brec,
 		Breakdown:  o.RunLatencyBreakdown(DefaultPeriods(), 1),
 	}
 }
@@ -179,6 +193,33 @@ func (r *Report) WriteCSVDir(dir string) error {
 			return err
 		}
 		if err := write("chaos_counters.csv", r.Chaos.Counters.WriteCSV); err != nil {
+			return err
+		}
+	}
+	if r.Schedule != nil {
+		if err := write("chaos_schedule_table.csv", r.Schedule.Events.WriteCSV); err != nil {
+			return err
+		}
+		if err := write("chaos_schedule_campaign.csv", r.Schedule.Table.WriteCSV); err != nil {
+			return err
+		}
+	}
+	if r.BreakerRec != nil {
+		err := write("fig_breaker_recovery.csv", func(w io.Writer) error {
+			if _, err := fmt.Fprintln(w, "outage_us,wipe,completed,trip_us,recovery_us,expired,poisoned,short_circuited,localized,trips,reopens,violations"); err != nil {
+				return err
+			}
+			for _, p := range r.BreakerRec.Points {
+				if _, err := fmt.Fprintf(w, "%g,%t,%t,%g,%g,%d,%d,%d,%d,%d,%d,%d\n",
+					p.OutageUs, p.Wipe, p.Completed, p.TripUs, p.RecoveryUs,
+					p.Expired, p.Poisoned, p.ShortCircuited, p.GateLocalized,
+					p.Trips, p.Reopens, p.Violations); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
 			return err
 		}
 	}
@@ -320,6 +361,32 @@ func (r *Report) Render(w io.Writer) error {
 		}
 		p("  (%s)\n\n", status)
 		if err := c.Counters.Table("chaos fault/recovery counters").Render(w); err != nil {
+			return err
+		}
+		p("\n")
+	}
+	if s := r.Schedule; s != nil {
+		if err := s.Events.Render(w); err != nil {
+			return err
+		}
+		if err := s.Table.Render(w); err != nil {
+			return err
+		}
+		status := "all invariants held"
+		if !s.OK() {
+			status = "INVARIANT VIOLATIONS — see table"
+		}
+		p("  (%s; breaker ended %s after %d transitions)\n\n",
+			status, s.Result.FinalBreaker, len(s.Result.Transitions))
+	}
+	if br := r.BreakerRec; br != nil {
+		p("Breaker recovery vs lender outage (fig_breaker_recovery)\n")
+		for _, pt := range br.Points {
+			p("  outage=%-6gus wipe=%-5t trip %.4g us, re-promotion %.4g us (%d expired, %d localized)\n",
+				pt.OutageUs, pt.Wipe, pt.TripUs, pt.RecoveryUs, pt.Expired, pt.GateLocalized)
+		}
+		p("\n")
+		if err := br.Figure.RenderASCII(w, 60, 10); err != nil {
 			return err
 		}
 		p("\n")

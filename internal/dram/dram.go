@@ -74,6 +74,9 @@ type DRAM struct {
 	k        *sim.Kernel
 	cfg      Config
 	channels []*channel
+	// slowdown inflates device access and bus burst times (brownout
+	// injection); 1 is nominal service.
+	slowdown float64
 
 	reads  uint64
 	writes uint64
@@ -104,7 +107,7 @@ func (c *accessCtx) Handle(stage uint64) {
 	switch stage {
 	case 0: // memory-controller slot granted
 		c.tr.Enter(c.sp, obs.StageDRAMAccess)
-		d.k.AfterH(d.cfg.AccessLatency, c, 1)
+		d.k.AfterH(d.accessTime(), c, 1)
 	case 1: // device access done; occupy the data bus
 		c.ch.bus.ServeH(d.burstTime(c.bytes), c, 2)
 	default: // burst complete
@@ -133,7 +136,7 @@ func New(k *sim.Kernel, cfg Config) *DRAM {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	d := &DRAM{k: k, cfg: cfg}
+	d := &DRAM{k: k, cfg: cfg, slowdown: 1}
 	for i := 0; i < cfg.Channels; i++ {
 		d.channels = append(d.channels, &channel{
 			bus:   sim.NewServer(k),
@@ -145,6 +148,21 @@ func New(k *sim.Kernel, cfg Config) *DRAM {
 
 // Config returns the active configuration.
 func (d *DRAM) Config() Config { return d.cfg }
+
+// SetSlowdown sets the service-time inflation factor (brownout injection):
+// device access latency and bus burst time both scale by it. factor must
+// be >= 1; 1 restores nominal service. It applies to accesses whose
+// affected stage begins after the call — requests already past that stage
+// keep their old timing, like a real controller finishing in-flight work.
+func (d *DRAM) SetSlowdown(factor float64) {
+	if factor < 1 {
+		panic(fmt.Sprintf("dram: slowdown %g < 1", factor))
+	}
+	d.slowdown = factor
+}
+
+// Slowdown returns the active service-time inflation factor.
+func (d *DRAM) Slowdown() float64 { return d.slowdown }
 
 // Reads returns the number of completed read requests.
 func (d *DRAM) Reads() uint64 { return d.reads }
@@ -161,10 +179,19 @@ func (d *DRAM) channelFor(addr uint64) *channel {
 	return d.channels[line%uint64(len(d.channels))]
 }
 
-// burstTime is the data-bus occupancy of one request on one channel.
+// burstTime is the data-bus occupancy of one request on one channel,
+// including any active brownout inflation.
 func (d *DRAM) burstTime(bytes int) sim.Duration {
 	perChan := d.cfg.BandwidthBps / float64(d.cfg.Channels)
-	return sim.Duration(float64(bytes) / perChan * 1e12)
+	return sim.Duration(float64(bytes) / perChan * 1e12 * d.slowdown)
+}
+
+// accessTime is the device access latency under the active slowdown.
+func (d *DRAM) accessTime() sim.Duration {
+	if d.slowdown == 1 {
+		return d.cfg.AccessLatency
+	}
+	return sim.Duration(float64(d.cfg.AccessLatency) * d.slowdown)
 }
 
 // Access performs a memory request of the given size at addr and calls done
@@ -186,7 +213,7 @@ func (d *DRAM) AccessSpan(addr uint64, bytes int, write bool, tr *obs.Tracer, sp
 	ch.slots.Acquire(func() {
 		tr.Enter(sp, obs.StageDRAMAccess)
 		// Device access latency, then bus occupancy.
-		d.k.After(d.cfg.AccessLatency, func() {
+		d.k.After(d.accessTime(), func() {
 			ch.bus.Serve(d.burstTime(bytes), func() {
 				if write {
 					d.writes++

@@ -1,0 +1,154 @@
+package inject
+
+import (
+	"testing"
+
+	"thymesim/internal/axis"
+	"thymesim/internal/sim"
+)
+
+func TestGilbertElliottValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*GilbertElliottConfig)
+	}{
+		{"negative p(good->bad)", func(c *GilbertElliottConfig) { c.PGoodBad = -0.1 }},
+		{"p(good->bad) above one", func(c *GilbertElliottConfig) { c.PGoodBad = 1.5 }},
+		{"zero p(bad->good)", func(c *GilbertElliottConfig) { c.PBadGood = 0 }},
+		{"good BER at one", func(c *GilbertElliottConfig) { c.BERGood = 1 }},
+		{"negative bad BER", func(c *GilbertElliottConfig) { c.BERBad = -1e-3 }},
+	}
+	for _, tc := range cases {
+		cfg := DefaultGilbertElliottConfig()
+		tc.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if err := DefaultGilbertElliottConfig().Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+// TestGilbertElliottStationaryFraction checks the chain spends roughly
+// PGoodBad/(PGoodBad+PBadGood) of its beats in Bad.
+func TestGilbertElliottStationaryFraction(t *testing.T) {
+	cfg := GilbertElliottConfig{PGoodBad: 0.02, PBadGood: 0.08, BERGood: 0, BERBad: 0.5}
+	g := NewGilbertElliottGate(nil, cfg, sim.NewRand(7))
+	const n = 200000
+	for i := 0; i < n; i++ {
+		g.Fault(sim.Time(i), beat(64))
+	}
+	frac := float64(g.BadBeats()) / float64(g.Judged())
+	want := cfg.PGoodBad / (cfg.PGoodBad + cfg.PBadGood) // 0.2
+	if frac < want*0.9 || frac > want*1.1 {
+		t.Fatalf("bad fraction %.3f, want ~%.3f", frac, want)
+	}
+	if g.Bursts() == 0 {
+		t.Fatal("no bursts counted")
+	}
+	// Mean burst length ~ 1/PBadGood beats.
+	mean := float64(g.BadBeats()) / float64(g.Bursts())
+	if mean < 0.8/cfg.PBadGood || mean > 1.2/cfg.PBadGood {
+		t.Fatalf("mean burst length %.1f, want ~%.1f", mean, 1/cfg.PBadGood)
+	}
+}
+
+// TestGilbertElliottGoodStateClean pins that BERGood=0 never corrupts
+// outside a burst.
+func TestGilbertElliottGoodStateClean(t *testing.T) {
+	cfg := GilbertElliottConfig{PGoodBad: 0, PBadGood: 1, BERGood: 0, BERBad: 0.5}
+	g := NewGilbertElliottGate(nil, cfg, sim.NewRand(1))
+	for i := 0; i < 10000; i++ {
+		if a := g.Fault(sim.Time(i), beat(256)); a != axis.FaultNone {
+			t.Fatalf("beat %d faulted (%v) with the chain pinned Good", i, a)
+		}
+	}
+	if g.Corrupted() != 0 || g.BadBeats() != 0 {
+		t.Fatalf("corrupted=%d badBeats=%d", g.Corrupted(), g.BadBeats())
+	}
+}
+
+// TestGilbertElliottForce pins the scheduled burst-window semantics.
+func TestGilbertElliottForce(t *testing.T) {
+	cfg := GilbertElliottConfig{PGoodBad: 0, PBadGood: 1, BERGood: 0, BERBad: 0.9}
+	g := NewGilbertElliottGate(nil, cfg, sim.NewRand(3))
+	if g.Bad() {
+		t.Fatal("starts Bad")
+	}
+	g.Force(true)
+	if !g.Bad() || g.Bursts() != 1 {
+		t.Fatalf("forced: bad=%t bursts=%d", g.Bad(), g.Bursts())
+	}
+	// Re-forcing an active window is not a new burst.
+	g.Force(true)
+	if g.Bursts() != 1 {
+		t.Fatalf("re-force counted a burst: %d", g.Bursts())
+	}
+	corrupt := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		// PBadGood=1 would exit immediately if the pin were ignored.
+		if g.Fault(sim.Time(i), beat(64)) == axis.FaultCorrupt {
+			corrupt++
+		}
+	}
+	if g.BadBeats() != n {
+		t.Fatalf("pinned window judged %d/%d beats Bad", g.BadBeats(), n)
+	}
+	// BER 0.9 over 512 bits corrupts essentially every beat.
+	if corrupt < n*9/10 {
+		t.Fatalf("only %d/%d corrupted inside the window", corrupt, n)
+	}
+	g.Force(false)
+	if g.Bad() {
+		t.Fatal("release did not return to Good")
+	}
+	before := g.Corrupted()
+	for i := 0; i < 1000; i++ {
+		g.Fault(sim.Time(n+i), beat(64))
+	}
+	if g.Corrupted() != before {
+		t.Fatal("corruption continued after the window closed")
+	}
+}
+
+// alwaysDrop is an inner gate whose fault model discards every beat.
+type alwaysDrop struct{}
+
+func (alwaysDrop) Next(now sim.Time) sim.Time                 { return now }
+func (alwaysDrop) Commit(sim.Time)                            {}
+func (alwaysDrop) Fault(sim.Time, axis.Beat) axis.FaultAction { return axis.FaultDrop }
+
+// TestGilbertElliottDropWins pins that an inner drop verdict suppresses
+// corruption: a beat that never arrives cannot also be corrupted.
+func TestGilbertElliottDropWins(t *testing.T) {
+	cfg := GilbertElliottConfig{PGoodBad: 1, PBadGood: 0.01, BERGood: 0.9, BERBad: 0.9}
+	g := NewGilbertElliottGate(alwaysDrop{}, cfg, sim.NewRand(6))
+	for i := 0; i < 100; i++ {
+		if a := g.Fault(sim.Time(i), beat(64)); a != axis.FaultDrop {
+			t.Fatalf("beat %d: %v, want drop", i, a)
+		}
+	}
+	if g.Corrupted() != 0 {
+		t.Fatalf("corrupted %d dropped beats", g.Corrupted())
+	}
+}
+
+// TestGilbertElliottDeterminism: same seed, same corruption pattern.
+func TestGilbertElliottDeterminism(t *testing.T) {
+	run := func() []axis.FaultAction {
+		g := NewGilbertElliottGate(nil, DefaultGilbertElliottConfig(), sim.NewRand(42))
+		out := make([]axis.FaultAction, 50000)
+		for i := range out {
+			out[i] = g.Fault(sim.Time(i), beat(64))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("beat %d diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package inject
+
+import (
+	"fmt"
+	"testing"
+
+	"thymesim/internal/sim"
+)
+
+// logTarget records each fault action with its firing time.
+type logTarget struct {
+	k   *sim.Kernel
+	log []string
+}
+
+func (t *logTarget) CrashLender() { t.log = append(t.log, fmt.Sprintf("crash@%v", t.k.Now())) }
+func (t *logTarget) RestoreLender(wipe bool) {
+	t.log = append(t.log, fmt.Sprintf("restore(wipe=%t)@%v", wipe, t.k.Now()))
+}
+func (t *logTarget) SetLenderSlowdown(f float64) {
+	t.log = append(t.log, fmt.Sprintf("slowdown(%g)@%v", f, t.k.Now()))
+}
+func (t *logTarget) ForceBurstErrors(active bool) {
+	t.log = append(t.log, fmt.Sprintf("burst(%t)@%v", active, t.k.Now()))
+}
+
+func TestScheduleValidate(t *testing.T) {
+	us := func(n int) sim.Time { return sim.Time(n) * sim.Time(sim.Microsecond) }
+	cases := []struct {
+		name string
+		s    Schedule
+		ok   bool
+	}{
+		{"empty", Schedule{}, false},
+		{"negative time", Schedule{{At: -1, Op: OpLenderCrash}, {At: us(1), Op: OpLenderRestore}}, false},
+		{"restore without crash", Schedule{{At: us(1), Op: OpLenderRestore}}, false},
+		{"crash without restore", Schedule{{At: us(1), Op: OpLenderCrash}}, false},
+		{"double crash", Schedule{
+			{At: us(1), Op: OpLenderCrash}, {At: us(2), Op: OpLenderCrash},
+			{At: us(3), Op: OpLenderRestore}}, false},
+		{"burst end without start", Schedule{{At: us(1), Op: OpBurstEnd}}, false},
+		{"burst start unclosed", Schedule{{At: us(1), Op: OpBurstStart}}, false},
+		{"brownout factor below one", Schedule{{At: us(1), Op: OpBrownout, Factor: 0.5}}, false},
+		{"paired crash", Schedule{
+			{At: us(1), Op: OpLenderCrash},
+			{At: us(2), Op: OpLenderRestore, Wipe: true}}, true},
+		{"full campaign", Schedule{
+			{At: us(1), Op: OpLenderCrash},
+			{At: us(2), Op: OpLenderRestore},
+			{At: us(3), Op: OpBurstStart},
+			{At: us(4), Op: OpBurstEnd},
+			{At: us(5), Op: OpBrownout, Factor: 4},
+			{At: us(6), Op: OpBrownout, Factor: 1}}, true},
+	}
+	for _, tc := range cases {
+		err := tc.s.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: rejected: %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestScheduleNeedsBurstGate(t *testing.T) {
+	plain := Schedule{{At: 0, Op: OpLenderCrash}, {At: 1, Op: OpLenderRestore}}
+	if plain.NeedsBurstGate() {
+		t.Error("crash-only schedule claims a burst gate")
+	}
+	bursty := Schedule{{At: 0, Op: OpBurstStart}, {At: 1, Op: OpBurstEnd}}
+	if !bursty.NeedsBurstGate() {
+		t.Error("burst schedule denies needing a gate")
+	}
+}
+
+// TestScheduleFaultsFiresInOrder arms a deliberately out-of-order event
+// list and checks each action fires against the target at its scheduled
+// instant, in time order.
+func TestScheduleFaultsFiresInOrder(t *testing.T) {
+	k := sim.NewKernel()
+	tgt := &logTarget{k: k}
+	us := func(n int) sim.Time { return sim.Time(n) * sim.Time(sim.Microsecond) }
+	s := Schedule{
+		{At: us(5), Op: OpBrownout, Factor: 4},
+		{At: us(1), Op: OpLenderCrash},
+		{At: us(7), Op: OpBrownout, Factor: 1},
+		{At: us(3), Op: OpLenderRestore, Wipe: true},
+		{At: us(4), Op: OpBurstStart},
+		{At: us(6), Op: OpBurstEnd},
+	}
+	if err := ScheduleFaults(k, tgt, s); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	want := []string{
+		"crash@1us",
+		"restore(wipe=true)@3us",
+		"burst(true)@4us",
+		"slowdown(4)@5us",
+		"burst(false)@6us",
+		"slowdown(1)@7us",
+	}
+	if len(tgt.log) != len(want) {
+		t.Fatalf("fired %d events, want %d: %v", len(tgt.log), len(want), tgt.log)
+	}
+	for i := range want {
+		if tgt.log[i] != want[i] {
+			t.Fatalf("event %d = %q, want %q", i, tgt.log[i], want[i])
+		}
+	}
+}
+
+// TestScheduleFaultsRejectsInvalid pins that arming validates first.
+func TestScheduleFaultsRejectsInvalid(t *testing.T) {
+	k := sim.NewKernel()
+	tgt := &logTarget{k: k}
+	if err := ScheduleFaults(k, tgt, Schedule{{At: 0, Op: OpLenderCrash}}); err == nil {
+		t.Fatal("unpaired crash armed without error")
+	}
+	k.Run()
+	if len(tgt.log) != 0 {
+		t.Fatalf("invalid schedule still fired: %v", tgt.log)
+	}
+}

@@ -1,6 +1,8 @@
 package memport
 
 import (
+	"fmt"
+
 	"thymesim/internal/dram"
 	"thymesim/internal/obs"
 	"thymesim/internal/ocapi"
@@ -68,11 +70,30 @@ type RemoteBackend struct {
 	// nothing.
 	free *rtxn
 
+	// deadline bounds each transaction end to end (issue to response
+	// delivery); 0 disables. An expired transaction completes immediately
+	// with poisoned semantics, and its late response — if one ever comes —
+	// is consumed silently. freeDl pools the deadline timer contexts.
+	deadline sim.Duration
+	freeDl   *dlTimer
+	// onOutcome, when set, observes every transaction outcome exactly once
+	// (the circuit breaker's feed): true for a healthy completion, false
+	// for poisoned, nacked, or deadline-expired ones.
+	onOutcome func(ok bool)
+
 	reads, writes uint64
 	poisoned      uint64
+	expired       uint64 // transactions completed by deadline expiry
+	expiredUnsent uint64 // expired before ever entering the NIC
+	lateResponses uint64 // responses that arrived after their deadline
 
 	tracer *obs.Tracer // nil when tracing is disabled
 }
+
+// tagNone marks a transaction that holds no tag yet (still crossing the
+// CPU→NIC port hop or queued for a tag). It sits inside the probe range,
+// which backends never allocate from.
+const tagNone = ^uint32(0)
 
 // rtxn is the pooled per-command context: it rides the two port-latency
 // hops (arg 0 = CPU→NIC transport done, arg 1 = NIC→CPU transport done)
@@ -85,6 +106,16 @@ type rtxn struct {
 	issued sim.Time
 	sp     obs.SpanID
 	tag    uint32
+	// gen invalidates in-flight deadline timers: bumped when the response
+	// reaches the port (expiry is moot) and when the context is recycled,
+	// so a stale timer can never expire a successor transaction.
+	gen uint64
+	// expired marks a transaction already completed by its deadline; its
+	// eventual response is consumed without a second completion.
+	expired bool
+	// poisonedResp records that the delivered response carried poison (the
+	// outcome feed and the completion run one port hop after delivery).
+	poisonedResp bool
 	// Completion: done for closure callers (LineBackend), or h/arg for
 	// the pooled fill path. At most one is set; both may be nil for
 	// fire-and-forget writebacks.
@@ -98,6 +129,13 @@ type rtxn struct {
 func (t *rtxn) Handle(stage uint64) {
 	b := t.b
 	if stage == 0 {
+		if t.expired {
+			// Deadline fired while the command was still crossing the
+			// CPU→NIC hop; the completion already ran. Drop it here.
+			b.expiredUnsent++
+			b.recycle(t)
+			return
+		}
 		// Arrived at the NIC port: wait for a tag + command-queue entry.
 		b.tracer.Enter(t.sp, obs.StageTagWait)
 		t.issued = b.k.Now()
@@ -106,22 +144,120 @@ func (t *rtxn) Handle(stage uint64) {
 		return
 	}
 	// Response crossed the port back to the CPU.
+	tag := t.tag
+	if t.expired {
+		// Already completed poisoned at the deadline; just settle the
+		// accounting so the tag and context recirculate.
+		b.recycle(t)
+		b.tagsRelease(tag)
+		b.pump()
+		return
+	}
 	if t.op == ocapi.OpWriteBlock {
 		b.writes++
 	} else {
 		b.reads++
 	}
-	tag, done, h, arg := t.tag, t.done, t.h, t.arg
-	t.done, t.h = nil, nil
-	t.next = b.free
-	b.free = t
+	ok := !t.poisonedResp
+	done, h, arg := t.done, t.h, t.arg
+	b.recycle(t)
 	b.tagsRelease(tag)
 	b.pump()
+	if b.onOutcome != nil {
+		b.onOutcome(ok)
+	}
 	if h != nil {
 		h.Handle(arg)
 	} else if done != nil {
 		done()
 	}
+}
+
+// recycle returns a context to the free list, bumping its generation so
+// stale deadline timers can never match it again.
+func (b *RemoteBackend) recycle(t *rtxn) {
+	t.gen++
+	t.done, t.h = nil, nil
+	t.next = b.free
+	b.free = t
+}
+
+// dlTimer is the pooled continuation for one armed transaction deadline.
+// Like tfnic's arqTimer, it snapshots the transaction and its generation
+// at arming time; a timer that fires after its transaction resolved (or
+// after the context was recycled into a successor) detects the mismatch
+// and does nothing. Timers are single-shot and return to the pool at the
+// top of Handle.
+type dlTimer struct {
+	b    *RemoteBackend
+	t    *rtxn
+	gen  uint64
+	next *dlTimer
+}
+
+// Handle implements sim.Handler: the transaction's deadline passed.
+func (tm *dlTimer) Handle(uint64) {
+	b, t, gen := tm.b, tm.t, tm.gen
+	tm.t = nil
+	tm.next = b.freeDl
+	b.freeDl = tm
+	if t.gen != gen || t.expired {
+		return // delivered or already expired
+	}
+	b.expire(t)
+}
+
+// expire completes a transaction poisoned at its deadline. The completion
+// runs now; the transaction's wire state unwinds on its own — a queued
+// command is withdrawn, an in-flight one resolves later and is consumed
+// silently.
+func (b *RemoteBackend) expire(t *rtxn) {
+	t.expired = true
+	b.expired++
+	b.poisoned++
+	if t.op == ocapi.OpWriteBlock {
+		b.writes++
+	} else {
+		b.reads++
+	}
+	done, h, arg := t.done, t.h, t.arg
+	t.done, t.h = nil, nil
+	if t.tag == tagNone {
+		// Never sent. If it still waits in the send queue, withdraw it;
+		// otherwise it is mid port-hop and Handle(0) cleans up.
+		for i, q := range b.sendQ {
+			if q == t {
+				copy(b.sendQ[i:], b.sendQ[i+1:])
+				b.sendQ[len(b.sendQ)-1] = nil
+				b.sendQ = b.sendQ[:len(b.sendQ)-1]
+				b.expiredUnsent++
+				b.recycle(t)
+				break
+			}
+		}
+	}
+	if b.onOutcome != nil {
+		b.onOutcome(false)
+	}
+	if h != nil {
+		h.Handle(arg)
+	} else if done != nil {
+		done()
+	}
+}
+
+// armDeadline schedules a transaction's end-to-end deadline on a pooled
+// timer context.
+func (b *RemoteBackend) armDeadline(t *rtxn) {
+	tm := b.freeDl
+	if tm == nil {
+		tm = &dlTimer{b: b}
+	} else {
+		b.freeDl = tm.next
+		tm.next = nil
+	}
+	tm.t, tm.gen = t, t.gen
+	b.k.AfterH(b.deadline, tm, 0)
 }
 
 // NewRemoteBackend builds the borrower-side remote memory backend. tags
@@ -155,6 +291,25 @@ func NewRemoteBackendTags(k *sim.Kernel, nic Sender, tagBase uint32, tagSpace in
 // attributing.
 func (b *RemoteBackend) SetTracer(tr *obs.Tracer) { b.tracer = tr }
 
+// SetDeadline bounds every subsequently issued transaction end to end:
+// a transaction that has not delivered its response within d completes
+// poisoned instead (the consumer learns promptly; the data must not be
+// trusted). 0 disables. Negative deadlines are rejected.
+func (b *RemoteBackend) SetDeadline(d sim.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("memport: negative deadline %v", d))
+	}
+	b.deadline = d
+}
+
+// Deadline returns the active per-transaction deadline (0 = disabled).
+func (b *RemoteBackend) Deadline() sim.Duration { return b.deadline }
+
+// SetOutcomeObserver registers fn to observe every transaction outcome
+// exactly once: true for healthy completions, false for poisoned, nacked,
+// or deadline-expired ones. This is the circuit breaker's feed.
+func (b *RemoteBackend) SetOutcomeObserver(fn func(ok bool)) { b.onOutcome = fn }
+
 // SetPriority assigns the QoS class stamped on this backend's requests
 // (0 = highest). It takes effect for subsequently issued commands.
 func (b *RemoteBackend) SetPriority(p uint8) { b.prio = p }
@@ -183,6 +338,17 @@ func (b *RemoteBackend) Writes() uint64 { return b.writes }
 // declared dead. The access completes (no hang); the damage is visible
 // here.
 func (b *RemoteBackend) Poisoned() uint64 { return b.poisoned }
+
+// Expired returns transactions completed poisoned by their deadline.
+func (b *RemoteBackend) Expired() uint64 { return b.expired }
+
+// ExpiredUnsent returns the subset of Expired that never entered the NIC
+// (the command was withdrawn before it could be sent).
+func (b *RemoteBackend) ExpiredUnsent() uint64 { return b.expiredUnsent }
+
+// LateResponses returns responses that arrived after their transaction's
+// deadline had already completed it; they were consumed silently.
+func (b *RemoteBackend) LateResponses() uint64 { return b.lateResponses }
 
 // Outstanding returns commands in flight.
 func (b *RemoteBackend) Outstanding() int { return b.tags.Outstanding() }
@@ -228,12 +394,17 @@ func (b *RemoteBackend) newTxn(op ocapi.Op, addr uint64, sp obs.SpanID) *rtxn {
 		t.next = nil
 	}
 	t.op, t.addr, t.sp = op, ocapi.LineAlign(addr), sp
+	t.tag = tagNone
+	t.expired, t.poisonedResp = false, false
 	return t
 }
 
 func (b *RemoteBackend) issue(t *rtxn) {
 	// CPU -> NIC transport latency, then queue for a tag + NIC entry.
 	b.tracer.Enter(t.sp, obs.StagePortTx)
+	if b.deadline > 0 {
+		b.armDeadline(t)
+	}
 	b.k.AfterH(b.portLatency, t, 0)
 }
 
@@ -279,8 +450,18 @@ func (b *RemoteBackend) Deliver(p ocapi.Packet) {
 		panic("memport: response for unknown tag")
 	}
 	delete(b.pending, p.Tag)
-	if p.Poison || p.Op == ocapi.OpNack {
-		b.poisoned++
+	// Delivery beats any armed deadline: the response reached the port, so
+	// expiry is moot from here on.
+	t.gen++
+	if t.expired {
+		// Already completed poisoned at its deadline; the straggler is
+		// consumed silently (Handle(1) settles the tag and context).
+		b.lateResponses++
+	} else {
+		t.poisonedResp = p.Poison || p.Op == ocapi.OpNack
+		if t.poisonedResp {
+			b.poisoned++
+		}
 	}
 	// NIC -> CPU transport latency before the fill reaches the cache.
 	b.tracer.Enter(obs.SpanID(p.Trace), obs.StagePortRx)

@@ -77,6 +77,10 @@ type Stats struct {
 	// DegradedPages counts pages localized after Degrade: fresh frames
 	// handed out without copy traffic (there is no link to copy over).
 	DegradedPages uint64
+	// GateLocalized counts pages localized because the remote gate refused
+	// the access (circuit breaker open): same fresh-frame fallback as
+	// Degrade, but the remote path may come back.
+	GateLocalized uint64
 }
 
 type pageState struct {
@@ -98,7 +102,15 @@ type Migrator struct {
 	nextFrame uint64
 	resident  int
 	degraded  bool
+	gate      Gate
 	stats     Stats
+}
+
+// Gate is consulted before each remote access (the circuit breaker's
+// Allow satisfies it). A refusal localizes the page — the access is served
+// from a fresh local frame instead of hanging on a sick remote path.
+type Gate interface {
+	Allow() bool
 }
 
 // New builds a migrator in front of the two backends.
@@ -124,6 +136,11 @@ func (m *Migrator) Resident() int { return m.resident }
 // Degraded reports whether the migrator has abandoned the remote backend.
 func (m *Migrator) Degraded() bool { return m.degraded }
 
+// SetRemoteGate installs g in front of the remote path (nil removes it).
+// Unlike Degrade, a gate refusal is per access: Half-Open trial
+// transactions still reach the remote backend once the gate admits them.
+func (m *Migrator) SetRemoteGate(g Gate) { m.gate = g }
+
 // Degrade switches to local-only operation after the link is declared
 // dead. Pages already promoted keep their frames; every other page gets a
 // fresh zero-filled local frame on its next touch — the data borrowed on
@@ -139,7 +156,6 @@ func (m *Migrator) localize(st *pageState) {
 	st.frame = m.cfg.LocalFrameBase + m.nextFrame
 	m.nextFrame += uint64(m.cfg.PageBytes)
 	m.resident++
-	m.stats.DegradedPages++
 }
 
 func (m *Migrator) pageOf(addr uint64) uint64 { return addr &^ uint64(m.cfg.PageBytes-1) }
@@ -163,8 +179,14 @@ func (m *Migrator) WriteLine(addr uint64, done func()) { m.access(addr, true, do
 
 func (m *Migrator) access(addr uint64, write bool, done func()) {
 	st := m.state(addr)
-	if m.degraded && !st.local {
-		m.localize(st)
+	if !st.local {
+		if m.degraded {
+			m.localize(st)
+			m.stats.DegradedPages++
+		} else if m.gate != nil && !m.gate.Allow() {
+			m.localize(st)
+			m.stats.GateLocalized++
+		}
 	}
 	if st.local {
 		m.stats.LocalAccesses++
