@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: all build test race race-pools vet fmt-check chaos characterize trace-smoke bench bench-gate clean
+.PHONY: all build test race race-pools vet fmt-check chaos pool-chaos characterize trace-smoke bench bench-gate cover-pool clean
 
 # Benchmark artifact for this PR and the committed baseline it is gated
 # against (previous PR's numbers).
-BENCH_OUT      ?= BENCH_6.json
-BENCH_BASELINE ?= BENCH_5.json
+BENCH_OUT      ?= BENCH_7.json
+BENCH_BASELINE ?= BENCH_6.json
 
 all: vet fmt-check build test
 
@@ -30,6 +30,22 @@ fmt-check:
 chaos:
 	$(GO) run ./cmd/chaos -failover
 
+# Run the N×M pool chaos campaign: region churn + lender crash/restore
+# under the deadline+ARQ stack, audited (nonzero exit on violations).
+pool-chaos:
+	$(GO) run ./cmd/chaos -pool
+
+# Coverage floor for the pooling layers: the cluster node graph and the
+# pool allocator/policies must stay >= 80% covered by their own tests.
+cover-pool:
+	@for pkg in ./internal/cluster ./internal/pool; do \
+		$(GO) test -coverprofile=/tmp/cover.out $$pkg >/dev/null || exit 1; \
+		pct=$$($(GO) tool cover -func=/tmp/cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+		echo "$$pkg coverage: $$pct%"; \
+		ok=$$(awk -v p="$$pct" 'BEGIN {print (p >= 80.0) ? 1 : 0}'); \
+		if [ "$$ok" != 1 ]; then echo "$$pkg below the 80% floor"; exit 1; fi; \
+	done
+
 # Run the sim/core/obs benchmarks with allocation stats and record them as
 # a machine-diffable JSON artifact (uploaded by CI).
 bench:
@@ -49,8 +65,9 @@ bench-gate:
 # Race-check the pool-heavy packages: pooled transactions and free-listed
 # continuations must stay data-race-free under concurrent sweep workers.
 race-pools:
-	$(GO) test -race ./internal/cluster ./internal/tfnic ./internal/ocapi \
-		./internal/workloads/kvstore ./internal/core
+	$(GO) test -race ./internal/cluster ./internal/pool ./internal/fabric \
+		./internal/tfnic ./internal/ocapi ./internal/workloads/kvstore \
+		./internal/core
 
 # Regenerate every figure/table CSV under results/.
 characterize:

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	chaos [-seed n] [-j n] [-ber p] [-drop p] [-flap-up us] [-flap-down us]
-//	      [-workloads stream,kvstore,graph500] [-failover]
+//	      [-workloads stream,kvstore,graph500] [-failover] [-pool]
 //	      [-cpuprofile file] [-memprofile file]
 //
 // Trials fan out across -j worker goroutines (default: one per CPU); each
@@ -42,6 +42,7 @@ func main() {
 		jobs       = flag.Int("j", 0, "concurrent chaos trials (0 = one per CPU); results are identical at any -j")
 		failover   = flag.Bool("failover", false, "also run the dead-link degraded-failover scenario")
 		schedule   = flag.Bool("schedule", false, "also run the scheduled lender-fault campaign (crash/wipe/burst/brownout) with the deadline+breaker stack")
+		poolChaos  = flag.Bool("pool", false, "also run the pool chaos campaign (N×M region churn + lender crash/restore)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the chaos trials to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile (taken after the trials) to this file")
 	)
@@ -79,6 +80,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+	}
+	var poolResult *core.PoolChaos
+	if *poolChaos {
+		pcfg := core.DefaultPoolChaosConfig()
+		pcfg.Seed = *seed
+		poolResult = opts.RunPoolChaos(pcfg)
 	}
 	stopCPU()
 	if err := prof.WriteHeap(*memProfile); err != nil {
@@ -120,6 +127,21 @@ func main() {
 				log.Printf("schedule: VIOLATION: %s", v)
 			}
 			log.Fatal("scheduled campaign failed its audit")
+		}
+	}
+
+	if poolResult != nil {
+		fmt.Println()
+		r := poolResult
+		fmt.Printf("pool chaos: seed=%d rounds=%d attaches=%d (rejected=%d) detaches=%d grows=%d crashes=%d restores=%d\n",
+			r.Seed, r.Rounds, r.Attaches, r.AttachRejected, r.Detaches, r.Grows, r.Crashes, r.Restores)
+		fmt.Printf("pool chaos: issued=%d completed=%d poisoned=%d expired=%d translation_faults=%d\n",
+			r.Issued, r.Completed, r.Poisoned, r.Expired, r.TranslationFaults)
+		if !r.OK() {
+			for _, v := range r.Violations {
+				log.Printf("pool: VIOLATION: %s", v)
+			}
+			log.Fatal("pool chaos campaign failed its audit")
 		}
 	}
 

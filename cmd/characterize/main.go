@@ -8,7 +8,7 @@
 //
 //	characterize [-out dir] [-paper] [-j N] [-trace file] [-trace-sample N]
 //	             [-cpuprofile file] [-memprofile file]
-//	             [-experiment all|validation|resilience|table1|fig5|mcbn|mcln|pool|dists|qos|migration|interconnect|prefetch|recovery|chaos|schedule|breaker-recovery|breakdown]
+//	             [-experiment all|validation|resilience|table1|fig5|mcbn|mcln|pool|pool-contention|dists|qos|migration|interconnect|prefetch|recovery|chaos|schedule|breaker-recovery|breakdown]
 //
 // Sweep points fan out across -j worker goroutines (default: one per
 // CPU). Every point owns its testbed and derives its randomness from
@@ -60,8 +60,9 @@ func main() {
 		fn()
 	}
 	known := []string{"all", "validation", "resilience", "table1", "fig5", "mcbn",
-		"mcln", "pool", "dists", "qos", "migration", "interconnect", "prefetch",
-		"recovery", "chaos", "schedule", "breaker-recovery", "breakdown"}
+		"mcln", "pool", "pool-contention", "dists", "qos", "migration",
+		"interconnect", "prefetch", "recovery", "chaos", "schedule",
+		"breaker-recovery", "breakdown"}
 	if !slices.Contains(known, *experiment) {
 		log.Fatalf("unknown experiment %q (choose one of %s)", *experiment, strings.Join(known, "|"))
 	}
@@ -92,6 +93,11 @@ func main() {
 	}
 	if want("pool") {
 		run("pooling ablation (§V)", func() { rep.Pool = opts.RunMCLNPool([]int{0, 1, 2, 4, 8}, 25e9) })
+	}
+	if want("pool-contention") {
+		run("rack-scale pool contention (N borrowers × M lenders)", func() {
+			rep.PoolCont = opts.RunPoolContention([]int{1, 2, 4, 8}, 4)
+		})
 	}
 	if want("dists") {
 		run("distribution injection (§VII)", func() { rep.Dists = opts.RunDistImpact(2 * sim.Microsecond) })

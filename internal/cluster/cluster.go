@@ -145,7 +145,9 @@ func (c Config) Validate() error {
 	return c.LLC.Validate()
 }
 
-// Testbed is the composed two-node system.
+// Testbed is the composed two-node system: a 1-borrower × 1-lender Pool
+// with the paper's fixed pairing, kept as the convenience surface every
+// experiment and test drives. Pool() exposes the underlying node-graph.
 type Testbed struct {
 	K   *sim.Kernel
 	cfg Config
@@ -160,79 +162,34 @@ type Testbed struct {
 	// Config.ARQ was set).
 	ARQ *tfnic.ARQ
 
-	backend   *memport.RemoteBackend
-	backends  []*memport.RemoteBackend
-	tagCursor uint32
-	gate      axis.Gate
-	// sender is what backends send through: the ARQ layer when configured,
-	// else the borrower NIC directly.
-	sender memport.Sender
-
-	probeWaiters map[uint32]func(ocapi.Packet)
-	probeCursor  uint32
-	staleProbes  uint64
-
-	tracer *obs.Tracer // nil when tracing is disabled
+	pool     *Pool
+	borrower *BorrowerNode
+	backend  *memport.RemoteBackend
 }
 
-// NewTestbed wires the system and programs the remote-memory window.
+// NewTestbed wires the system and programs the remote-memory window. It is
+// exactly NewPool(1×1) with the default pairing plus one full-reservation
+// attach, so the two-node experiments are a special case of the pool.
 func NewTestbed(cfg Config) *Testbed {
-	if err := cfg.Validate(); err != nil {
+	p := NewPool(PoolConfig{Borrowers: 1, Lenders: 1, Base: cfg})
+	if _, err := p.Attach(0, cfg.WindowSize); err != nil {
 		panic(err)
 	}
-	k := sim.NewKernel()
-	tb := &Testbed{K: k, cfg: cfg}
-
-	gate := cfg.Gate
-	if gate == nil {
-		gate = inject.NewPeriodGate(cfg.Period, cfg.FPGACycle)
+	b := p.Borrowers[0]
+	l := p.Lenders[0]
+	return &Testbed{
+		K:           p.K,
+		cfg:         cfg,
+		BorrowerNIC: b.NIC,
+		LenderNIC:   l.NIC,
+		LenderMem:   l.Mem,
+		BorrowerMem: b.Mem,
+		Link:        p.Link,
+		ARQ:         b.ARQ,
+		pool:        p,
+		borrower:    b,
+		backend:     b.backend,
 	}
-	tb.gate = gate
-
-	tb.BorrowerMem = dram.New(k, cfg.BorrowerDRAM)
-	tb.LenderMem = dram.New(k, cfg.LenderDRAM)
-
-	nicCfg := func(id int) tfnic.Config {
-		return tfnic.Config{
-			NodeID:          id,
-			FPGACycle:       cfg.FPGACycle,
-			PipelineLatency: cfg.NICPipeline,
-			QueueDepth:      2 * cfg.TagSpace,
-			InjectClasses:   cfg.InjectClasses,
-			Profile:         cfg.Profile,
-		}
-	}
-	tb.BorrowerNIC = tfnic.New(k, nicCfg(BorrowerID), gate, nil)
-	tb.LenderNIC = tfnic.New(k, nicCfg(LenderID), nil, tb.LenderMem)
-
-	tb.Link = netlink.NewLink(k,
-		tb.BorrowerNIC.TxQ, tb.LenderNIC.RxQ,
-		tb.LenderNIC.TxQ, tb.BorrowerNIC.RxQ,
-		cfg.LinkBandwidthBps, cfg.LinkPropagation)
-
-	tb.probeWaiters = make(map[uint32]func(ocapi.Packet))
-	tb.sender = tb.BorrowerNIC
-	if cfg.ARQ != nil {
-		tb.ARQ = tfnic.NewARQ(k, tb.BorrowerNIC, *cfg.ARQ)
-		tb.ARQ.OnComplete = tb.route
-		tb.sender = tb.ARQ
-		// Raw NIC deliveries feed the ARQ layer, which forwards resolved
-		// transactions (and probe responses) to the router.
-		tb.BorrowerNIC.OnDeliver = tb.ARQ.OnResponse
-	} else {
-		tb.BorrowerNIC.OnDeliver = tb.route
-	}
-	tb.backend = tb.newBackend()
-
-	if err := tb.BorrowerNIC.Translator().AddWindow(tfnic.Window{
-		BorrowerBase: RemoteBase,
-		LenderBase:   LenderBase,
-		Size:         cfg.WindowSize,
-		LenderNode:   LenderID,
-	}); err != nil {
-		panic(err)
-	}
-	return tb
 }
 
 // Config returns the testbed configuration.
@@ -241,8 +198,11 @@ func (tb *Testbed) Config() Config { return tb.cfg }
 // Kernel returns the simulation kernel (satisfies control.Prober).
 func (tb *Testbed) Kernel() *sim.Kernel { return tb.K }
 
+// Pool returns the underlying 1×1 node-graph.
+func (tb *Testbed) Pool() *Pool { return tb.pool }
+
 // Gate returns the active injection gate.
-func (tb *Testbed) Gate() axis.Gate { return tb.gate }
+func (tb *Testbed) Gate() axis.Gate { return tb.borrower.gate }
 
 // EnableTracing builds a span tracer on the testbed's kernel and installs
 // its taps across the datapath (both NICs, every existing backend). Call
@@ -250,128 +210,48 @@ func (tb *Testbed) Gate() axis.Gate { return tb.gate }
 // construction; hierarchies created earlier stay untraced. Tracing only
 // observes — timing is bit-identical with it on or off.
 func (tb *Testbed) EnableTracing(cfg obs.Config) *obs.Tracer {
-	if tb.tracer != nil {
-		panic("cluster: tracing already enabled")
-	}
-	tb.tracer = obs.New(tb.K, cfg)
-	tb.BorrowerNIC.SetTracer(tb.tracer)
-	tb.LenderNIC.SetTracer(tb.tracer)
-	for _, b := range tb.backends {
-		b.SetTracer(tb.tracer)
-	}
-	return tb.tracer
+	return tb.pool.EnableTracing(cfg)
 }
 
 // Tracer returns the span tracer, or nil when tracing is disabled.
-func (tb *Testbed) Tracer() *obs.Tracer { return tb.tracer }
+func (tb *Testbed) Tracer() *obs.Tracer { return tb.pool.Tracer() }
 
 // RemoteBackend exposes the shared borrower port (diagnostics).
 func (tb *Testbed) RemoteBackend() *memport.RemoteBackend { return tb.backend }
 
-// route delivers a resolved response to its consumer: probe waiters by
-// probe tag, block completions to the owning backend. With ARQ configured
-// it consumes ARQ completions; otherwise raw NIC deliveries.
-func (tb *Testbed) route(p ocapi.Packet) {
-	if IsProbeTag(p.Tag) {
-		fn, ok := tb.probeWaiters[p.Tag]
-		if !ok {
-			tb.staleProbes++ // expired or abandoned probe; drop
-			return
-		}
-		delete(tb.probeWaiters, p.Tag)
-		fn(p)
-		return
-	}
-	for _, b := range tb.backends {
-		if b.Owns(p.Tag) {
-			b.Deliver(p)
-			return
-		}
-	}
-	panic(fmt.Sprintf("cluster: response with unowned tag %d", p.Tag))
-}
-
 // ProbeWaiters returns control-plane probes awaiting a response.
-func (tb *Testbed) ProbeWaiters() int { return len(tb.probeWaiters) }
+func (tb *Testbed) ProbeWaiters() int { return tb.borrower.ProbeWaiters() }
 
 // StaleProbeResponses returns probe responses that arrived after their
 // waiter expired or was abandoned.
-func (tb *Testbed) StaleProbeResponses() uint64 { return tb.staleProbes }
-
-// newBackend allocates a borrower-port backend with a fresh tag range.
-func (tb *Testbed) newBackend() *memport.RemoteBackend {
-	base := tb.tagCursor
-	tb.tagCursor += uint32(tb.cfg.TagSpace)
-	if base+uint32(tb.cfg.TagSpace) > ProbeTagBase {
-		panic("cluster: backend tag range collides with probe tags")
-	}
-	b := memport.NewRemoteBackendTags(tb.K, tb.sender, base, tb.cfg.TagSpace, tb.cfg.PortLatency, BorrowerID, LenderID)
-	if tb.cfg.FillDeadline > 0 {
-		b.SetDeadline(tb.cfg.FillDeadline)
-	}
-	if tb.tracer != nil {
-		b.SetTracer(tb.tracer)
-	}
-	tb.backends = append(tb.backends, b)
-	return b
-}
+func (tb *Testbed) StaleProbeResponses() uint64 { return tb.borrower.StaleProbeResponses() }
 
 // NewRemoteHierarchy returns a CPU-side hierarchy whose misses traverse the
 // full disaggregated datapath (borrower NIC -> injector -> link -> lender
 // DRAM). Multiple hierarchies share the NIC and tag space, which is how
 // MCBN contention arises.
 func (tb *Testbed) NewRemoteHierarchy() *memport.Hierarchy {
-	h := memport.NewHierarchy(tb.K, cache.New(tb.cfg.LLC), tb.backend, tb.cfg.MSHRs)
-	h.SetTracer(tb.tracer)
-	return h
+	return tb.borrower.NewRemoteHierarchy()
 }
 
 // NewRemoteHierarchyPrio is NewRemoteHierarchy with a dedicated backend
 // stamping the given QoS class on its requests (0 = highest priority;
 // classes beyond Config.InjectClasses-1 are clamped by the NIC).
 func (tb *Testbed) NewRemoteHierarchyPrio(prio uint8) *memport.Hierarchy {
-	b := tb.newBackend()
-	b.SetPriority(prio)
-	h := memport.NewHierarchy(tb.K, cache.New(tb.cfg.LLC), b, tb.cfg.MSHRs)
-	h.SetTracer(tb.tracer)
-	return h
+	return tb.borrower.NewRemoteHierarchyPrio(prio)
 }
 
 // NewLocalHierarchy returns a hierarchy against the borrower's own DRAM —
 // the "local memory" baseline of Table I.
 func (tb *Testbed) NewLocalHierarchy() *memport.Hierarchy {
-	backend := memport.NewDRAMBackend(tb.BorrowerMem)
-	if tb.tracer != nil {
-		backend.SetTracer(tb.tracer)
-	}
-	h := memport.NewHierarchy(tb.K, cache.New(tb.cfg.LLC), backend, tb.cfg.MSHRs)
-	h.SetTracer(tb.tracer)
-	return h
+	return tb.borrower.NewLocalHierarchy()
 }
 
 // NewLenderLocalHierarchy returns a hierarchy for applications running on
 // the lender node against lender DRAM — the contending applications of the
 // MCLN scenario (Fig. 7).
 func (tb *Testbed) NewLenderLocalHierarchy() *memport.Hierarchy {
-	backend := memport.NewDRAMBackend(tb.LenderMem)
-	if tb.tracer != nil {
-		backend.SetTracer(tb.tracer)
-	}
-	h := memport.NewHierarchy(tb.K, cache.New(tb.cfg.LLC), backend, tb.cfg.MSHRs)
-	h.SetTracer(tb.tracer)
-	return h
-}
-
-// nextProbeTag allocates a unique probe tag, skipping any still awaiting a
-// response.
-func (tb *Testbed) nextProbeTag() uint32 {
-	for {
-		tag := ProbeTagBase + tb.probeCursor
-		tb.probeCursor = (tb.probeCursor + 1) & 0xFFFF
-		if _, live := tb.probeWaiters[tag]; !live {
-			return tag
-		}
-	}
+	return tb.pool.NewLenderLocalHierarchy(0)
 }
 
 // SendProbe transmits a control-plane probe through the (gated) egress
@@ -391,50 +271,22 @@ func (tb *Testbed) SendProbe(done func(rtt sim.Duration)) bool {
 // fires if no healthy response arrives within it (0 = wait forever). This
 // is the heartbeat primitive the link supervisor drives re-attach from.
 func (tb *Testbed) Probe(deadline sim.Duration, done func(ok bool, rtt sim.Duration)) bool {
-	p := ocapi.Packet{
-		Op:     ocapi.OpProbe,
-		Tag:    tb.nextProbeTag(),
-		Src:    BorrowerID,
-		Dst:    LenderID,
-		Issued: tb.K.Now(),
-	}
-	start := tb.K.Now()
-	if !tb.sender.TrySend(p) {
-		return false
-	}
-	tag := p.Tag
-	tb.probeWaiters[tag] = func(resp ocapi.Packet) {
-		if resp.Poison || resp.Op != ocapi.OpProbeResp {
-			done(false, 0) // nacked probe: the lender could not trust it
-			return
-		}
-		done(true, tb.K.Now().Sub(start))
-	}
-	if deadline > 0 {
-		tb.K.After(deadline, func() {
-			if _, live := tb.probeWaiters[tag]; !live {
-				return // already answered
-			}
-			delete(tb.probeWaiters, tag)
-			done(false, 0)
-		})
-	}
-	return true
+	return tb.borrower.ProbeLender(tb.pool.Lenders[0], deadline, done)
 }
 
 // CrashLender stops the lender's memory service: in-flight serves are
 // lost and subsequent requests — probes included — are black-holed, so the
 // borrower sees a silent peer, not an error (inject.FaultTarget).
-func (tb *Testbed) CrashLender() { tb.LenderNIC.Crash() }
+func (tb *Testbed) CrashLender() { tb.pool.CrashLender(0) }
 
 // RestoreLender restarts the lender. With wipe, the window state was lost
 // across the crash: block requests are nacked until a control-plane probe
 // re-arms the window (the supervisor's re-attach does exactly that).
-func (tb *Testbed) RestoreLender(wipe bool) { tb.LenderNIC.Restore(wipe) }
+func (tb *Testbed) RestoreLender(wipe bool) { tb.pool.RestoreLender(0, wipe) }
 
 // SetLenderSlowdown sets the lender memory service-time inflation factor
 // (brownout injection); 1 restores nominal service.
-func (tb *Testbed) SetLenderSlowdown(factor float64) { tb.LenderMem.SetSlowdown(factor) }
+func (tb *Testbed) SetLenderSlowdown(factor float64) { tb.pool.SetLenderSlowdown(0, factor) }
 
 // SetFillOutcomeObserver registers fn on the shared borrower-port backend
 // to observe every transaction outcome exactly once (the circuit breaker's

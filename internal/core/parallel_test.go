@@ -46,6 +46,7 @@ func TestParallelSweepDeterminism(t *testing.T) {
 			Validation: o.RunDelayValidation(periods),
 			MCBN:       o.RunMCBN(counts),
 			MCLN:       o.RunMCLN(counts),
+			PoolCont:   o.RunPoolContention([]int{1, 2, 4}, 2),
 			Breakdown:  o.RunLatencyBreakdown(periods, 4),
 		}
 	}
@@ -64,6 +65,58 @@ func TestParallelSweepDeterminism(t *testing.T) {
 		}
 		if !bytes.Equal(got, want) {
 			t.Errorf("%s differs between -j 1 and -j 8:\nserial:\n%s\nparallel:\n%s", name, want, got)
+		}
+	}
+}
+
+// TestPoolContentionDeterminism pins the pool experiment's determinism
+// contract on its own: two same-seed invocations are byte-identical, and
+// the serial/parallel CSVs match (the N×M pool points are independent
+// testbeds, so worker scheduling must never leak into results).
+func TestPoolContentionDeterminism(t *testing.T) {
+	run := func(workers int) map[string][]byte {
+		o := fastOptions()
+		o.Workers = workers
+		rep := &Report{Options: o, PoolCont: o.RunPoolContention([]int{1, 2, 4, 8}, 4)}
+		return writeReportDir(t, rep)
+	}
+	first := run(1)
+	again := run(1)
+	wide := run(8)
+	csv, ok := first["fig_pool_contention.csv"]
+	if !ok || len(csv) == 0 {
+		t.Fatal("fig_pool_contention.csv missing or empty")
+	}
+	if !bytes.Equal(csv, again["fig_pool_contention.csv"]) {
+		t.Error("two same-seed serial runs differ")
+	}
+	if !bytes.Equal(csv, wide["fig_pool_contention.csv"]) {
+		t.Errorf("-j 1 and -j 8 differ:\nserial:\n%s\nparallel:\n%s", csv, wide["fig_pool_contention.csv"])
+	}
+}
+
+// TestPoolChaosAuditHolds runs the pool chaos campaign across seeds and
+// checks determinism (same seed, same counters) plus the invariant audit.
+func TestPoolChaosAuditHolds(t *testing.T) {
+	run := func(seed uint64) *PoolChaos {
+		o := fastOptions()
+		cfg := DefaultPoolChaosConfig()
+		cfg.Seed = seed
+		return o.RunPoolChaos(cfg)
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		r := run(seed)
+		if !r.OK() {
+			t.Fatalf("seed %d: %v", seed, r.Violations)
+		}
+		if r.Issued == 0 || r.Attaches == 0 {
+			t.Fatalf("seed %d: campaign idle (%d issued, %d attaches)", seed, r.Issued, r.Attaches)
+		}
+		again := run(seed)
+		if r.Issued != again.Issued || r.Completed != again.Completed ||
+			r.Attaches != again.Attaches || r.Detaches != again.Detaches ||
+			r.Crashes != again.Crashes || r.Poisoned != again.Poisoned {
+			t.Fatalf("seed %d not deterministic: %+v vs %+v", seed, r, again)
 		}
 	}
 }

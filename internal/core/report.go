@@ -21,6 +21,7 @@ type Report struct {
 	MCBN       *Contention
 	MCLN       *Contention
 	Pool       *Contention
+	PoolCont   *PoolContention
 	Dists      *DistImpact
 	QoS        *QoSResult
 	Migration  *MigrationResult
@@ -56,6 +57,7 @@ func (o Options) RunAll() *Report {
 		MCBN:       o.RunMCBN([]int{1, 2, 4, 8}),
 		MCLN:       o.RunMCLN([]int{0, 1, 2, 4, 8}),
 		Pool:       o.RunMCLNPool([]int{0, 1, 2, 4, 8}, 25e9),
+		PoolCont:   o.RunPoolContention([]int{1, 2, 4, 8}, 4),
 		Dists:      o.RunDistImpact(2 * sim.Microsecond),
 		QoS:        o.RunQoSPriority(100),
 		Migration:  o.RunMigration(100),
@@ -91,6 +93,9 @@ func (r *Report) figures() map[string]*metrics.Figure {
 	}
 	if r.Pool != nil {
 		out["ablation_pool"] = r.Pool.Figure
+	}
+	if r.PoolCont != nil {
+		out["fig_pool_contention"] = r.PoolCont.Figure
 	}
 	if r.Dists != nil {
 		out["ablation_dists"] = r.Dists.Figure
@@ -290,6 +295,19 @@ func (r *Report) Render(w io.Writer) error {
 		}
 		for i, n := range c.Counts {
 			p("  n=%d: %.3f GB/s\n", n, c.BorrowerBps[i]/1e9)
+		}
+		p("\n")
+	}
+	if pc := r.PoolCont; pc != nil {
+		if err := pc.Figure.RenderASCII(w, 60, 10); err != nil {
+			return err
+		}
+		for pi, name := range pc.Policies {
+			p("  %-12s:", name)
+			for ci, n := range pc.Counts {
+				p(" n=%d %.3f GB/s", n, pc.Bps[pi][ci]/1e9)
+			}
+			p("\n")
 		}
 		p("\n")
 	}

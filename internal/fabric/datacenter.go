@@ -8,13 +8,18 @@ import (
 	"thymesim/internal/dram"
 	"thymesim/internal/memport"
 	"thymesim/internal/ocapi"
+	"thymesim/internal/pool"
 	"thymesim/internal/sim"
 	"thymesim/internal/tfnic"
 )
 
 // BorrowBase is where hot-plugged windows begin in every borrower's
-// physical address space.
-const BorrowBase uint64 = 0x1000_0000_0000
+// physical address space; LendBase is where each node's lendable
+// reservation sits in its own memory.
+const (
+	BorrowBase uint64 = 0x1000_0000_0000
+	LendBase   uint64 = 0x20_0000_0000
+)
 
 // DCConfig parameterizes a switched multi-node deployment.
 type DCConfig struct {
@@ -30,6 +35,17 @@ type DCConfig struct {
 	// Gate optionally installs a delay-injection gate at every borrower
 	// egress (nil = vanilla).
 	Gate func(node int) axis.Gate
+	// LenderCapacity is the lendable reservation each node exposes, in
+	// bytes (0 = 64 GiB). Borrows carve disjoint segments out of it.
+	LenderCapacity uint64
+}
+
+// lenderCapacity returns the effective per-node reservation.
+func (c DCConfig) lenderCapacity() uint64 {
+	if c.LenderCapacity != 0 {
+		return c.LenderCapacity
+	}
+	return 64 << 30
 }
 
 // DefaultDCConfig returns an N-node rack with AC922-like nodes.
@@ -60,6 +76,9 @@ func (c DCConfig) Validate() error {
 	if err := c.Switch.Validate(); err != nil {
 		return err
 	}
+	if c.LenderCapacity%ocapi.CacheLineSize != 0 {
+		return fmt.Errorf("fabric: LenderCapacity %d not line-aligned", c.LenderCapacity)
+	}
 	if err := c.DRAM.Validate(); err != nil {
 		return err
 	}
@@ -71,6 +90,9 @@ type DCNode struct {
 	ID  int
 	NIC *tfnic.NIC
 	Mem *dram.DRAM
+	// Alloc carves this node's lendable reservation into the disjoint
+	// segments other nodes borrow.
+	Alloc *pool.Allocator
 	// nextWindow tracks where the next borrow window lands in this
 	// borrower's address space; tagCursor hands out disjoint tag ranges
 	// to the node's backends.
@@ -104,7 +126,11 @@ func NewDatacenter(cfg DCConfig) *Datacenter {
 		}
 		mem := dram.New(k, cfg.DRAM)
 		nic := tfnic.New(k, nicCfg, gate, mem)
-		node := &DCNode{ID: i, NIC: nic, Mem: mem, nextWindow: BorrowBase}
+		alloc, err := pool.NewAllocator(i, LendBase, cfg.lenderCapacity(), ocapi.CacheLineSize)
+		if err != nil {
+			panic(err)
+		}
+		node := &DCNode{ID: i, NIC: nic, Mem: mem, Alloc: alloc, nextWindow: BorrowBase}
 		nic.OnDeliver = node.deliver
 		d.Switch.AttachNIC(i, NICPorts{TxQ: nic.TxQ, RxQ: nic.RxQ})
 		d.Nodes = append(d.Nodes, node)
@@ -112,24 +138,34 @@ func NewDatacenter(cfg DCConfig) *Datacenter {
 	return d
 }
 
-// Borrow programs a window of size bytes on the borrower's NIC mapping to
-// lender memory, and returns the borrower-side base address of the window.
+// Borrow carves size bytes out of the lender's reservation, programs a
+// window for it on the borrower's NIC, and returns the borrower-side base
+// address. Each borrow gets a disjoint lender segment, so repeated borrows
+// — by one borrower or many — never alias the same lender memory, and a
+// drained lender rejects further borrows instead of silently overcommitting.
 func (d *Datacenter) Borrow(borrower, lender int, size uint64) (uint64, error) {
 	if borrower == lender {
 		return 0, fmt.Errorf("fabric: node %d cannot borrow from itself", borrower)
 	}
 	b := d.Nodes[borrower]
+	seg, err := d.Nodes[lender].Alloc.Alloc(size)
+	if err != nil {
+		return 0, err
+	}
 	base := b.nextWindow
 	w := tfnic.Window{
 		BorrowerBase: base,
-		LenderBase:   0x20_0000_0000 + uint64(borrower)<<40,
-		Size:         size,
+		LenderBase:   seg.Base,
+		Size:         seg.Size,
 		LenderNode:   lender,
 	}
 	if err := b.NIC.Translator().AddWindow(w); err != nil {
+		if ferr := d.Nodes[lender].Alloc.Free(seg); ferr != nil {
+			panic(ferr)
+		}
 		return 0, err
 	}
-	b.nextWindow += size
+	b.nextWindow += seg.Size
 	return base, nil
 }
 

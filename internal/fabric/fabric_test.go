@@ -252,3 +252,135 @@ func (slowGate) Next(now sim.Time) sim.Time {
 	return (now + q - 1) / q * q
 }
 func (slowGate) Commit(sim.Time) {}
+
+// TestSwitchBlockedInputResumesOnCredit pins the head-of-line wakeup path:
+// an input blocked on a full output must resume — through the per-output
+// waiting list, not a broadcast subscription — as soon as the output
+// drains, and beats must arrive complete and in order.
+func TestSwitchBlockedInputResumesOnCredit(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := DefaultSwitchConfig(3)
+	cfg.OutputQueue = 2 // tiny, so the input blocks quickly
+	sw := NewSwitch(k, cfg)
+	const beats = 8
+	sent := 0
+	var feed func()
+	feed = func() {
+		for sent < beats && sw.ports[0].In.Space() > 0 {
+			p := ocapi.Packet{Op: ocapi.OpProbe, Src: 0, Dst: 1, Tag: uint32(sent)}
+			sw.ports[0].In.Push(axis.Beat{Bytes: 10, Meta: p})
+			sent++
+		}
+		if sent < beats {
+			k.After(sim.Microsecond, feed)
+		}
+	}
+	k.At(0, feed)
+	// A slow consumer: drain one beat per 10us, forcing repeated
+	// block/unblock cycles at the forwarding engine.
+	var got []uint32
+	var drain func()
+	drain = func() {
+		if b, ok := sw.ports[1].Out.Pop(); ok {
+			got = append(got, b.Meta.(ocapi.Packet).Tag)
+		}
+		if len(got) < beats {
+			k.After(10*sim.Microsecond, drain)
+		}
+	}
+	k.After(10*sim.Microsecond, drain)
+	k.Run()
+	if len(got) != beats {
+		t.Fatalf("drained %d of %d beats", len(got), beats)
+	}
+	for i, tag := range got {
+		if tag != uint32(i) {
+			t.Fatalf("beat %d has tag %d: reordered across block/unblock", i, tag)
+		}
+	}
+	if sw.Forwarded() != beats {
+		t.Fatalf("forwarded = %d", sw.Forwarded())
+	}
+}
+
+// TestSwitchRejectsDoubleAttach pins the one-NIC-per-port contract.
+func TestSwitchRejectsDoubleAttach(t *testing.T) {
+	k := sim.NewKernel()
+	sw := NewSwitch(k, DefaultSwitchConfig(2))
+	nic := NICPorts{
+		TxQ: axis.NewFIFO("tx", 4),
+		RxQ: axis.NewFIFO("rx", 4),
+	}
+	sw.AttachNIC(0, nic)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double attach accepted")
+		}
+	}()
+	sw.AttachNIC(0, NICPorts{TxQ: axis.NewFIFO("tx2", 4), RxQ: axis.NewFIFO("rx2", 4)})
+}
+
+// TestDatacenterRepeatedBorrowsDisjoint is the regression test for the
+// overlapping-window bug: two borrows by the same borrower from the same
+// lender used to map to the same lender base address. They must carve
+// disjoint lender segments, and writes through one window must not be
+// visible through the other.
+func TestDatacenterRepeatedBorrowsDisjoint(t *testing.T) {
+	d := NewDatacenter(DefaultDCConfig(3))
+	const size = 1 << 20
+	a, err := d.Borrow(0, 1, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Borrow(0, 1, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatalf("both borrows landed at borrower base %#x", a)
+	}
+	xl := d.Nodes[0].NIC.Translator()
+	_, la, ok := xl.Translate(a)
+	if !ok {
+		t.Fatalf("window %#x does not translate", a)
+	}
+	_, lb, ok := xl.Translate(b)
+	if !ok {
+		t.Fatalf("window %#x does not translate", b)
+	}
+	if la == lb {
+		t.Fatalf("both windows alias lender address %#x", la)
+	}
+	if la+size > lb && lb+size > la {
+		t.Fatalf("lender segments overlap: %#x and %#x", la, lb)
+	}
+	// A second borrower carves from the same reservation — still disjoint.
+	c, err := d.Borrow(2, 1, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lc, ok := d.Nodes[2].NIC.Translator().Translate(c)
+	if !ok {
+		t.Fatalf("window %#x does not translate", c)
+	}
+	if lc == la || lc == lb {
+		t.Fatalf("borrower 2's segment aliases borrower 0's: %#x", lc)
+	}
+	if got := d.Nodes[1].Alloc.Allocated(); got != 3*size {
+		t.Fatalf("lender carved %d bytes, want %d", got, 3*size)
+	}
+}
+
+// TestDatacenterBorrowExhaustsLender pins overcommit rejection: borrows
+// beyond the lender's reservation fail instead of aliasing memory.
+func TestDatacenterBorrowExhaustsLender(t *testing.T) {
+	cfg := DefaultDCConfig(2)
+	cfg.LenderCapacity = 1 << 20
+	d := NewDatacenter(cfg)
+	if _, err := d.Borrow(0, 1, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Borrow(0, 1, ocapi.CacheLineSize); err == nil {
+		t.Fatal("borrow beyond the lender reservation accepted")
+	}
+}

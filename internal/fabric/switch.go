@@ -79,6 +79,13 @@ type Switch struct {
 	// input ports cannot jointly overflow an output queue.
 	peakOcc     []int
 	outInflight []int
+	// kicks holds each input's forwarding engine; waiting[out][in] marks
+	// inputs head-of-line blocked on an output, so freed credit wakes
+	// exactly the blocked engines (in input order) instead of every input
+	// subscribing to every output — O(P) callbacks, not O(P²).
+	kicks    []func()
+	waiting  [][]bool
+	attached []bool
 }
 
 // NewSwitch builds the switch and its port FIFOs; devices are attached by
@@ -88,19 +95,41 @@ func NewSwitch(k *sim.Kernel, cfg SwitchConfig) *Switch {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	s := &Switch{k: k, cfg: cfg, peakOcc: make([]int, cfg.Ports), outInflight: make([]int, cfg.Ports)}
+	s := &Switch{
+		k: k, cfg: cfg,
+		peakOcc:     make([]int, cfg.Ports),
+		outInflight: make([]int, cfg.Ports),
+		kicks:       make([]func(), cfg.Ports),
+		waiting:     make([][]bool, cfg.Ports),
+		attached:    make([]bool, cfg.Ports),
+	}
 	outs := make([]*axis.FIFO, cfg.Ports)
 	for i := 0; i < cfg.Ports; i++ {
 		in := axis.NewFIFO(fmt.Sprintf("sw-in%d", i), cfg.OutputQueue)
 		out := axis.NewFIFO(fmt.Sprintf("sw-out%d", i), cfg.OutputQueue)
 		s.ports = append(s.ports, Port{In: in, Out: out})
 		outs[i] = out
+		s.waiting[i] = make([]bool, cfg.Ports)
 	}
 	// One forwarding engine per input port: parse destination, apply
 	// switch latency, enqueue at the output (blocking when full).
 	for i := 0; i < cfg.Ports; i++ {
-		in := s.ports[i].In
-		s.forwardLoop(in, outs)
+		s.forwardLoop(i, s.ports[i].In, outs)
+	}
+	// One waker per output: when credit frees, resume only the inputs
+	// blocked on this output, in input-index order (the same order the
+	// broadcast subscription fired them in, so scheduling is unchanged).
+	for o := 0; o < cfg.Ports; o++ {
+		o := o
+		outs[o].OnSpace(func() {
+			blocked := s.waiting[o]
+			for i := range blocked {
+				if blocked[i] {
+					blocked[i] = false
+					s.kicks[i]()
+				}
+			}
+		})
 	}
 	return s
 }
@@ -109,7 +138,7 @@ func NewSwitch(k *sim.Kernel, cfg SwitchConfig) *Switch {
 // lookup/crossbar latency is fully pipelined: a beat leaves the input as
 // soon as its output has credit (counting in-flight beats), and lands at
 // the output SwitchLatency later.
-func (s *Switch) forwardLoop(in *axis.FIFO, outs []*axis.FIFO) {
+func (s *Switch) forwardLoop(port int, in *axis.FIFO, outs []*axis.FIFO) {
 	inflight := s.outInflight
 	var kick func()
 	kick = func() {
@@ -123,7 +152,8 @@ func (s *Switch) forwardLoop(in *axis.FIFO, outs []*axis.FIFO) {
 			}
 			out := outs[dst]
 			if out.Space()-inflight[dst] <= 0 {
-				return // head-of-line blocked; out's OnSpace rekicks
+				s.waiting[dst][port] = true
+				return // head-of-line blocked; out's waker rekicks
 			}
 			b, _ := in.Pop()
 			inflight[dst]++
@@ -137,10 +167,8 @@ func (s *Switch) forwardLoop(in *axis.FIFO, outs []*axis.FIFO) {
 			})
 		}
 	}
+	s.kicks[port] = kick
 	in.OnData(kick)
-	for _, out := range outs {
-		out.OnSpace(kick)
-	}
 }
 
 // dstOf extracts the destination port from a beat's packet metadata. The
@@ -173,11 +201,17 @@ type NICPorts struct {
 	RxQ *axis.FIFO
 }
 
-// AttachNIC cables a NIC to switch port i with a full-duplex link.
+// AttachNIC cables a NIC to switch port i with a full-duplex link. Each
+// port takes exactly one NIC: double-attaching would silently interleave
+// two devices on one queue pair.
 func (s *Switch) AttachNIC(i int, nic NICPorts) *netlink.Link {
 	if i < 0 || i >= len(s.ports) {
 		panic(fmt.Sprintf("fabric: port %d out of range", i))
 	}
+	if s.attached[i] {
+		panic(fmt.Sprintf("fabric: port %d already has a NIC", i))
+	}
+	s.attached[i] = true
 	p := s.ports[i]
 	return netlink.NewLink(s.k,
 		nic.TxQ, p.In, // NIC -> switch

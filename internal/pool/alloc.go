@@ -1,0 +1,209 @@
+// Package pool implements the rack-scale memory-pooling control logic:
+// per-lender segment allocators that carve a lender's DRAM reservation
+// into borrower-attached regions, and placement policies that decide
+// which lender serves a new attach request.
+//
+// The package is pure bookkeeping — no simulation dependencies — so its
+// invariants (no segment overlap, capacity conservation, free-list
+// coalescing) are property-testable in isolation, and the same allocator
+// drives both the event-accurate cluster pool and the switched-fabric
+// datacenter model.
+package pool
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Segment is one carved region of a lender's reservation: lender-physical
+// addresses [Base, Base+Size).
+type Segment struct {
+	// Lender is the allocator's lender index (pool-local, not a fabric
+	// node id).
+	Lender int
+	Base   uint64
+	Size   uint64
+}
+
+// End returns the first address past the segment.
+func (s Segment) End() uint64 { return s.Base + s.Size }
+
+// Overlaps reports whether two segments share any address.
+func (s Segment) Overlaps(o Segment) bool {
+	return s.Base < o.End() && o.Base < s.End()
+}
+
+// span is one free extent, kept sorted by base and always coalesced: no
+// two spans touch or overlap.
+type span struct {
+	base, size uint64
+}
+
+// Allocator carves one lender's reservation [base, base+capacity) into
+// segments. First-fit with an address-ordered, eagerly-coalesced free
+// list: deterministic, and fragmentation-diagnosable via FreeSpans.
+type Allocator struct {
+	lender    int
+	base      uint64
+	capacity  uint64
+	align     uint64
+	free      []span
+	allocated uint64
+	segments  int
+}
+
+// NewAllocator builds an allocator for lender's reservation
+// [base, base+capacity), with every segment base and size aligned to
+// align (a power of two).
+func NewAllocator(lender int, base, capacity, align uint64) (*Allocator, error) {
+	if capacity == 0 {
+		return nil, fmt.Errorf("pool: lender %d has zero capacity", lender)
+	}
+	if align == 0 || align&(align-1) != 0 {
+		return nil, fmt.Errorf("pool: alignment %d not a power of two", align)
+	}
+	if base%align != 0 || capacity%align != 0 {
+		return nil, fmt.Errorf("pool: reservation %#x+%#x unaligned to %d", base, capacity, align)
+	}
+	return &Allocator{
+		lender:   lender,
+		base:     base,
+		capacity: capacity,
+		align:    align,
+		free:     []span{{base: base, size: capacity}},
+	}, nil
+}
+
+// Lender returns the lender index this allocator carves.
+func (a *Allocator) Lender() int { return a.lender }
+
+// Capacity returns the reservation size in bytes.
+func (a *Allocator) Capacity() uint64 { return a.capacity }
+
+// Allocated returns the bytes currently carved out.
+func (a *Allocator) Allocated() uint64 { return a.allocated }
+
+// FreeBytes returns the bytes not carved out. Allocated+FreeBytes always
+// equals Capacity — the conservation invariant the property suite pins.
+func (a *Allocator) FreeBytes() uint64 { return a.capacity - a.allocated }
+
+// Segments returns the number of live segments.
+func (a *Allocator) Segments() int { return a.segments }
+
+// FreeSpans returns a copy of the free list (sorted, coalesced) for
+// invariant checks and fragmentation diagnostics.
+func (a *Allocator) FreeSpans() []Segment {
+	out := make([]Segment, len(a.free))
+	for i, s := range a.free {
+		out[i] = Segment{Lender: a.lender, Base: s.base, Size: s.size}
+	}
+	return out
+}
+
+// Alloc carves a segment of the given size (rounded up to the alignment)
+// from the first free span that fits.
+func (a *Allocator) Alloc(size uint64) (Segment, error) {
+	if size == 0 {
+		return Segment{}, fmt.Errorf("pool: zero-size alloc on lender %d", a.lender)
+	}
+	size = (size + a.align - 1) &^ (a.align - 1)
+	for i := range a.free {
+		f := &a.free[i]
+		if f.size < size {
+			continue
+		}
+		seg := Segment{Lender: a.lender, Base: f.base, Size: size}
+		f.base += size
+		f.size -= size
+		if f.size == 0 {
+			a.free = append(a.free[:i], a.free[i+1:]...)
+		}
+		a.allocated += size
+		a.segments++
+		return seg, nil
+	}
+	return Segment{}, fmt.Errorf("pool: lender %d cannot fit %d bytes (%d free in %d spans)",
+		a.lender, size, a.FreeBytes(), len(a.free))
+}
+
+// Free returns a segment to the free list, coalescing with neighbours.
+// Foreign, misaligned, out-of-range, and double-freed segments are
+// rejected — a control plane bug must surface, not corrupt the pool.
+func (a *Allocator) Free(seg Segment) error {
+	if err := a.checkOwned(seg); err != nil {
+		return err
+	}
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].base >= seg.Base })
+	// Reject frees that intersect the free list (double free / bad size).
+	if i < len(a.free) && seg.End() > a.free[i].base {
+		return fmt.Errorf("pool: free of %#x+%#x overlaps free span %#x+%#x (double free?)",
+			seg.Base, seg.Size, a.free[i].base, a.free[i].size)
+	}
+	if i > 0 && a.free[i-1].base+a.free[i-1].size > seg.Base {
+		return fmt.Errorf("pool: free of %#x+%#x overlaps free span %#x+%#x (double free?)",
+			seg.Base, seg.Size, a.free[i-1].base, a.free[i-1].size)
+	}
+	// Coalesce with the predecessor and/or successor when adjacent.
+	joinPrev := i > 0 && a.free[i-1].base+a.free[i-1].size == seg.Base
+	joinNext := i < len(a.free) && seg.End() == a.free[i].base
+	switch {
+	case joinPrev && joinNext:
+		a.free[i-1].size += seg.Size + a.free[i].size
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	case joinPrev:
+		a.free[i-1].size += seg.Size
+	case joinNext:
+		a.free[i].base = seg.Base
+		a.free[i].size += seg.Size
+	default:
+		a.free = append(a.free, span{})
+		copy(a.free[i+1:], a.free[i:])
+		a.free[i] = span{base: seg.Base, size: seg.Size}
+	}
+	a.allocated -= seg.Size
+	a.segments--
+	return nil
+}
+
+// Grow extends a segment in place to newSize (rounded up to the
+// alignment), consuming the free span that immediately follows it. It
+// fails — leaving the segment untouched — when the adjacent space is
+// carved out or too small; relocation is the caller's policy decision.
+func (a *Allocator) Grow(seg Segment, newSize uint64) (Segment, error) {
+	if err := a.checkOwned(seg); err != nil {
+		return Segment{}, err
+	}
+	newSize = (newSize + a.align - 1) &^ (a.align - 1)
+	if newSize <= seg.Size {
+		return Segment{}, fmt.Errorf("pool: grow of %#x+%#x to %d does not grow", seg.Base, seg.Size, newSize)
+	}
+	need := newSize - seg.Size
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].base >= seg.End() })
+	if i == len(a.free) || a.free[i].base != seg.End() || a.free[i].size < need {
+		return Segment{}, fmt.Errorf("pool: lender %d cannot grow %#x+%#x to %d in place",
+			a.lender, seg.Base, seg.Size, newSize)
+	}
+	a.free[i].base += need
+	a.free[i].size -= need
+	if a.free[i].size == 0 {
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+	a.allocated += need
+	seg.Size = newSize
+	return seg, nil
+}
+
+// checkOwned validates that seg plausibly came from this allocator.
+func (a *Allocator) checkOwned(seg Segment) error {
+	if seg.Lender != a.lender {
+		return fmt.Errorf("pool: segment of lender %d handed to lender %d", seg.Lender, a.lender)
+	}
+	if seg.Size == 0 || seg.Base%a.align != 0 || seg.Size%a.align != 0 {
+		return fmt.Errorf("pool: malformed segment %#x+%#x", seg.Base, seg.Size)
+	}
+	if seg.Base < a.base || seg.End() > a.base+a.capacity {
+		return fmt.Errorf("pool: segment %#x+%#x outside reservation %#x+%#x",
+			seg.Base, seg.Size, a.base, a.capacity)
+	}
+	return nil
+}

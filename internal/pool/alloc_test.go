@@ -1,0 +1,243 @@
+package pool
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"thymesim/internal/sim"
+)
+
+const testAlign = 1 << 12
+
+// auditAllocator checks every structural invariant of one allocator
+// against the live segment set the test tracked alongside it.
+func auditAllocator(t *testing.T, a *Allocator, live []Segment) {
+	t.Helper()
+	// 1. No live segment overlaps another.
+	for i := range live {
+		for j := i + 1; j < len(live); j++ {
+			if live[i].Overlaps(live[j]) {
+				t.Fatalf("segments overlap: %+v and %+v", live[i], live[j])
+			}
+		}
+	}
+	// 2. Capacity conservation: allocated + free == capacity, and the
+	// allocator's allocated counter matches the tracked segments.
+	var liveBytes uint64
+	for _, s := range live {
+		liveBytes += s.Size
+	}
+	if a.Allocated() != liveBytes {
+		t.Fatalf("allocator reports %d allocated bytes, tracking says %d", a.Allocated(), liveBytes)
+	}
+	if a.Allocated()+a.FreeBytes() != a.Capacity() {
+		t.Fatalf("capacity leak: %d allocated + %d free != %d capacity",
+			a.Allocated(), a.FreeBytes(), a.Capacity())
+	}
+	if a.Segments() != len(live) {
+		t.Fatalf("allocator reports %d segments, tracking says %d", a.Segments(), len(live))
+	}
+	// 3. Free list is sorted, non-overlapping, coalesced (no two spans
+	// touch), and disjoint from every live segment.
+	spans := a.FreeSpans()
+	var freeBytes uint64
+	for i, f := range spans {
+		freeBytes += f.Size
+		if f.Size == 0 {
+			t.Fatalf("empty free span %+v", f)
+		}
+		if i > 0 {
+			prev := spans[i-1]
+			if prev.End() > f.Base {
+				t.Fatalf("free spans overlap or unsorted: %+v then %+v", prev, f)
+			}
+			if prev.End() == f.Base {
+				t.Fatalf("free spans not coalesced: %+v touches %+v", prev, f)
+			}
+		}
+		for _, s := range live {
+			if f.Overlaps(s) {
+				t.Fatalf("free span %+v overlaps live segment %+v", f, s)
+			}
+		}
+	}
+	if freeBytes != a.FreeBytes() {
+		t.Fatalf("free list holds %d bytes, allocator reports %d", freeBytes, a.FreeBytes())
+	}
+}
+
+// churnSeeds returns the property suite's seeds. POOL_CHURN_SEED extends
+// the fixed corpus, so the nightly CI matrix explores fresh schedules
+// while per-PR runs stay deterministic.
+func churnSeeds(t *testing.T) []uint64 {
+	seeds := []uint64{1, 2, 3, 0xDEAD}
+	if env := os.Getenv("POOL_CHURN_SEED"); env != "" {
+		s, err := strconv.ParseUint(env, 10, 64)
+		if err != nil {
+			t.Fatalf("POOL_CHURN_SEED: %v", err)
+		}
+		seeds = append(seeds, s)
+	}
+	return seeds
+}
+
+// TestAllocatorChurnProperties is the allocator property suite: randomized
+// attach/detach/grow churn across M lenders, auditing after every step
+// that no segments overlap, capacity is conserved (allocated + free ==
+// reservation), and the free list stays sorted and coalesced. The
+// schedule is purely seed-derived, so failures replay exactly.
+func TestAllocatorChurnProperties(t *testing.T) {
+	for _, seed := range churnSeeds(t) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			const lenders = 4
+			rng := sim.NewRand(seed)
+			allocs := make([]*Allocator, lenders)
+			live := make([][]Segment, lenders)
+			for l := 0; l < lenders; l++ {
+				// Deliberately varied capacities and bases.
+				capacity := uint64(1+l) << 22
+				a, err := NewAllocator(l, uint64(l)<<40, capacity, testAlign)
+				if err != nil {
+					t.Fatal(err)
+				}
+				allocs[l] = a
+			}
+			steps := 4000
+			if testing.Short() {
+				steps = 800
+			}
+			for i := 0; i < steps; i++ {
+				l := rng.Intn(lenders)
+				a := allocs[l]
+				switch op := rng.Intn(10); {
+				case op < 5: // alloc
+					size := uint64(rng.Intn(64)+1) * (testAlign / 2)
+					seg, err := a.Alloc(size)
+					if err != nil {
+						break // pool full here; legal
+					}
+					if seg.Size < size {
+						t.Fatalf("alloc of %d returned %d bytes", size, seg.Size)
+					}
+					live[l] = append(live[l], seg)
+				case op < 8: // free a random live segment
+					if len(live[l]) == 0 {
+						break
+					}
+					j := rng.Intn(len(live[l]))
+					if err := a.Free(live[l][j]); err != nil {
+						t.Fatalf("free of live segment %+v: %v", live[l][j], err)
+					}
+					live[l] = append(live[l][:j], live[l][j+1:]...)
+				default: // grow a random live segment
+					if len(live[l]) == 0 {
+						break
+					}
+					j := rng.Intn(len(live[l]))
+					seg := live[l][j]
+					grown, err := a.Grow(seg, seg.Size+uint64(rng.Intn(8)+1)*testAlign)
+					if err != nil {
+						break // neighbour carved out; legal
+					}
+					if grown.Base != seg.Base || grown.Size <= seg.Size {
+						t.Fatalf("grow of %+v returned %+v", seg, grown)
+					}
+					live[l][j] = grown
+				}
+				auditAllocator(t, a, live[l])
+			}
+			// Drain everything: the free list must coalesce back to one
+			// span covering the whole reservation.
+			for l, a := range allocs {
+				for _, seg := range live[l] {
+					if err := a.Free(seg); err != nil {
+						t.Fatal(err)
+					}
+				}
+				live[l] = nil
+				auditAllocator(t, a, nil)
+				spans := a.FreeSpans()
+				if len(spans) != 1 || spans[0].Size != a.Capacity() {
+					t.Fatalf("drained lender %d free list not fully coalesced: %+v", l, spans)
+				}
+			}
+		})
+	}
+}
+
+// TestAllocatorRejectsBadFrees pins the defensive surface: double frees,
+// foreign segments, and out-of-range segments must be rejected without
+// corrupting the accounting.
+func TestAllocatorRejectsBadFrees(t *testing.T) {
+	a, err := NewAllocator(0, 0, 1<<20, testAlign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := a.Alloc(8 * testAlign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(seg); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(seg); err == nil {
+		t.Fatal("double free accepted")
+	}
+	seg2, err := a.Alloc(testAlign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(Segment{Lender: 1, Base: seg2.Base, Size: seg2.Size}); err == nil {
+		t.Fatal("foreign lender's segment accepted")
+	}
+	if err := a.Free(Segment{Lender: 0, Base: 1 << 30, Size: testAlign}); err == nil {
+		t.Fatal("out-of-range segment accepted")
+	}
+	if err := a.Free(Segment{Lender: 0, Base: seg2.Base + 1, Size: testAlign}); err == nil {
+		t.Fatal("unaligned segment accepted")
+	}
+	if a.Allocated() != seg2.Size {
+		t.Fatalf("accounting corrupted by rejected frees: %d allocated", a.Allocated())
+	}
+	auditAllocator(t, a, []Segment{seg2})
+}
+
+// TestAllocatorGrowSemantics pins in-place growth: it consumes only the
+// adjacent free span and fails crisply when a neighbour blocks it.
+func TestAllocatorGrowSemantics(t *testing.T) {
+	a, err := NewAllocator(0, 0, 1<<20, testAlign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := a.Alloc(4 * testAlign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := a.Grow(first, 6*testAlign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.Base != first.Base || grown.Size != 6*testAlign {
+		t.Fatalf("grow returned %+v", grown)
+	}
+	// A second segment right behind blocks further growth.
+	second, err := a.Alloc(testAlign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Base != grown.End() {
+		t.Fatalf("first-fit did not place %+v adjacent to %+v", second, grown)
+	}
+	if _, err := a.Grow(grown, 8*testAlign); err == nil {
+		t.Fatal("grow through a live neighbour accepted")
+	}
+	// Shrinks and no-ops are rejected.
+	if _, err := a.Grow(grown, grown.Size); err == nil {
+		t.Fatal("no-op grow accepted")
+	}
+	auditAllocator(t, a, []Segment{grown, second})
+}

@@ -1,0 +1,126 @@
+package pool
+
+import "fmt"
+
+// LenderView is one lender's load snapshot as a placement policy sees it.
+// Views are always presented in lender-index order, so a policy that
+// breaks ties by the first match is deterministic.
+type LenderView struct {
+	// Lender is the pool-local lender index; Node is its fabric node id.
+	Lender int
+	Node   int
+	// Capacity and Allocated describe the lender's reservation occupancy.
+	Capacity  uint64
+	Allocated uint64
+	// Regions counts attached regions currently served by this lender.
+	Regions int
+	// Distance is the topological cost from the requesting borrower
+	// (0 = same rack); how it is computed is the topology's business.
+	Distance int
+}
+
+// FreeBytes returns the uncarved capacity.
+func (v LenderView) FreeBytes() uint64 { return v.Capacity - v.Allocated }
+
+// Policy decides which lender serves a new attach. Place returns the
+// chosen lender index; it must be a pure function of its arguments so
+// placement is deterministic and replayable.
+type Policy interface {
+	Name() string
+	Place(borrower int, size uint64, lenders []LenderView) (int, error)
+}
+
+// DefaultPair is the paper's fixed borrower/lender pairing: every attach
+// goes to lender 0, reproducing the two-node testbed exactly. It is the
+// default policy; anything it cannot fit is an attach failure, not a
+// silent spill to another lender.
+type DefaultPair struct{}
+
+// Name implements Policy.
+func (DefaultPair) Name() string { return "default-pair" }
+
+// Place implements Policy.
+func (DefaultPair) Place(borrower int, size uint64, lenders []LenderView) (int, error) {
+	if len(lenders) == 0 {
+		return 0, fmt.Errorf("pool: no lenders")
+	}
+	if lenders[0].FreeBytes() < size {
+		return 0, fmt.Errorf("pool: paired lender %d cannot fit %d bytes", lenders[0].Lender, size)
+	}
+	return lenders[0].Lender, nil
+}
+
+// LeastLoaded places each attach on the lender with the most free bytes,
+// breaking ties by fewest attached regions, then lowest lender index —
+// the contention-spreading policy.
+type LeastLoaded struct{}
+
+// Name implements Policy.
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+// Place implements Policy.
+func (LeastLoaded) Place(borrower int, size uint64, lenders []LenderView) (int, error) {
+	best := -1
+	for i, v := range lenders {
+		if v.FreeBytes() < size {
+			continue
+		}
+		if best < 0 || better(v, lenders[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("pool: no lender fits %d bytes", size)
+	}
+	return lenders[best].Lender, nil
+}
+
+// better reports whether a beats b under the least-loaded order.
+func better(a, b LenderView) bool {
+	if a.FreeBytes() != b.FreeBytes() {
+		return a.FreeBytes() > b.FreeBytes()
+	}
+	if a.Regions != b.Regions {
+		return a.Regions < b.Regions
+	}
+	return a.Lender < b.Lender
+}
+
+// Locality prefers the topologically nearest lender that fits, falling
+// back to least-loaded among equidistant candidates: pay switch hops only
+// when the local rack is full.
+type Locality struct{}
+
+// Name implements Policy.
+func (Locality) Name() string { return "locality" }
+
+// Place implements Policy.
+func (Locality) Place(borrower int, size uint64, lenders []LenderView) (int, error) {
+	best := -1
+	for i, v := range lenders {
+		if v.FreeBytes() < size {
+			continue
+		}
+		if best < 0 || v.Distance < lenders[best].Distance ||
+			(v.Distance == lenders[best].Distance && better(v, lenders[best])) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("pool: no lender fits %d bytes", size)
+	}
+	return lenders[best].Lender, nil
+}
+
+// ByName returns the built-in policy with the given name.
+func ByName(name string) (Policy, error) {
+	switch name {
+	case "", "default-pair":
+		return DefaultPair{}, nil
+	case "least-loaded":
+		return LeastLoaded{}, nil
+	case "locality":
+		return Locality{}, nil
+	}
+	return nil, fmt.Errorf("pool: unknown placement policy %q", name)
+}

@@ -1,0 +1,129 @@
+package pool
+
+import "testing"
+
+// view builds a LenderView fixture.
+func view(lender int, capMB, allocMB uint64, regions, distance int) LenderView {
+	return LenderView{
+		Lender:    lender,
+		Node:      lender + 8,
+		Capacity:  capMB << 20,
+		Allocated: allocMB << 20,
+		Regions:   regions,
+		Distance:  distance,
+	}
+}
+
+// TestPlacementPolicies is the table-driven policy suite: each policy
+// gets fixture topologies with the expected lender choice (or an expected
+// failure), pinning the deterministic tie-break order.
+func TestPlacementPolicies(t *testing.T) {
+	uniform := []LenderView{
+		view(0, 64, 0, 0, 1),
+		view(1, 64, 0, 0, 1),
+		view(2, 64, 0, 0, 1),
+	}
+	skewed := []LenderView{
+		view(0, 64, 48, 3, 0),
+		view(1, 64, 16, 1, 1),
+		view(2, 64, 32, 2, 2),
+	}
+	nearFull := []LenderView{
+		view(0, 64, 63, 7, 0), // 1 MiB free: too small for an 8 MiB ask
+		view(1, 64, 32, 2, 1),
+	}
+	tiedBytes := []LenderView{
+		view(0, 64, 32, 4, 1),
+		view(1, 64, 32, 1, 1), // same free bytes, fewer regions
+		view(2, 64, 32, 1, 1), // tie again: lowest index wins
+	}
+	racks := []LenderView{
+		view(0, 64, 60, 5, 2), // far and loaded
+		view(1, 64, 8, 1, 1),  // near-ish
+		view(2, 64, 0, 0, 1),  // same distance, emptier
+		view(3, 64, 50, 6, 0), // same rack but nearly full — still fits
+	}
+	rackFull := []LenderView{
+		view(0, 64, 60, 5, 0), // same rack, cannot fit 8 MiB
+		view(1, 64, 0, 0, 2),
+	}
+
+	const ask = 8 << 20
+	cases := []struct {
+		name    string
+		policy  Policy
+		lenders []LenderView
+		want    int
+		wantErr bool
+	}{
+		{"default-pair/uniform", DefaultPair{}, uniform, 0, false},
+		{"default-pair/skewed-still-pins-lender0", DefaultPair{}, skewed, 0, false},
+		{"default-pair/paired-lender-full-fails", DefaultPair{}, nearFull, 0, true},
+		{"default-pair/no-lenders", DefaultPair{}, nil, 0, true},
+
+		{"least-loaded/uniform-takes-first", LeastLoaded{}, uniform, 0, false},
+		{"least-loaded/picks-most-free", LeastLoaded{}, skewed, 1, false},
+		{"least-loaded/skips-full", LeastLoaded{}, nearFull, 1, false},
+		{"least-loaded/ties-break-by-regions-then-index", LeastLoaded{}, tiedBytes, 1, false},
+		{"least-loaded/all-full-fails", LeastLoaded{}, []LenderView{view(0, 8, 8, 1, 0)}, 0, true},
+
+		{"locality/prefers-same-rack", Locality{}, racks, 3, false},
+		{"locality/equidistant-falls-back-to-load", Locality{}, skewed, 0, false},
+		{"locality/full-rack-spills-outward", Locality{}, rackFull, 1, false},
+		{"locality/uniform-takes-first", Locality{}, uniform, 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := tc.policy.Place(0, ask, tc.lenders)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("Place = %d, want error", got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("%s placed on lender %d, want %d", tc.policy.Name(), got, tc.want)
+			}
+		})
+	}
+}
+
+// TestLocalitySkewedFixture pins the locality fallback inside one rack:
+// among equidistant lenders the least-loaded order applies.
+func TestLocalitySkewedFixture(t *testing.T) {
+	lenders := []LenderView{
+		view(0, 64, 40, 3, 1),
+		view(1, 64, 10, 1, 1),
+	}
+	got, err := Locality{}.Place(2, 4<<20, lenders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("locality placed on %d, want 1 (least loaded among equidistant)", got)
+	}
+}
+
+// TestByName pins the registry used by config surfaces.
+func TestByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"":             "default-pair",
+		"default-pair": "default-pair",
+		"least-loaded": "least-loaded",
+		"locality":     "locality",
+	} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name() != want {
+			t.Fatalf("ByName(%q).Name() = %q, want %q", name, p.Name(), want)
+		}
+	}
+	if _, err := ByName("round-robin"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

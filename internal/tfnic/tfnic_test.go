@@ -311,3 +311,61 @@ func TestNICNacksCorruptRequests(t *testing.T) {
 		t.Fatalf("lender stats = %+v", l.Stats())
 	}
 }
+
+// TestTrySendRoutesByWindowLender is the regression test for the latent
+// single-pair assumption where TrySend translated the address but dropped
+// the window's lender node, so every block op went to the backend's
+// statically stamped destination. With windows on different lenders, the
+// packet destination must follow the address.
+func TestTrySendRoutesByWindowLender(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k, DefaultConfig(0), nil, nil)
+	must := func(w Window) {
+		if err := n.Translator().AddWindow(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(Window{BorrowerBase: 0x10_000, LenderBase: 0x1000, Size: 0x1000, LenderNode: 3})
+	must(Window{BorrowerBase: 0x20_000, LenderBase: 0x2000, Size: 0x1000, LenderNode: 7})
+
+	send := func(addr uint64) {
+		ok := n.TrySend(ocapi.Packet{
+			Op: ocapi.OpReadBlock, Tag: uint32(addr >> 12), Addr: addr,
+			Size: ocapi.CacheLineSize, Src: 0, Dst: 1, // stale pair destination
+		})
+		if !ok {
+			t.Fatalf("TrySend(%#x) rejected", addr)
+		}
+	}
+	send(0x10_000) // window 1 -> lender node 3
+	send(0x20_080) // window 2 -> lender node 7
+	k.Run()
+
+	var got []int
+	for {
+		b, ok := n.TxQ.Pop()
+		if !ok {
+			break
+		}
+		p := b.Meta.(*ocapi.Packet)
+		got = append(got, int(p.Dst))
+	}
+	if len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Fatalf("egress destinations = %v, want [3 7]", got)
+	}
+
+	// Untranslated traffic keeps its stamped destination (and counts a
+	// fault), preserving the pre-pool behaviour for unmapped addresses.
+	send(0xFFF_000)
+	k.Run()
+	b, ok := n.TxQ.Pop()
+	if !ok {
+		t.Fatal("untranslated request did not egress")
+	}
+	if p := b.Meta.(*ocapi.Packet); p.Dst != 1 {
+		t.Fatalf("untranslated request rerouted to %d", p.Dst)
+	}
+	if n.Stats().TranslationFaults != 1 {
+		t.Fatalf("TranslationFaults = %d, want 1", n.Stats().TranslationFaults)
+	}
+}
