@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: all build test race race-pools vet fmt-check chaos pool-chaos characterize trace-smoke bench bench-gate cover-pool clean
+.PHONY: all build test race race-pools race-metrics vet fmt-check chaos pool-chaos characterize trace-smoke metrics-smoke bench bench-gate cover-pool clean
 
 # Benchmark artifact for this PR and the committed baseline it is gated
 # against (previous PR's numbers).
-BENCH_OUT      ?= BENCH_7.json
-BENCH_BASELINE ?= BENCH_6.json
+BENCH_OUT      ?= BENCH_8.json
+BENCH_BASELINE ?= BENCH_7.json
 
 all: vet fmt-check build test
 
@@ -35,10 +35,11 @@ chaos:
 pool-chaos:
 	$(GO) run ./cmd/chaos -pool
 
-# Coverage floor for the pooling layers: the cluster node graph and the
-# pool allocator/policies must stay >= 80% covered by their own tests.
+# Coverage floor for the pooling and observability layers: the cluster
+# node graph, the pool allocator/policies, and the metrics plane must
+# stay >= 80% covered by their own tests.
 cover-pool:
-	@for pkg in ./internal/cluster ./internal/pool; do \
+	@for pkg in ./internal/cluster ./internal/pool ./internal/metricsplane ./internal/metricsplane/monitor; do \
 		$(GO) test -coverprofile=/tmp/cover.out $$pkg >/dev/null || exit 1; \
 		pct=$$($(GO) tool cover -func=/tmp/cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
 		echo "$$pkg coverage: $$pct%"; \
@@ -69,6 +70,11 @@ race-pools:
 		./internal/tfnic ./internal/ocapi ./internal/workloads/kvstore \
 		./internal/core
 
+# Race-check the metrics plane: an 8-worker pool sweep writes every
+# instrument while the exposition endpoint is scraped concurrently.
+race-metrics:
+	$(GO) test -race ./internal/metricsplane/...
+
 # Regenerate every figure/table CSV under results/.
 characterize:
 	$(GO) run ./cmd/characterize -out results
@@ -81,6 +87,12 @@ trace-smoke:
 	grep -q '"traceEvents"' /tmp/thymesim-trace.json
 	grep -q 'end_to_end' /tmp/thymesim-trace.out
 	grep -q 'valid JSON' /tmp/thymesim-trace.out
+
+# Smoke-test the live run monitor: build characterize, run the
+# pool-contention sweep with -serve, scrape /metrics mid-run, and
+# validate the exposition with the in-repo parser.
+metrics-smoke:
+	$(GO) test -run TestMetricsServeSmoke -v ./cmd/characterize
 
 clean:
 	$(GO) clean ./...

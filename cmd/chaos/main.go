@@ -9,11 +9,16 @@
 //
 //	chaos [-seed n] [-j n] [-ber p] [-drop p] [-flap-up us] [-flap-down us]
 //	      [-workloads stream,kvstore,graph500] [-failover] [-pool]
-//	      [-cpuprofile file] [-memprofile file]
+//	      [-serve addr] [-cpuprofile file] [-memprofile file]
 //
 // Trials fan out across -j worker goroutines (default: one per CPU); each
 // trial owns its testbed and fault schedule, so results are identical at
 // any -j.
+//
+// With -serve, a live run monitor answers /metrics, /healthz, /status,
+// /stream, and /events while the campaigns execute, and a failed
+// invariant audit dumps the flight recorder (the last datapath events
+// before the violation) to stderr.
 package main
 
 import (
@@ -24,6 +29,8 @@ import (
 	"strings"
 
 	"thymesim/internal/core"
+	"thymesim/internal/metricsplane"
+	"thymesim/internal/metricsplane/monitor"
 	"thymesim/internal/prof"
 	"thymesim/internal/sim"
 )
@@ -43,6 +50,7 @@ func main() {
 		failover   = flag.Bool("failover", false, "also run the dead-link degraded-failover scenario")
 		schedule   = flag.Bool("schedule", false, "also run the scheduled lender-fault campaign (crash/wipe/burst/brownout) with the deadline+breaker stack")
 		poolChaos  = flag.Bool("pool", false, "also run the pool chaos campaign (N×M region churn + lender crash/restore)")
+		serveAddr  = flag.String("serve", "", "serve the live run monitor (/metrics, /healthz, /status) on this address while campaigns run")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the chaos trials to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile (taken after the trials) to this file")
 	)
@@ -51,6 +59,18 @@ func main() {
 	opts := core.Default()
 	opts.Seed = *seed
 	opts.Workers = *jobs
+	if *serveAddr != "" {
+		plane := metricsplane.New()
+		plane.SetSLO(metricsplane.DefaultSLOConfig())
+		plane.SetRun(fmt.Sprintf("chaos -seed %d", *seed))
+		opts.Metrics = plane
+		srv, err := monitor.Serve(*serveAddr, plane)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics: serving /metrics /healthz /status on http://%s\n", srv.Addr())
+	}
 	cfg := core.DefaultChaosConfig()
 	cfg.Seed = *seed
 	cfg.Faults.BER = *ber

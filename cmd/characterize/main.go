@@ -7,12 +7,19 @@
 // Usage:
 //
 //	characterize [-out dir] [-paper] [-j N] [-trace file] [-trace-sample N]
+//	             [-serve addr] [-metrics-out file]
 //	             [-cpuprofile file] [-memprofile file]
 //	             [-experiment all|validation|resilience|table1|fig5|mcbn|mcln|pool|pool-contention|dists|qos|migration|interconnect|prefetch|recovery|chaos|schedule|breaker-recovery|breakdown]
 //
 // Sweep points fan out across -j worker goroutines (default: one per
 // CPU). Every point owns its testbed and derives its randomness from
 // -seed, so output is byte-identical at every -j setting.
+//
+// With -serve, a live run monitor answers /metrics (Prometheus text
+// exposition), /healthz, /status (JSON run status + SLOs), /stream
+// (NDJSON snapshots), and /events (flight-recorder dump) while the
+// experiments execute. The metrics plane only observes: simulated
+// results are identical with it on or off.
 package main
 
 import (
@@ -24,6 +31,8 @@ import (
 	"strings"
 
 	"thymesim/internal/core"
+	"thymesim/internal/metricsplane"
+	"thymesim/internal/metricsplane/monitor"
 	"thymesim/internal/prof"
 	"thymesim/internal/sim"
 )
@@ -41,6 +50,8 @@ func main() {
 		traceSamp  = flag.Int("trace-sample", 1, "trace every Nth line fill in the breakdown sweep")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile (taken after the runs) to this file")
+		serveAddr  = flag.String("serve", "", "serve the live run monitor (/metrics, /healthz, /status) on this address while experiments run")
+		metricsOut = flag.String("metrics-out", "", "write the final metrics snapshot in Prometheus text format to this file (needs -serve)")
 	)
 	flag.Parse()
 
@@ -54,19 +65,42 @@ func main() {
 		log.Fatal(err)
 	}
 
-	rep := &core.Report{Options: opts}
-	run := func(name string, fn func()) {
-		fmt.Fprintf(os.Stderr, "running %s...\n", name)
-		fn()
-	}
-	known := []string{"all", "validation", "resilience", "table1", "fig5", "mcbn",
-		"mcln", "pool", "pool-contention", "dists", "qos", "migration",
-		"interconnect", "prefetch", "recovery", "chaos", "schedule",
-		"breaker-recovery", "breakdown"}
+	known := append([]string{"all"}, core.ExperimentNames()...)
 	if !slices.Contains(known, *experiment) {
 		log.Fatalf("unknown experiment %q (choose one of %s)", *experiment, strings.Join(known, "|"))
 	}
 	want := func(name string) bool { return *experiment == "all" || *experiment == name }
+
+	var plane *metricsplane.Plane
+	if *serveAddr != "" {
+		plane = metricsplane.New()
+		plane.SetSLO(metricsplane.DefaultSLOConfig())
+		plane.SetRun("characterize -experiment " + *experiment)
+		opts.Metrics = plane
+		srv, err := monitor.Serve(*serveAddr, plane)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics: serving /metrics /healthz /status on http://%s\n", srv.Addr())
+		planned := 0
+		for _, e := range core.Experiments() {
+			if want(e.Name) {
+				planned++
+			}
+		}
+		plane.SweepPlanned(planned)
+	} else if *metricsOut != "" {
+		log.Fatal("-metrics-out needs -serve (the metrics plane is off without it)")
+	}
+
+	rep := &core.Report{Options: opts}
+	run := func(name string, fn func()) {
+		fmt.Fprintf(os.Stderr, "running %s...\n", name)
+		plane.SetPhase(name)
+		fn()
+		plane.SweepPointDone()
+	}
 
 	stopCPU, err := prof.Start(*cpuProfile)
 	if err != nil {
@@ -180,5 +214,19 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "CSV written to %s\n", *outDir)
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := metricsplane.WritePrometheus(f, plane.Snapshot()); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics snapshot written to %s\n", *metricsOut)
 	}
 }

@@ -8,6 +8,13 @@
 //	tfsim -workload stream|graph500|redis [-period N] [-placement remote|local]
 //	      [-elements N] [-scale N] [-requests N] [-seed N]
 //	      [-trace FILE] [-trace-sample N] [-telemetry FILE]
+//	      [-serve ADDR] [-metrics-ndjson FILE]
+//
+// With -serve, a live run monitor answers /metrics (Prometheus text),
+// /healthz, /status, /stream, and /events while the workload runs.
+// -metrics-ndjson streams windowed metric deltas (one JSON object per
+// changed series per 10 µs simulated-time window) and applies to the
+// stream/remote telemetry mode, which owns the simulated clock.
 package main
 
 import (
@@ -18,6 +25,8 @@ import (
 	"os"
 
 	"thymesim/internal/core"
+	"thymesim/internal/metricsplane"
+	"thymesim/internal/metricsplane/monitor"
 	"thymesim/internal/obs"
 	"thymesim/internal/sim"
 	"thymesim/internal/telemetry"
@@ -38,6 +47,8 @@ func main() {
 		telem     = flag.String("telemetry", "", "CSV file for time-series telemetry (stream/remote only)")
 		trace     = flag.String("trace", "", "Chrome trace-event JSON file for span tracing (remote only)")
 		traceSamp = flag.Int("trace-sample", 1, "trace every Nth line fill (bounds tracer memory)")
+		serveAddr = flag.String("serve", "", "serve the live run monitor (/metrics, /healthz, /status) on this address while the workload runs")
+		metricsND = flag.String("metrics-ndjson", "", "stream windowed metric deltas as NDJSON to this file (stream/remote telemetry mode only)")
 	)
 	flag.Parse()
 
@@ -70,13 +81,31 @@ func main() {
 	}
 	tcfg := obs.Config{Sample: *traceSamp}
 
+	if *serveAddr != "" || *metricsND != "" {
+		plane := metricsplane.New()
+		plane.SetSLO(metricsplane.DefaultSLOConfig())
+		plane.SetRun(fmt.Sprintf("tfsim -workload %s -placement %s -period %d", *workload, *placement, *period))
+		opts.Metrics = plane
+	}
+	if *serveAddr != "" {
+		srv, err := monitor.Serve(*serveAddr, opts.Metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics: serving /metrics /healthz /status on http://%s\n", srv.Addr())
+	}
+	if *metricsND != "" && (*workload != "stream" || !remote || *telem == "") {
+		log.Fatal("-metrics-ndjson needs the stream/remote telemetry mode (-workload stream -placement remote -telemetry FILE)")
+	}
+
 	switch *workload {
 	case "stream":
 		if *telem != "" {
 			if !remote {
 				log.Fatal("telemetry requires remote placement")
 			}
-			runStreamTelemetry(opts, *period, *telem, *trace, tcfg)
+			runStreamTelemetry(opts, *period, *telem, *trace, *metricsND, tcfg)
 			return
 		}
 		var m core.StreamMeasurement
@@ -170,12 +199,27 @@ func finishTrace(tr *obs.Tracer, path string) {
 // runStreamTelemetry runs STREAM on the remote testbed while sampling the
 // datapath's observables every 10us of simulated time, then writes the
 // series as CSV. With tracePath set, span tracing runs alongside and its
-// per-stage running means join the sampled probes.
-func runStreamTelemetry(opts core.Options, period int64, path, tracePath string, tcfg obs.Config) {
+// per-stage running means join the sampled probes. With ndPath set (and
+// the metrics plane on), windowed metric deltas stream there as NDJSON on
+// the same 10us simulated-time cadence.
+func runStreamTelemetry(opts core.Options, period int64, path, tracePath, ndPath string, tcfg obs.Config) {
 	tb := opts.Testbed(period)
 	var tr *obs.Tracer
 	if tracePath != "" {
 		tr = tb.EnableTracing(tcfg)
+	}
+	var ws *metricsplane.WindowStream
+	if ndPath != "" {
+		nf, err := os.Create(ndPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer nf.Close()
+		ws = opts.Metrics.StreamWindows(tb.K, 10*sim.Microsecond, nf)
+		defer func() {
+			ws.Stop()
+			fmt.Printf("metrics: windowed NDJSON stream -> %s\n", ndPath)
+		}()
 	}
 	h := tb.NewRemoteHierarchy()
 	cfg := stream.DefaultConfig(tb.RemoteAddr(0))

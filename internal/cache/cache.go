@@ -13,6 +13,7 @@ package cache
 import (
 	"fmt"
 
+	"thymesim/internal/metricsplane"
 	"thymesim/internal/ocapi"
 )
 
@@ -80,6 +81,7 @@ type Cache struct {
 	clock    uint64
 	stats    Stats
 	onEvict  func(victimAddr uint64, dirty bool)
+	mx       *metricsplane.CacheMetrics // nil when the metrics plane is disabled
 }
 
 // New builds a cache; invalid configs panic.
@@ -105,6 +107,10 @@ func (c *Cache) Config() Config { return c.cfg }
 
 // Stats returns the event counters.
 func (c *Cache) Stats() Stats { return c.stats }
+
+// SetMetrics attaches the metrics plane's hit/miss/eviction counters
+// (observe-only; nil disables).
+func (c *Cache) SetMetrics(m *metricsplane.CacheMetrics) { c.mx = m }
 
 // Sets returns the number of sets.
 func (c *Cache) Sets() int { return len(c.sets) }
@@ -149,6 +155,7 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 				lines[i].dirty = true
 			}
 			c.stats.Hits++
+			c.mx.Access(true, false, false)
 			return Result{Hit: true}
 		}
 	}
@@ -178,6 +185,7 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 		}
 	}
 	lines[victim] = line{tag: tag, valid: true, dirty: write, lru: c.clock}
+	c.mx.Access(false, res.Evicted, res.Writeback)
 	return res
 }
 

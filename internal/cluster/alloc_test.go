@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"thymesim/internal/memport"
+	"thymesim/internal/metricsplane"
 	"thymesim/internal/ocapi"
 	"thymesim/internal/sim"
 	"thymesim/internal/tfnic"
@@ -49,6 +50,13 @@ func TestRemoteFillSteadyStateAllocs(t *testing.T) {
 			arq := tfnic.DefaultARQConfig()
 			c.ARQ = &arq
 			c.FillDeadline = 10 * sim.Millisecond
+			return c
+		}()},
+		{"metrics", func() Config {
+			// The metrics plane is observe-only: with every instrument
+			// attached the warm fill path must still allocate nothing.
+			c := DefaultConfig(1)
+			c.Metrics = metricsplane.New()
 			return c
 		}()},
 	}

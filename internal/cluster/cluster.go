@@ -13,6 +13,7 @@ import (
 	"thymesim/internal/dram"
 	"thymesim/internal/inject"
 	"thymesim/internal/memport"
+	"thymesim/internal/metricsplane"
 	"thymesim/internal/netlink"
 	"thymesim/internal/obs"
 	"thymesim/internal/ocapi"
@@ -81,6 +82,11 @@ type Config struct {
 	// Profile sets interconnect wire overheads (zero value = OpenCAPI
 	// over Ethernet).
 	Profile ocapi.Profile
+	// Metrics, when non-nil, threads the labeled metrics plane through
+	// every wired component (NICs, ARQ, backends, DRAM, caches, links,
+	// allocators). The plane only observes: simulated results are
+	// identical with it enabled or disabled.
+	Metrics *metricsplane.Plane
 	// WindowSize is the remote memory reservation size in bytes.
 	WindowSize uint64
 	// LenderDRAM configures the lender's memory subsystem.
@@ -215,6 +221,15 @@ func (tb *Testbed) EnableTracing(cfg obs.Config) *obs.Tracer {
 
 // Tracer returns the span tracer, or nil when tracing is disabled.
 func (tb *Testbed) Tracer() *obs.Tracer { return tb.pool.Tracer() }
+
+// EnableMetrics threads the metrics plane through the testbed's wired
+// components (equivalent to setting Config.Metrics before construction,
+// for callers that build the plane late). Call it before creating
+// hierarchies so their caches pick up counters at construction.
+func (tb *Testbed) EnableMetrics(pl *metricsplane.Plane) { tb.pool.EnableMetrics(pl) }
+
+// Metrics returns the attached metrics plane, or nil when disabled.
+func (tb *Testbed) Metrics() *metricsplane.Plane { return tb.pool.Metrics() }
 
 // RemoteBackend exposes the shared borrower port (diagnostics).
 func (tb *Testbed) RemoteBackend() *memport.RemoteBackend { return tb.backend }

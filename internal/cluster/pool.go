@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"strconv"
 
 	"thymesim/internal/axis"
 	"thymesim/internal/cache"
@@ -9,6 +10,7 @@ import (
 	"thymesim/internal/fabric"
 	"thymesim/internal/inject"
 	"thymesim/internal/memport"
+	"thymesim/internal/metricsplane"
 	"thymesim/internal/netlink"
 	"thymesim/internal/obs"
 	"thymesim/internal/ocapi"
@@ -161,11 +163,15 @@ type Pool struct {
 	// 1×1 pool's point-to-point cable (nil otherwise).
 	Switch *fabric.Switch
 	Link   *netlink.Link
+	// links holds each node's cable to the switch, indexed by port
+	// (empty for the 1×1 pool).
+	links []*netlink.Link
 
 	policy    pool.Policy
 	regionsOn []int // live regions per lender, for placement views
 
 	tracer *obs.Tracer
+	plane  *metricsplane.Plane
 }
 
 // NewPool wires the node-graph. The 1×1 pool reproduces the two-node
@@ -222,6 +228,7 @@ func NewPool(cfg PoolConfig) *Pool {
 		b.finishWiring()
 		p.Borrowers = append(p.Borrowers, b)
 		p.Lenders = append(p.Lenders, p.newLender(LenderID, 0, lNIC, lMem))
+		p.EnableMetrics(base.Metrics)
 		return p
 	}
 
@@ -240,7 +247,7 @@ func NewPool(cfg PoolConfig) *Pool {
 		b := &BorrowerNode{p: p, ID: i, gate: gateFor(i)}
 		b.Mem = dram.New(k, base.BorrowerDRAM)
 		b.NIC = tfnic.New(k, nicCfg(i, 1), b.gate, nil)
-		p.Switch.AttachNIC(i, fabric.NICPorts{TxQ: b.NIC.TxQ, RxQ: b.NIC.RxQ})
+		p.links = append(p.links, p.Switch.AttachNIC(i, fabric.NICPorts{TxQ: b.NIC.TxQ, RxQ: b.NIC.RxQ}))
 		b.finishWiring()
 		p.Borrowers = append(p.Borrowers, b)
 	}
@@ -250,9 +257,10 @@ func NewPool(cfg PoolConfig) *Pool {
 		// The lender's response queue must absorb every borrower's
 		// outstanding tags at once, so depth scales with borrower count.
 		nic := tfnic.New(k, nicCfg(id, cfg.Borrowers), nil, mem)
-		p.Switch.AttachNIC(id, fabric.NICPorts{TxQ: nic.TxQ, RxQ: nic.RxQ})
+		p.links = append(p.links, p.Switch.AttachNIC(id, fabric.NICPorts{TxQ: nic.TxQ, RxQ: nic.RxQ}))
 		p.Lenders = append(p.Lenders, p.newLender(id, l, nic, mem))
 	}
+	p.EnableMetrics(base.Metrics)
 	return p
 }
 
@@ -442,11 +450,86 @@ func (p *Pool) EnableTracing(cfg obs.Config) *obs.Tracer {
 	for _, l := range p.Lenders {
 		l.NIC.SetTracer(p.tracer)
 	}
+	p.wireStageRollups()
 	return p.tracer
 }
 
 // Tracer returns the span tracer, or nil when tracing is disabled.
 func (p *Pool) Tracer() *obs.Tracer { return p.tracer }
+
+// EnableMetrics threads the metrics plane through every wired component:
+// per-node NIC/ARQ/DRAM instruments, per-backend fill latency histograms,
+// per-lender allocator gauges, per-cable link counters, and the switch's
+// per-port queue gauges. Like tracing, the plane only observes — simulated
+// results are identical with it on or off. nil is a no-op, so NewPool can
+// call it unconditionally.
+func (p *Pool) EnableMetrics(pl *metricsplane.Plane) {
+	if pl == nil {
+		return
+	}
+	if p.plane != nil {
+		panic("cluster: metrics already enabled")
+	}
+	p.plane = pl
+	for _, b := range p.Borrowers {
+		b.NIC.SetMetrics(pl.NICMetricsFor(b.ID))
+		b.Mem.SetMetrics(pl.DRAMMetricsFor(b.ID))
+		if b.ARQ != nil {
+			b.ARQ.SetMetrics(pl.ARQMetricsFor(b.ID))
+		}
+		for i, be := range b.backends {
+			be.SetMetrics(pl.FillMetricsFor(b.ID, backendTenant(i)))
+		}
+	}
+	for _, l := range p.Lenders {
+		l.NIC.SetMetrics(pl.NICMetricsFor(l.ID))
+		l.Mem.SetMetrics(pl.DRAMMetricsFor(l.ID))
+		l.Alloc.SetMetrics(pl.AllocMetricsFor(l.Index))
+	}
+	if p.Link != nil {
+		// The 1×1 pool's point-to-point cable: link 0 is each node's
+		// transmit direction.
+		p.Link.AtoB.SetMetrics(pl.LinkMetricsFor(BorrowerID, 0))
+		p.Link.BtoA.SetMetrics(pl.LinkMetricsFor(LenderID, 0))
+	}
+	for port, ln := range p.links {
+		// Node-to-switch cables: link 0 = toward the switch, 1 = from it.
+		ln.AtoB.SetMetrics(pl.LinkMetricsFor(port, 0))
+		ln.BtoA.SetMetrics(pl.LinkMetricsFor(port, 1))
+	}
+	if p.Switch != nil {
+		ports := make([]*metricsplane.SwitchPortMetrics, p.Switch.Ports())
+		for i := range ports {
+			ports[i] = pl.SwitchPortMetricsFor(i)
+		}
+		p.Switch.SetMetrics(ports, pl.SwitchDropCounter())
+	}
+	p.wireStageRollups()
+}
+
+// Metrics returns the attached metrics plane, or nil when disabled.
+func (p *Pool) Metrics() *metricsplane.Plane { return p.plane }
+
+// wireStageRollups connects the tracer's per-stage completions to the
+// plane's stage-time counters. It is a no-op until both tracing and
+// metrics are enabled, and is called from each enabler so order does not
+// matter.
+func (p *Pool) wireStageRollups() {
+	if p.tracer == nil || p.plane == nil {
+		return
+	}
+	p.tracer.SetStageObserver(p.plane.StageObserver(metricsplane.Unset, obs.StageNames()))
+}
+
+// backendTenant labels a borrower's i-th port backend: the shared port is
+// the node's unlabeled tenant (it feeds the SLO tracker); later backends —
+// one per dedicated hierarchy — carry their creation index.
+func backendTenant(i int) string {
+	if i == 0 {
+		return ""
+	}
+	return "be" + strconv.Itoa(i)
+}
 
 // CrashLender stops lender l's memory service (inject.FaultTarget
 // semantics: requests black-holed, in-flight serves lost).
@@ -477,6 +560,9 @@ func (b *BorrowerNode) newBackend() *memport.RemoteBackend {
 	}
 	if b.p.tracer != nil {
 		be.SetTracer(b.p.tracer)
+	}
+	if b.p.plane != nil {
+		be.SetMetrics(b.p.plane.FillMetricsFor(b.ID, backendTenant(len(b.backends))))
 	}
 	b.backends = append(b.backends, be)
 	return be
@@ -576,9 +662,19 @@ func (b *BorrowerNode) ProbeLender(lender *LenderNode, deadline sim.Duration, do
 // node's NIC and tag space — the MCBN contention mechanism.
 func (b *BorrowerNode) NewRemoteHierarchy() *memport.Hierarchy {
 	cfg := b.p.cfg.Base
-	h := memport.NewHierarchy(b.p.K, cache.New(cfg.LLC), b.backend, cfg.MSHRs)
+	h := memport.NewHierarchy(b.p.K, b.newLLC(), b.backend, cfg.MSHRs)
 	h.SetTracer(b.p.tracer)
 	return h
+}
+
+// newLLC builds a hierarchy's cache, attaching the metrics plane's
+// hit/miss counters when enabled.
+func (b *BorrowerNode) newLLC() *cache.Cache {
+	c := cache.New(b.p.cfg.Base.LLC)
+	if b.p.plane != nil {
+		c.SetMetrics(b.p.plane.CacheMetricsFor(b.ID))
+	}
+	return c
 }
 
 // NewRemoteHierarchyPrio is NewRemoteHierarchy with a dedicated backend
@@ -587,7 +683,7 @@ func (b *BorrowerNode) NewRemoteHierarchyPrio(prio uint8) *memport.Hierarchy {
 	cfg := b.p.cfg.Base
 	be := b.newBackend()
 	be.SetPriority(prio)
-	h := memport.NewHierarchy(b.p.K, cache.New(cfg.LLC), be, cfg.MSHRs)
+	h := memport.NewHierarchy(b.p.K, b.newLLC(), be, cfg.MSHRs)
 	h.SetTracer(b.p.tracer)
 	return h
 }
@@ -599,7 +695,7 @@ func (b *BorrowerNode) NewLocalHierarchy() *memport.Hierarchy {
 	if b.p.tracer != nil {
 		backend.SetTracer(b.p.tracer)
 	}
-	h := memport.NewHierarchy(b.p.K, cache.New(cfg.LLC), backend, cfg.MSHRs)
+	h := memport.NewHierarchy(b.p.K, b.newLLC(), backend, cfg.MSHRs)
 	h.SetTracer(b.p.tracer)
 	return h
 }
@@ -612,7 +708,11 @@ func (p *Pool) NewLenderLocalHierarchy(l int) *memport.Hierarchy {
 	if p.tracer != nil {
 		backend.SetTracer(p.tracer)
 	}
-	h := memport.NewHierarchy(p.K, cache.New(cfg.LLC), backend, cfg.MSHRs)
+	c := cache.New(cfg.LLC)
+	if p.plane != nil {
+		c.SetMetrics(p.plane.CacheMetricsFor(p.Lenders[l].ID))
+	}
+	h := memport.NewHierarchy(p.K, c, backend, cfg.MSHRs)
 	h.SetTracer(p.tracer)
 	return h
 }

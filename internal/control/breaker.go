@@ -11,6 +11,7 @@ package control
 import (
 	"fmt"
 
+	"thymesim/internal/metricsplane"
 	"thymesim/internal/sim"
 )
 
@@ -172,6 +173,8 @@ type Breaker struct {
 
 	// OnStateChange, when set, observes every transition.
 	OnStateChange func(from, to BreakerState)
+
+	mx *metricsplane.BreakerMetrics // nil when the metrics plane is disabled
 }
 
 // NewBreaker builds a breaker in the Closed state. Invalid configurations
@@ -187,6 +190,11 @@ func NewBreaker(k *sim.Kernel, cfg BreakerConfig) (*Breaker, error) {
 		dwell:  cfg.OpenTimeout,
 	}, nil
 }
+
+// SetMetrics attaches the metrics plane's breaker bundle (state gauge
+// plus transition/short-circuit counters). Observe-only; composes with
+// OnStateChange rather than occupying it.
+func (b *Breaker) SetMetrics(m *metricsplane.BreakerMetrics) { b.mx = m }
 
 // State returns the current breaker state.
 func (b *Breaker) State() BreakerState { return b.state }
@@ -220,6 +228,7 @@ func (b *Breaker) Allow() bool {
 		}
 	}
 	b.stats.ShortCircuited++
+	b.mx.ShortCircuit()
 	return false
 }
 
@@ -318,6 +327,7 @@ func (b *Breaker) transition(to BreakerState) {
 	}
 	b.state = to
 	b.transitions = append(b.transitions, BreakerTransition{At: b.k.Now(), From: from, To: to})
+	b.mx.Transition(int(from), int(to), b.k.Now().Micros())
 	if b.OnStateChange != nil {
 		b.OnStateChange(from, to)
 	}

@@ -335,6 +335,9 @@ func (o Options) runChaosWorkload(cfg ChaosConfig, name string) ChaosResult {
 	if !cfg.Faults.Enabled() && (res.Poisoned != 0 || st.Retransmits != 0 || st.Dead != 0) {
 		viol("fault-free run saw recovery activity: %d retransmits, %d poisoned", st.Retransmits, res.Poisoned)
 	}
+	if len(res.Violations) > 0 {
+		o.Metrics.DumpOnAuditFailure("chaos-"+name, res.Violations)
+	}
 	return res
 }
 
@@ -459,6 +462,9 @@ func (o Options) RunDegradedFailover() *DegradedFailover {
 
 	mig := migrate.New(tb.K, tb.RemoteBackend(), memport.NewDRAMBackend(tb.BorrowerMem),
 		migrate.DefaultConfig(0x40_0000_0000))
+	if o.Metrics != nil {
+		mig.SetMetrics(o.Metrics.MigrateMetricsFor(cluster.BorrowerID))
+	}
 	res := &DegradedFailover{}
 	sup.OnStateChange = func(_, to control.LinkState) {
 		if to == control.LinkDead {

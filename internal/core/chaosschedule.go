@@ -228,6 +228,10 @@ func (o Options) runChaosSchedule(cfg ChaosScheduleConfig) (*ChaosScheduleResult
 	mig := migrate.New(tb.K, tb.RemoteBackend(), memport.NewDRAMBackend(tb.BorrowerMem),
 		migrate.DefaultConfig(0x40_0000_0000))
 	mig.SetRemoteGate(brk)
+	if o.Metrics != nil {
+		brk.SetMetrics(o.Metrics.BreakerMetricsFor(cluster.BorrowerID))
+		mig.SetMetrics(o.Metrics.MigrateMetricsFor(cluster.BorrowerID))
+	}
 	sup.OnStateChange = func(_, to control.LinkState) {
 		if to == control.LinkDead {
 			mig.Degrade()
@@ -336,6 +340,9 @@ func (o Options) runChaosSchedule(cfg ChaosScheduleConfig) (*ChaosScheduleResult
 	res.Samples = sampler.Samples()
 
 	o.auditChaosSchedule(cfg, tb, brk, res)
+	if len(res.Violations) > 0 {
+		o.Metrics.DumpOnAuditFailure("chaos-schedule", res.Violations)
+	}
 	return res, nil
 }
 

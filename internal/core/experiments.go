@@ -1,0 +1,46 @@
+package core
+
+// Experiment is one named characterize experiment: the -experiment flag
+// value and a one-line summary.
+type Experiment struct {
+	Name    string
+	Summary string
+}
+
+// Experiments is the single source of truth for the experiment list the
+// characterize command accepts, in run order under -experiment all. The
+// command's flag validation, its usage string, and README's experiment
+// table are all tested against this list — edit it here and the tests
+// point at every place that must follow.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"validation", "delay-injection validation sweep (Figs. 2-3)"},
+		{"resilience", "extreme-delay resilience (Fig. 4)"},
+		{"table1", "local vs remote workload comparison (Table I)"},
+		{"fig5", "application impact across PERIOD (Fig. 5)"},
+		{"mcbn", "multiple clients at the borrower node (Fig. 6)"},
+		{"mcln", "contending applications at the lender node (Fig. 7)"},
+		{"pool", "CPU-less memory-pool ablation (§V)"},
+		{"pool-contention", "rack-scale pool contention (N borrowers × M lenders)"},
+		{"dists", "distribution-based delay injection (§VII)"},
+		{"qos", "QoS packet prioritization"},
+		{"migration", "hot-page migration to local memory"},
+		{"interconnect", "interconnect profile comparison (§V)"},
+		{"prefetch", "prefetch ablation"},
+		{"recovery", "link-fault recovery sweep"},
+		{"chaos", "randomized fault-injection campaign"},
+		{"schedule", "scheduled lender-fault campaign (crash/wipe/burst/brownout)"},
+		{"breaker-recovery", "breaker recovery sweep (outage length vs re-close time)"},
+		{"breakdown", "per-stage latency breakdown (Table I decomposition)"},
+	}
+}
+
+// ExperimentNames returns the experiment names in run order.
+func ExperimentNames() []string {
+	exps := Experiments()
+	names := make([]string, len(exps))
+	for i, e := range exps {
+		names[i] = e.Name
+	}
+	return names
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// The experiment list lives in exactly one place (Experiments()); the
+// characterize usage string and README's experiment table are derived
+// views. These tests fail with a pointer to whichever copy drifted.
+
+func TestExperimentNamesUniqueAndNonEmpty(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Experiments() {
+		if e.Name == "" || e.Summary == "" {
+			t.Fatalf("experiment %+v has an empty field", e)
+		}
+		if e.Name != strings.ToLower(e.Name) || strings.ContainsAny(e.Name, " |") {
+			t.Fatalf("experiment name %q is not a clean flag value", e.Name)
+		}
+		if seen[e.Name] {
+			t.Fatalf("duplicate experiment %q", e.Name)
+		}
+		seen[e.Name] = true
+	}
+}
+
+func TestREADMEExperimentTableMatches(t *testing.T) {
+	data, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const begin, end = "<!-- experiments:begin", "<!-- experiments:end -->"
+	text := string(data)
+	i := strings.Index(text, begin)
+	j := strings.Index(text, end)
+	if i < 0 || j < i {
+		t.Fatalf("README.md missing the %q / %q experiment-table markers", begin, end)
+	}
+	var rows [][2]string
+	for _, line := range strings.Split(text[i:j], "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "| `") {
+			continue // header, separator, markers
+		}
+		cells := strings.Split(strings.Trim(line, "|"), "|")
+		if len(cells) != 2 {
+			t.Fatalf("README experiment row %q does not have 2 cells", line)
+		}
+		name := strings.Trim(strings.TrimSpace(cells[0]), "`")
+		if name == "-experiment" {
+			continue // table header
+		}
+		rows = append(rows, [2]string{name, strings.TrimSpace(cells[1])})
+	}
+	exps := Experiments()
+	if len(rows) != len(exps) {
+		t.Fatalf("README table has %d experiments, core.Experiments() has %d — regenerate the table", len(rows), len(exps))
+	}
+	for k, e := range exps {
+		if rows[k][0] != e.Name || rows[k][1] != e.Summary {
+			t.Errorf("README row %d = %q / %q, want %q / %q", k, rows[k][0], rows[k][1], e.Name, e.Summary)
+		}
+	}
+}
+
+func TestCharacterizeUsageListsAllExperiments(t *testing.T) {
+	data, err := os.ReadFile("../../cmd/characterize/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "all|" + strings.Join(ExperimentNames(), "|")
+	if !strings.Contains(string(data), want) {
+		t.Fatalf("cmd/characterize/main.go usage does not list %q — update the doc comment", want)
+	}
+}

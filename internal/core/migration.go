@@ -2,6 +2,7 @@ package core
 
 import (
 	"thymesim/internal/cache"
+	"thymesim/internal/cluster"
 	"thymesim/internal/memport"
 	"thymesim/internal/metrics"
 	"thymesim/internal/migrate"
@@ -37,6 +38,9 @@ func (o Options) RunMigration(period int64) *MigrationResult {
 		var mig *migrate.Migrator
 		if withMigration {
 			mig = migrate.New(tb.K, backend, memport.NewDRAMBackend(tb.BorrowerMem), migrate.DefaultConfig(0x40_0000_0000))
+			if o.Metrics != nil {
+				mig.SetMetrics(o.Metrics.MigrateMetricsFor(cluster.BorrowerID))
+			}
 			backend = mig
 		}
 		h := memport.NewHierarchy(tb.K, cache.New(tb.Config().LLC), backend, tb.Config().MSHRs)

@@ -12,6 +12,7 @@ import (
 
 	"thymesim/internal/cluster"
 	"thymesim/internal/dram"
+	"thymesim/internal/metricsplane"
 )
 
 // Options scales the experiments. Defaults run the full suite in seconds
@@ -42,6 +43,11 @@ type Options struct {
 	// randomness from Seed, so the worker count changes wall clock only:
 	// results are byte-identical at any setting.
 	Workers int
+	// Metrics, when non-nil, attaches the labeled metrics plane to every
+	// testbed and pool the runners build. The plane is shared across
+	// sweep points (instruments with equal labels merge), and it only
+	// observes: simulated results are identical with it on or off.
+	Metrics *metricsplane.Plane
 }
 
 // Default returns the scaled-down experiment sizes.
@@ -111,6 +117,7 @@ func (o Options) TestbedConfig(period int64) cluster.Config {
 	cfg := cluster.DefaultConfig(period)
 	cfg.LLC.SizeBytes = o.LLCBytes
 	cfg.LLC.Ways = o.LLCWays
+	cfg.Metrics = o.Metrics
 	return cfg
 }
 

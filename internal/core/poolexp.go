@@ -301,5 +301,8 @@ func (o Options) RunPoolChaos(cfg PoolChaosConfig) *PoolChaos {
 	if p.Switch != nil && p.Switch.Dropped() != 0 {
 		viol("switch dropped %d beats", p.Switch.Dropped())
 	}
+	if len(res.Violations) > 0 {
+		o.Metrics.DumpOnAuditFailure("pool-chaos", res.Violations)
+	}
 	return res
 }

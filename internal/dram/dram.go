@@ -10,6 +10,7 @@ package dram
 import (
 	"fmt"
 
+	"thymesim/internal/metricsplane"
 	"thymesim/internal/obs"
 	"thymesim/internal/ocapi"
 	"thymesim/internal/sim"
@@ -81,6 +82,7 @@ type DRAM struct {
 	reads  uint64
 	writes uint64
 	bytes  uint64
+	mx     *metricsplane.DRAMMetrics // nil when the metrics plane is disabled
 	// free is an intrusive free list of staged access contexts; a
 	// warmed-up DRAM serves requests without allocating.
 	free *accessCtx
@@ -117,6 +119,9 @@ func (c *accessCtx) Handle(stage uint64) {
 			d.reads++
 		}
 		d.bytes += uint64(c.bytes)
+		if d.mx != nil {
+			d.mx.Access(c.write, uint64(c.bytes), d.Utilization())
+		}
 		ch, h, arg := c.ch, c.h, c.arg
 		c.tr, c.h = nil, nil
 		c.next = d.free
@@ -148,6 +153,10 @@ func New(k *sim.Kernel, cfg Config) *DRAM {
 
 // Config returns the active configuration.
 func (d *DRAM) Config() Config { return d.cfg }
+
+// SetMetrics attaches the metrics plane's per-device access counters and
+// utilization gauge (observe-only; nil disables).
+func (d *DRAM) SetMetrics(m *metricsplane.DRAMMetrics) { d.mx = m }
 
 // SetSlowdown sets the service-time inflation factor (brownout injection):
 // device access latency and bus burst time both scale by it. factor must
@@ -221,6 +230,9 @@ func (d *DRAM) AccessSpan(addr uint64, bytes int, write bool, tr *obs.Tracer, sp
 					d.reads++
 				}
 				d.bytes += uint64(bytes)
+				if d.mx != nil {
+					d.mx.Access(write, uint64(bytes), d.Utilization())
+				}
 				ch.slots.Release()
 				if done != nil {
 					done()

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"thymesim/internal/axis"
+	"thymesim/internal/metricsplane"
 	"thymesim/internal/netlink"
 	"thymesim/internal/ocapi"
 	"thymesim/internal/sim"
@@ -86,6 +87,11 @@ type Switch struct {
 	kicks    []func()
 	waiting  [][]bool
 	attached []bool
+
+	// mx holds per-output-port metric bundles; mxDropped the switch-wide
+	// drop counter. Both nil when the metrics plane is disabled.
+	mx        []*metricsplane.SwitchPortMetrics
+	mxDropped *metricsplane.Counter
 }
 
 // NewSwitch builds the switch and its port FIFOs; devices are attached by
@@ -148,6 +154,7 @@ func (s *Switch) forwardLoop(port int, in *axis.FIFO, outs []*axis.FIFO) {
 			if dst < 0 || dst >= len(outs) {
 				in.Pop()
 				s.dropped++
+				s.mxDropped.Inc()
 				continue
 			}
 			out := outs[dst]
@@ -163,6 +170,9 @@ func (s *Switch) forwardLoop(port int, in *axis.FIFO, outs []*axis.FIFO) {
 				out.Push(b)
 				if out.Len() > s.peakOcc[dst] {
 					s.peakOcc[dst] = out.Len()
+				}
+				if s.mx != nil {
+					s.mx[dst].Forwarded(out.Len(), s.peakOcc[dst])
 				}
 			})
 		}
@@ -187,6 +197,20 @@ func (s *Switch) dstOf(b axis.Beat) int {
 
 // Forwarded returns the number of beats switched.
 func (s *Switch) Forwarded() uint64 { return s.forwarded }
+
+// Ports returns the number of switch ports.
+func (s *Switch) Ports() int { return s.cfg.Ports }
+
+// SetMetrics attaches per-output-port forward/queue-depth instruments
+// and the switch-wide drop counter (observe-only; empty slice or nil
+// disables).
+func (s *Switch) SetMetrics(ports []*metricsplane.SwitchPortMetrics, dropped *metricsplane.Counter) {
+	if len(ports) != 0 && len(ports) != s.cfg.Ports {
+		panic("fabric: SetMetrics port bundle count mismatch")
+	}
+	s.mx = ports
+	s.mxDropped = dropped
+}
 
 // Dropped returns the number of unroutable beats discarded.
 func (s *Switch) Dropped() uint64 { return s.dropped }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"thymesim/internal/dram"
+	"thymesim/internal/metricsplane"
 	"thymesim/internal/obs"
 	"thymesim/internal/ocapi"
 	"thymesim/internal/sim"
@@ -87,7 +88,8 @@ type RemoteBackend struct {
 	expiredUnsent uint64 // expired before ever entering the NIC
 	lateResponses uint64 // responses that arrived after their deadline
 
-	tracer *obs.Tracer // nil when tracing is disabled
+	tracer *obs.Tracer               // nil when tracing is disabled
+	mx     *metricsplane.FillMetrics // nil when the metrics plane is disabled
 }
 
 // tagNone marks a transaction that holds no tag yet (still crossing the
@@ -133,6 +135,7 @@ func (t *rtxn) Handle(stage uint64) {
 			// Deadline fired while the command was still crossing the
 			// CPU→NIC hop; the completion already ran. Drop it here.
 			b.expiredUnsent++
+			b.mx.FillExpiredUnsent(b.k.Now().Micros())
 			b.recycle(t)
 			return
 		}
@@ -159,6 +162,10 @@ func (t *rtxn) Handle(stage uint64) {
 		b.reads++
 	}
 	ok := !t.poisonedResp
+	if b.mx != nil {
+		now := b.k.Now()
+		b.mx.FillDone(now.Sub(t.issued).Micros(), t.op == ocapi.OpWriteBlock, t.poisonedResp, now.Micros())
+	}
 	done, h, arg := t.done, t.h, t.arg
 	b.recycle(t)
 	b.tagsRelease(tag)
@@ -220,6 +227,7 @@ func (b *RemoteBackend) expire(t *rtxn) {
 	} else {
 		b.reads++
 	}
+	b.mx.FillExpired(t.op == ocapi.OpWriteBlock, b.k.Now().Micros())
 	done, h, arg := t.done, t.h, t.arg
 	t.done, t.h = nil, nil
 	if t.tag == tagNone {
@@ -231,6 +239,7 @@ func (b *RemoteBackend) expire(t *rtxn) {
 				b.sendQ[len(b.sendQ)-1] = nil
 				b.sendQ = b.sendQ[:len(b.sendQ)-1]
 				b.expiredUnsent++
+				b.mx.FillExpiredUnsent(b.k.Now().Micros())
 				b.recycle(t)
 				break
 			}
@@ -290,6 +299,11 @@ func NewRemoteBackendTags(k *sim.Kernel, nic Sender, tagBase uint32, tagSpace in
 // is stamped into outgoing packets so the NIC layers downstream can keep
 // attributing.
 func (b *RemoteBackend) SetTracer(tr *obs.Tracer) { b.tracer = tr }
+
+// SetMetrics attaches the metrics plane's remote-fill bundle: latency
+// histogram plus poisoned/expiry counters. A nil bundle (plane
+// disabled) keeps the datapath on its zero-overhead fast path.
+func (b *RemoteBackend) SetMetrics(m *metricsplane.FillMetrics) { b.mx = m }
 
 // SetDeadline bounds every subsequently issued transaction end to end:
 // a transaction that has not delivered its response within d completes
@@ -457,6 +471,7 @@ func (b *RemoteBackend) Deliver(p ocapi.Packet) {
 		// Already completed poisoned at its deadline; the straggler is
 		// consumed silently (Handle(1) settles the tag and context).
 		b.lateResponses++
+		b.mx.FillLate(b.k.Now().Micros())
 	} else {
 		t.poisonedResp = p.Poison || p.Op == ocapi.OpNack
 		if t.poisonedResp {

@@ -1,0 +1,429 @@
+package metricsplane
+
+// Instrument bundles: typed groups of pre-resolved metric handles that
+// datapath components hold as possibly-nil pointers. Every observe
+// method is nil-receiver safe, allocation-free, and touches only
+// atomics, so the disabled path costs one pointer test and the enabled
+// path never perturbs simulated results.
+
+// FillMetrics instruments one borrower's remote-fill port (memport):
+// end-to-end fill latency plus poisoned / deadline-expiry accounting.
+type FillMetrics struct {
+	node     int
+	latency  *Histogram
+	reads    *Counter
+	writes   *Counter
+	poisoned *Counter
+	expired  *Counter
+	unsent   *Counter
+	late     *Counter
+	rec      *FlightRecorder
+}
+
+// FillDone records a completed (non-expired) fill.
+func (m *FillMetrics) FillDone(latencyUs float64, write, poisoned bool, nowUs float64) {
+	if m == nil {
+		return
+	}
+	m.latency.Observe(latencyUs)
+	if write {
+		m.writes.Inc()
+	} else {
+		m.reads.Inc()
+	}
+	if poisoned {
+		m.poisoned.Inc()
+		m.rec.Record(nowUs, m.node, EvFillPoisoned, 0)
+	}
+}
+
+// FillExpired records a deadline expiry (always also poisoned).
+func (m *FillMetrics) FillExpired(write bool, nowUs float64) {
+	if m == nil {
+		return
+	}
+	if write {
+		m.writes.Inc()
+	} else {
+		m.reads.Inc()
+	}
+	m.expired.Inc()
+	m.poisoned.Inc()
+	m.rec.Record(nowUs, m.node, EvFillExpired, 0)
+}
+
+// FillExpiredUnsent records a queued send withdrawn at expiry.
+func (m *FillMetrics) FillExpiredUnsent(nowUs float64) {
+	if m == nil {
+		return
+	}
+	m.unsent.Inc()
+	m.rec.Record(nowUs, m.node, EvFillExpiredUnsent, 0)
+}
+
+// FillLate records a straggler response for an already-expired fill.
+func (m *FillMetrics) FillLate(nowUs float64) {
+	if m == nil {
+		return
+	}
+	m.late.Inc()
+	m.rec.Record(nowUs, m.node, EvFillLate, 0)
+}
+
+// ARQMetrics instruments one borrower NIC's ARQ engine (tfnic).
+type ARQMetrics struct {
+	node        int
+	tracked     *Counter
+	completed   *Counter
+	retransmits *Counter
+	nackRetries *Counter
+	timeouts    *Counter
+	dead        *Counter
+	staleDrops  *Counter
+	corrupt     *Counter
+	rec         *FlightRecorder
+}
+
+// Tracked records a transaction entering ARQ tracking.
+func (m *ARQMetrics) Tracked() {
+	if m != nil {
+		m.tracked.Inc()
+	}
+}
+
+// Completed records a transaction acknowledged and released.
+func (m *ARQMetrics) Completed() {
+	if m != nil {
+		m.completed.Inc()
+	}
+}
+
+// Timeout records a retransmit-timer expiry.
+func (m *ARQMetrics) Timeout() {
+	if m != nil {
+		m.timeouts.Inc()
+	}
+}
+
+// NackRetry records a nack-triggered retry.
+func (m *ARQMetrics) NackRetry() {
+	if m != nil {
+		m.nackRetries.Inc()
+	}
+}
+
+// StaleDrop records a response dropped for a stale sequence/tag.
+func (m *ARQMetrics) StaleDrop() {
+	if m != nil {
+		m.staleDrops.Inc()
+	}
+}
+
+// Retransmit records a retransmission (recorded event: seq in Detail).
+func (m *ARQMetrics) Retransmit(seq uint64, nowUs float64) {
+	if m == nil {
+		return
+	}
+	m.retransmits.Inc()
+	m.rec.Record(nowUs, m.node, EvARQRetransmit, seq)
+}
+
+// Dead records a transaction exhausting its retry budget.
+func (m *ARQMetrics) Dead(seq uint64, nowUs float64) {
+	if m == nil {
+		return
+	}
+	m.dead.Inc()
+	m.rec.Record(nowUs, m.node, EvARQDead, seq)
+}
+
+// CorruptResp records a response dropped for CRC corruption.
+func (m *ARQMetrics) CorruptResp(nowUs float64) {
+	if m == nil {
+		return
+	}
+	m.corrupt.Inc()
+	m.rec.Record(nowUs, m.node, EvARQCorrupt, 0)
+}
+
+// NICMetrics instruments one NIC's packet plane (tfnic), borrower or
+// lender side.
+type NICMetrics struct {
+	node               int
+	requestsSent       *Counter
+	responsesSent      *Counter
+	requestsServed     *Counter
+	responsesDelivered *Counter
+	probesServed       *Counter
+	translationFaults  *Counter
+	nacksSent          *Counter
+	crashDrops         *Counter
+	servesLost         *Counter
+	wipeNacks          *Counter
+	rec                *FlightRecorder
+}
+
+// RequestSent counts an egress request put on the wire.
+func (m *NICMetrics) RequestSent() {
+	if m != nil {
+		m.requestsSent.Inc()
+	}
+}
+
+// ResponseSent counts an egress response.
+func (m *NICMetrics) ResponseSent() {
+	if m != nil {
+		m.responsesSent.Inc()
+	}
+}
+
+// RequestServed counts a lender-side DRAM serve completion.
+func (m *NICMetrics) RequestServed() {
+	if m != nil {
+		m.requestsServed.Inc()
+	}
+}
+
+// ResponseDelivered counts an ingress response handed to the port.
+func (m *NICMetrics) ResponseDelivered() {
+	if m != nil {
+		m.responsesDelivered.Inc()
+	}
+}
+
+// ProbeServed counts an OpProbe answered.
+func (m *NICMetrics) ProbeServed() {
+	if m != nil {
+		m.probesServed.Inc()
+	}
+}
+
+// TranslationFault counts an egress address-translation miss.
+func (m *NICMetrics) TranslationFault() {
+	if m != nil {
+		m.translationFaults.Inc()
+	}
+}
+
+// NackSent counts a nack response.
+func (m *NICMetrics) NackSent() {
+	if m != nil {
+		m.nacksSent.Inc()
+	}
+}
+
+// CrashDrop counts a packet black-holed by a crashed NIC.
+func (m *NICMetrics) CrashDrop(nowUs float64) {
+	if m == nil {
+		return
+	}
+	m.crashDrops.Inc()
+	m.rec.Record(nowUs, m.node, EvNICCrashDrop, 0)
+}
+
+// ServeLost counts an in-flight serve lost to a crash epoch.
+func (m *NICMetrics) ServeLost(nowUs float64) {
+	if m == nil {
+		return
+	}
+	m.servesLost.Inc()
+	m.rec.Record(nowUs, m.node, EvNICServeLost, 0)
+}
+
+// WipeNack counts a block op nacked by a wiped window.
+func (m *NICMetrics) WipeNack(nowUs float64) {
+	if m == nil {
+		return
+	}
+	m.wipeNacks.Inc()
+	m.rec.Record(nowUs, m.node, EvNICWipeNack, 0)
+}
+
+// BreakerMetrics instruments one circuit breaker (control).
+type BreakerMetrics struct {
+	node           int
+	state          *Gauge
+	transitions    *Counter
+	trips          *Counter
+	reopens        *Counter
+	closes         *Counter
+	shortCircuited *Counter
+	rec            *FlightRecorder
+}
+
+// Transition records a legal state change. from/to are the numeric
+// breaker states (0 Closed, 1 Open, 2 Half-Open); the recorder Detail
+// packs from<<8|to.
+func (m *BreakerMetrics) Transition(from, to int, nowUs float64) {
+	if m == nil {
+		return
+	}
+	m.state.Set(float64(to))
+	m.transitions.Inc()
+	const closed, open, halfOpen = 0, 1, 2
+	switch {
+	case from == closed && to == open:
+		m.trips.Inc()
+	case from == halfOpen && to == open:
+		m.reopens.Inc()
+	case to == closed:
+		m.closes.Inc()
+	}
+	m.rec.Record(nowUs, m.node, EvBreakerTransition, uint64(from)<<8|uint64(to))
+}
+
+// ShortCircuit records an access fast-failed while open.
+func (m *BreakerMetrics) ShortCircuit() {
+	if m != nil {
+		m.shortCircuited.Inc()
+	}
+}
+
+// AllocMetrics instruments one lender's segment allocator (pool).
+type AllocMetrics struct {
+	capacity      *Gauge
+	allocated     *Gauge
+	freeBytes     *Gauge
+	freeSpans     *Gauge
+	largestFree   *Gauge
+	fragmentation *Gauge
+}
+
+// Update refreshes the allocator gauges after a mutation.
+// Fragmentation is 1 - largestFree/freeBytes (0 when fully coalesced or
+// empty).
+func (m *AllocMetrics) Update(capacity, allocated, freeBytes, largestFree uint64, freeSpans int) {
+	if m == nil {
+		return
+	}
+	m.capacity.Set(float64(capacity))
+	m.allocated.Set(float64(allocated))
+	m.freeBytes.Set(float64(freeBytes))
+	m.freeSpans.Set(float64(freeSpans))
+	m.largestFree.Set(float64(largestFree))
+	frag := 0.0
+	if freeBytes > 0 {
+		frag = 1 - float64(largestFree)/float64(freeBytes)
+	}
+	m.fragmentation.Set(frag)
+}
+
+// LinkMetrics instruments one directed netlink channel.
+type LinkMetrics struct {
+	delivered   *Counter
+	bytes       *Counter
+	utilization *Gauge
+}
+
+// Delivered records one flit delivery and the wire's running
+// utilization.
+func (m *LinkMetrics) Delivered(bytes uint64, utilization float64) {
+	if m == nil {
+		return
+	}
+	m.delivered.Inc()
+	m.bytes.Add(bytes)
+	m.utilization.Set(utilization)
+}
+
+// SwitchPortMetrics instruments one switch output port (fabric).
+type SwitchPortMetrics struct {
+	forwarded *Counter
+	depth     *Gauge
+	peak      *Gauge
+}
+
+// Forwarded records a forward completion with the port's current and
+// peak queue depth.
+func (m *SwitchPortMetrics) Forwarded(depth, peak int) {
+	if m == nil {
+		return
+	}
+	m.forwarded.Inc()
+	m.depth.Set(float64(depth))
+	m.peak.Set(float64(peak))
+}
+
+// DRAMMetrics instruments one DRAM device.
+type DRAMMetrics struct {
+	reads       *Counter
+	writes      *Counter
+	bytes       *Counter
+	utilization *Gauge
+}
+
+// Access records one completed DRAM access.
+func (m *DRAMMetrics) Access(write bool, bytes uint64, utilization float64) {
+	if m == nil {
+		return
+	}
+	if write {
+		m.writes.Inc()
+	} else {
+		m.reads.Inc()
+	}
+	m.bytes.Add(bytes)
+	m.utilization.Set(utilization)
+}
+
+// CacheMetrics instruments one LLC instance (cache).
+type CacheMetrics struct {
+	hits       *Counter
+	misses     *Counter
+	evictions  *Counter
+	writebacks *Counter
+}
+
+// Access records one cache lookup outcome.
+func (m *CacheMetrics) Access(hit, evicted, writeback bool) {
+	if m == nil {
+		return
+	}
+	if hit {
+		m.hits.Inc()
+	} else {
+		m.misses.Inc()
+	}
+	if evicted {
+		m.evictions.Inc()
+	}
+	if writeback {
+		m.writebacks.Inc()
+	}
+}
+
+// MigrateMetrics instruments one page migrator (migrate).
+type MigrateMetrics struct {
+	promotions    *Counter
+	degradedPages *Counter
+	localized     *Counter
+	gateLocalized *Counter
+}
+
+// Promotion counts a page promoted to local memory.
+func (m *MigrateMetrics) Promotion() {
+	if m != nil {
+		m.promotions.Inc()
+	}
+}
+
+// Degraded counts pages force-localized by Degrade/DegradeRange.
+func (m *MigrateMetrics) Degraded(pages uint64) {
+	if m != nil {
+		m.degradedPages.Add(pages)
+	}
+}
+
+// Localized counts an access served locally post-migration.
+func (m *MigrateMetrics) Localized() {
+	if m != nil {
+		m.localized.Inc()
+	}
+}
+
+// GateLocalized counts an access localized by the admission gate.
+func (m *MigrateMetrics) GateLocalized() {
+	if m != nil {
+		m.gateLocalized.Inc()
+	}
+}

@@ -1,0 +1,135 @@
+package monitor
+
+// This file's tests exist for the race detector as much as for their
+// assertions: a -j 8 pool sweep writes every instrument kind through one
+// shared plane while the exposition endpoint scrapes mid-run, which is
+// exactly the concurrency the live monitor sees in production. Run with
+// `go test -race ./internal/metricsplane/...`.
+
+import (
+	"io"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"thymesim/internal/core"
+	"thymesim/internal/metricsplane"
+)
+
+func TestConcurrentSweepWithLiveScrapes(t *testing.T) {
+	plane := metricsplane.New()
+	plane.SetRun("race test")
+	srv := httptest.NewServer(Handler(plane))
+	defer srv.Close()
+
+	scrape := func() string {
+		resp, err := srv.Client().Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Error(err)
+			return ""
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Error(err)
+			return ""
+		}
+		return string(body)
+	}
+
+	opts := core.Default()
+	opts.Workers = 8
+	opts.Metrics = plane
+
+	// Scrapers hammer the endpoint for the whole sweep; every body must
+	// parse as well-formed exposition even when sampled mid-update.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				body := scrape()
+				if body == "" {
+					return
+				}
+				if _, err := metricsplane.ParseExposition(body); err != nil {
+					t.Errorf("mid-run scrape invalid: %v", err)
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+
+	// Eight concurrent sweep points share the plane: borrower node ids
+	// repeat across points, so the same instruments are written from
+	// several kernels at once.
+	pc := opts.RunPoolContention([]int{1, 2}, 2)
+	close(stop)
+	wg.Wait()
+
+	if len(pc.Bps) == 0 || pc.Bps[0][0] <= 0 {
+		t.Fatalf("sweep produced no bandwidth: %+v", pc.Bps)
+	}
+
+	final := scrape()
+	parsed, err := metricsplane.ParseExposition(final)
+	if err != nil {
+		t.Fatalf("final scrape invalid: %v", err)
+	}
+	fills, ok := parsed.Value("thymesim_fill_reads_total", map[string]string{"node": "0"})
+	if !ok || fills <= 0 {
+		t.Fatalf("borrower 0 recorded no fills (ok=%v, fills=%v)", ok, fills)
+	}
+	if v, ok := parsed.Value("thymesim_fill_latency_us_count", map[string]string{"node": "0"}); !ok || v <= 0 {
+		t.Fatalf("fill latency histogram empty (ok=%v, count=%v)", ok, v)
+	}
+	if v, ok := parsed.Value("thymesim_alloc_capacity_bytes", map[string]string{"lender": "0"}); !ok || v <= 0 {
+		t.Fatalf("lender 0 allocator gauges missing (ok=%v, capacity=%v)", ok, v)
+	}
+}
+
+func TestScrapesSeeMonotonicCounters(t *testing.T) {
+	plane := metricsplane.New()
+	srv := httptest.NewServer(Handler(plane))
+	defer srv.Close()
+
+	opts := core.Default()
+	opts.Workers = 8
+	opts.Metrics = plane
+
+	read := func() float64 {
+		resp, err := srv.Client().Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := metricsplane.ParseExposition(string(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := parsed.Value("thymesim_fill_reads_total", map[string]string{"node": "0"})
+		return v
+	}
+
+	before := read()
+	opts.RunPoolContention([]int{1}, 1)
+	mid := read()
+	opts.RunPoolContention([]int{1}, 1)
+	after := read()
+	if !(before <= mid && mid <= after && after > before) {
+		t.Fatalf("counter not monotonic across runs: %v, %v, %v", before, mid, after)
+	}
+}

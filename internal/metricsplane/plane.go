@@ -1,0 +1,471 @@
+package metricsplane
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Plane bundles one run's registry, flight recorder, SLO tracking, and
+// run status. A nil *Plane disables everything: factory methods return
+// nil instrument bundles whose methods are no-ops.
+type Plane struct {
+	reg *Registry
+	rec *FlightRecorder
+
+	mu        sync.Mutex
+	slo       SLOConfig
+	fills     map[int]*FillMetrics // node -> fill bundle, for SLO eval
+	run       string
+	phase     string
+	started   time.Time
+	dumpTo    io.Writer
+	stageObs  map[string]stageHandles
+	sweepDone *Counter
+	sweepAll  *Gauge
+}
+
+type stageHandles struct {
+	count *Counter
+	sumUs *FloatCounter
+}
+
+// New returns an enabled plane with a default-size flight recorder.
+func New() *Plane {
+	p := &Plane{
+		reg:     NewRegistry(),
+		rec:     NewFlightRecorder(0),
+		slo:     DefaultSLOConfig(),
+		fills:   make(map[int]*FillMetrics),
+		started: time.Now(),
+		dumpTo:  os.Stderr,
+	}
+	p.sweepDone = p.reg.Counter("thymesim_sweep_points_done_total", "Sweep points completed this run.", NewLabels())
+	p.sweepAll = p.reg.Gauge("thymesim_sweep_points_total", "Sweep points planned this run.", NewLabels())
+	return p
+}
+
+// Registry returns the plane's registry (nil on a nil plane).
+func (p *Plane) Registry() *Registry {
+	if p == nil {
+		return nil
+	}
+	return p.reg
+}
+
+// Recorder returns the plane's flight recorder (nil on a nil plane).
+func (p *Plane) Recorder() *FlightRecorder {
+	if p == nil {
+		return nil
+	}
+	return p.rec
+}
+
+// Snapshot returns the registry snapshot (nil on a nil plane).
+func (p *Plane) Snapshot() []Sample {
+	if p == nil {
+		return nil
+	}
+	return p.reg.Snapshot()
+}
+
+// SetSLO replaces the SLO targets.
+func (p *Plane) SetSLO(cfg SLOConfig) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.slo = cfg
+	p.mu.Unlock()
+}
+
+// SetRun names the run shown by the status endpoint.
+func (p *Plane) SetRun(run string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.run = run
+	p.mu.Unlock()
+}
+
+// SetPhase updates the status endpoint's current-phase string.
+func (p *Plane) SetPhase(phase string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.phase = phase
+	p.mu.Unlock()
+}
+
+// SetDumpWriter redirects flight-recorder dumps (default os.Stderr).
+func (p *Plane) SetDumpWriter(w io.Writer) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.dumpTo = w
+	p.mu.Unlock()
+}
+
+// SweepPlanned records how many sweep points the run will execute.
+func (p *Plane) SweepPlanned(n int) {
+	if p != nil {
+		p.sweepAll.Set(float64(n))
+	}
+}
+
+// SweepPointDone counts a finished sweep point.
+func (p *Plane) SweepPointDone() {
+	if p != nil {
+		p.sweepDone.Inc()
+	}
+}
+
+// --- instrument factories -------------------------------------------------
+//
+// Each factory resolves every handle once under the registry lock and
+// returns a bundle the component keeps. Factories are idempotent in
+// effect: two bundles built with the same labels share the underlying
+// metric children, so concurrent sweep points merge.
+
+// FillMetricsFor builds the remote-fill bundle for a borrower node.
+func (p *Plane) FillMetricsFor(node int, tenant string) *FillMetrics {
+	if p == nil {
+		return nil
+	}
+	l := ForNode(node).WithTenant(tenant)
+	m := &FillMetrics{
+		node:     node,
+		latency:  p.reg.Histogram("thymesim_fill_latency_us", "End-to-end remote-fill latency in microseconds.", l),
+		reads:    p.reg.Counter("thymesim_fill_reads_total", "Completed remote read fills.", l),
+		writes:   p.reg.Counter("thymesim_fill_writes_total", "Completed remote write fills.", l),
+		poisoned: p.reg.Counter("thymesim_fill_poisoned_total", "Fills completed poisoned (CRC-dead or deadline-expired).", l),
+		expired:  p.reg.Counter("thymesim_fill_deadline_expired_total", "Fills that hit their end-to-end deadline.", l),
+		unsent:   p.reg.Counter("thymesim_fill_expired_unsent_total", "Queued sends withdrawn at deadline expiry.", l),
+		late:     p.reg.Counter("thymesim_fill_late_responses_total", "Straggler responses for already-expired fills.", l),
+		rec:      p.rec,
+	}
+	if tenant == "" {
+		p.mu.Lock()
+		if _, ok := p.fills[node]; !ok {
+			p.fills[node] = m
+		}
+		p.mu.Unlock()
+	}
+	return m
+}
+
+// ARQMetricsFor builds the ARQ bundle for a borrower node.
+func (p *Plane) ARQMetricsFor(node int) *ARQMetrics {
+	if p == nil {
+		return nil
+	}
+	l := ForNode(node)
+	return &ARQMetrics{
+		node:        node,
+		tracked:     p.reg.Counter("thymesim_arq_tracked_total", "Transactions entering ARQ tracking.", l),
+		completed:   p.reg.Counter("thymesim_arq_completed_total", "Transactions acknowledged and released.", l),
+		retransmits: p.reg.Counter("thymesim_arq_retransmits_total", "ARQ retransmissions.", l),
+		nackRetries: p.reg.Counter("thymesim_arq_nack_retries_total", "Nack-triggered retries.", l),
+		timeouts:    p.reg.Counter("thymesim_arq_timeouts_total", "Retransmit-timer expiries.", l),
+		dead:        p.reg.Counter("thymesim_arq_dead_total", "Transactions that exhausted their retry budget.", l),
+		staleDrops:  p.reg.Counter("thymesim_arq_stale_drops_total", "Responses dropped for stale sequence or tag.", l),
+		corrupt:     p.reg.Counter("thymesim_arq_corrupt_responses_total", "Responses dropped for CRC corruption.", l),
+		rec:         p.rec,
+	}
+}
+
+// NICMetricsFor builds the packet-plane bundle for a NIC node.
+func (p *Plane) NICMetricsFor(node int) *NICMetrics {
+	if p == nil {
+		return nil
+	}
+	l := ForNode(node)
+	return &NICMetrics{
+		node:               node,
+		requestsSent:       p.reg.Counter("thymesim_nic_requests_sent_total", "Egress requests put on the wire.", l),
+		responsesSent:      p.reg.Counter("thymesim_nic_responses_sent_total", "Egress responses.", l),
+		requestsServed:     p.reg.Counter("thymesim_nic_requests_served_total", "Lender-side serve completions.", l),
+		responsesDelivered: p.reg.Counter("thymesim_nic_responses_delivered_total", "Ingress responses delivered to the port.", l),
+		probesServed:       p.reg.Counter("thymesim_nic_probes_served_total", "OpProbes answered.", l),
+		translationFaults:  p.reg.Counter("thymesim_nic_translation_faults_total", "Egress address-translation misses.", l),
+		nacksSent:          p.reg.Counter("thymesim_nic_nacks_sent_total", "Nack responses sent.", l),
+		crashDrops:         p.reg.Counter("thymesim_nic_crash_drops_total", "Packets black-holed by a crashed NIC.", l),
+		servesLost:         p.reg.Counter("thymesim_nic_serves_lost_total", "In-flight serves lost to a crash epoch.", l),
+		wipeNacks:          p.reg.Counter("thymesim_nic_wipe_nacks_total", "Block ops nacked by a wiped window.", l),
+		rec:                p.rec,
+	}
+}
+
+// BreakerMetricsFor builds the circuit-breaker bundle for a node.
+func (p *Plane) BreakerMetricsFor(node int) *BreakerMetrics {
+	if p == nil {
+		return nil
+	}
+	l := ForNode(node)
+	return &BreakerMetrics{
+		node:           node,
+		state:          p.reg.Gauge("thymesim_breaker_state", "Breaker state (0 closed, 1 open, 2 half-open).", l),
+		transitions:    p.reg.Counter("thymesim_breaker_transitions_total", "Breaker state transitions.", l),
+		trips:          p.reg.Counter("thymesim_breaker_trips_total", "Closed-to-open trips.", l),
+		reopens:        p.reg.Counter("thymesim_breaker_reopens_total", "Half-open probes that failed back to open.", l),
+		closes:         p.reg.Counter("thymesim_breaker_closes_total", "Transitions back to closed.", l),
+		shortCircuited: p.reg.Counter("thymesim_breaker_short_circuited_total", "Accesses fast-failed while open.", l),
+		rec:            p.rec,
+	}
+}
+
+// AllocMetricsFor builds the allocator bundle for a lender index.
+func (p *Plane) AllocMetricsFor(lender int) *AllocMetrics {
+	if p == nil {
+		return nil
+	}
+	l := NewLabels().WithLender(lender)
+	return &AllocMetrics{
+		capacity:      p.reg.Gauge("thymesim_alloc_capacity_bytes", "Lender lendable capacity.", l),
+		allocated:     p.reg.Gauge("thymesim_alloc_allocated_bytes", "Bytes currently allocated.", l),
+		freeBytes:     p.reg.Gauge("thymesim_alloc_free_bytes", "Bytes currently free.", l),
+		freeSpans:     p.reg.Gauge("thymesim_alloc_free_spans", "Free spans after coalescing.", l),
+		largestFree:   p.reg.Gauge("thymesim_alloc_largest_free_bytes", "Largest single free span.", l),
+		fragmentation: p.reg.Gauge("thymesim_alloc_fragmentation", "1 - largest_free/free_bytes (0 when coalesced or empty).", l),
+	}
+}
+
+// LinkMetricsFor builds the channel bundle for a directed link. node is
+// the transmitting endpoint; link identifies the cable or switch port.
+func (p *Plane) LinkMetricsFor(node, link int) *LinkMetrics {
+	if p == nil {
+		return nil
+	}
+	l := ForNode(node).WithLink(link)
+	return &LinkMetrics{
+		delivered:   p.reg.Counter("thymesim_link_flits_delivered_total", "Flits delivered on this directed channel.", l),
+		bytes:       p.reg.Counter("thymesim_link_bytes_total", "Bytes delivered on this directed channel.", l),
+		utilization: p.reg.Gauge("thymesim_link_utilization", "Wire busy fraction since start.", l),
+	}
+}
+
+// SwitchPortMetricsFor builds the bundle for one switch output port.
+func (p *Plane) SwitchPortMetricsFor(port int) *SwitchPortMetrics {
+	if p == nil {
+		return nil
+	}
+	l := NewLabels().WithLink(port)
+	return &SwitchPortMetrics{
+		forwarded: p.reg.Counter("thymesim_switch_forwarded_total", "Buffers forwarded out this port.", l),
+		depth:     p.reg.Gauge("thymesim_switch_queue_depth", "Output queue depth at last forward.", l),
+		peak:      p.reg.Gauge("thymesim_switch_peak_queue_depth", "Peak output queue depth.", l),
+	}
+}
+
+// SwitchDropCounter builds the switch-wide drop counter.
+func (p *Plane) SwitchDropCounter() *Counter {
+	if p == nil {
+		return nil
+	}
+	return p.reg.Counter("thymesim_switch_dropped_total", "Buffers dropped at full output queues.", NewLabels())
+}
+
+// DRAMMetricsFor builds the DRAM bundle for a node.
+func (p *Plane) DRAMMetricsFor(node int) *DRAMMetrics {
+	if p == nil {
+		return nil
+	}
+	l := ForNode(node)
+	return &DRAMMetrics{
+		reads:       p.reg.Counter("thymesim_dram_reads_total", "DRAM read accesses completed.", l),
+		writes:      p.reg.Counter("thymesim_dram_writes_total", "DRAM write accesses completed.", l),
+		bytes:       p.reg.Counter("thymesim_dram_bytes_total", "Bytes moved through DRAM.", l),
+		utilization: p.reg.Gauge("thymesim_dram_utilization", "Mean channel busy fraction since start.", l),
+	}
+}
+
+// CacheMetricsFor builds the LLC bundle for a node.
+func (p *Plane) CacheMetricsFor(node int) *CacheMetrics {
+	if p == nil {
+		return nil
+	}
+	l := ForNode(node)
+	return &CacheMetrics{
+		hits:       p.reg.Counter("thymesim_llc_hits_total", "LLC hits.", l),
+		misses:     p.reg.Counter("thymesim_llc_misses_total", "LLC misses.", l),
+		evictions:  p.reg.Counter("thymesim_llc_evictions_total", "LLC evictions.", l),
+		writebacks: p.reg.Counter("thymesim_llc_writebacks_total", "Dirty-line writebacks.", l),
+	}
+}
+
+// MigrateMetricsFor builds the migrator bundle for a node.
+func (p *Plane) MigrateMetricsFor(node int) *MigrateMetrics {
+	if p == nil {
+		return nil
+	}
+	l := ForNode(node)
+	return &MigrateMetrics{
+		promotions:    p.reg.Counter("thymesim_migrate_promotions_total", "Pages promoted to local memory.", l),
+		degradedPages: p.reg.Counter("thymesim_migrate_degraded_pages_total", "Pages force-localized by degradation.", l),
+		localized:     p.reg.Counter("thymesim_migrate_localized_total", "Accesses served locally post-migration.", l),
+		gateLocalized: p.reg.Counter("thymesim_migrate_gate_localized_total", "Accesses localized by the admission gate.", l),
+	}
+}
+
+// StageCounters resolves the per-stage rollup handles for a node. The
+// returned closure is handed to obs.Tracer.SetStageObserver; it indexes
+// by stage name into pre-resolved handles, so observing stays lock-free
+// and allocation-free.
+func (p *Plane) StageObserver(node int, stageNames []string) func(stage int, durUs float64) {
+	if p == nil {
+		return nil
+	}
+	counts := make([]*Counter, len(stageNames))
+	sums := make([]*FloatCounter, len(stageNames))
+	for i, name := range stageNames {
+		l := ForNode(node).WithStage(name)
+		counts[i] = p.reg.Counter("thymesim_stage_spans_total", "Span visits per datapath stage.", l)
+		sums[i] = p.reg.FloatCounter("thymesim_stage_time_us_total", "Summed span time per datapath stage in microseconds.", l)
+	}
+	return func(stage int, durUs float64) {
+		if stage < 0 || stage >= len(counts) {
+			return
+		}
+		counts[stage].Inc()
+		sums[stage].Add(durUs)
+	}
+}
+
+// --- SLO tracking ---------------------------------------------------------
+
+// SLOConfig sets per-borrower targets evaluated at scrape time.
+type SLOConfig struct {
+	// FillP99Us is the p99 remote-fill latency target in microseconds.
+	FillP99Us float64
+	// PoisonedBudget is the tolerated poisoned fraction of all fills
+	// (the error budget).
+	PoisonedBudget float64
+}
+
+// DefaultSLOConfig targets p99 <= 500 µs (comfortably above the longest
+// paper-sweep delay point) and a 1% poisoned-fill error budget.
+func DefaultSLOConfig() SLOConfig {
+	return SLOConfig{FillP99Us: 500, PoisonedBudget: 0.01}
+}
+
+// SLOStatus is one borrower's SLO evaluation.
+type SLOStatus struct {
+	Node             int     `json:"node"`
+	Fills            uint64  `json:"fills"`
+	FillP99Us        float64 `json:"fill_p99_us"`
+	TargetP99Us      float64 `json:"target_p99_us"`
+	LatencyOK        bool    `json:"latency_ok"`
+	PoisonedFraction float64 `json:"poisoned_fraction"`
+	PoisonedBudget   float64 `json:"poisoned_budget"`
+	// BudgetBurn is PoisonedFraction / PoisonedBudget: 1.0 means the
+	// error budget is exactly consumed.
+	BudgetBurn float64 `json:"budget_burn"`
+	BudgetOK   bool    `json:"budget_ok"`
+}
+
+// SLO evaluates every tracked borrower against the configured targets,
+// sorted by node id.
+func (p *Plane) SLO() []SLOStatus {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	cfg := p.slo
+	nodes := make([]int, 0, len(p.fills))
+	for n := range p.fills {
+		nodes = append(nodes, n)
+	}
+	fills := make([]*FillMetrics, 0, len(nodes))
+	sort.Ints(nodes)
+	for _, n := range nodes {
+		fills = append(fills, p.fills[n])
+	}
+	p.mu.Unlock()
+
+	out := make([]SLOStatus, 0, len(fills))
+	for i, m := range fills {
+		total := m.reads.Value() + m.writes.Value()
+		st := SLOStatus{
+			Node:        nodes[i],
+			Fills:       total,
+			FillP99Us:   m.latency.Quantile(0.99),
+			TargetP99Us: cfg.FillP99Us,
+		}
+		st.LatencyOK = st.FillP99Us <= cfg.FillP99Us
+		if total > 0 {
+			st.PoisonedFraction = float64(m.poisoned.Value()) / float64(total)
+		}
+		st.PoisonedBudget = cfg.PoisonedBudget
+		if cfg.PoisonedBudget > 0 {
+			st.BudgetBurn = st.PoisonedFraction / cfg.PoisonedBudget
+		}
+		st.BudgetOK = st.PoisonedFraction <= cfg.PoisonedBudget
+		out = append(out, st)
+	}
+	return out
+}
+
+// --- run status + dump ----------------------------------------------------
+
+// RunStatus is the payload of the /status endpoint.
+type RunStatus struct {
+	Run            string      `json:"run"`
+	Phase          string      `json:"phase"`
+	UptimeSeconds  float64     `json:"uptime_s"`
+	SweepDone      uint64      `json:"sweep_points_done"`
+	SweepPlanned   float64     `json:"sweep_points_planned"`
+	RecorderEvents uint64      `json:"recorder_events"`
+	SLO            []SLOStatus `json:"slo"`
+}
+
+// Status assembles the current run status.
+func (p *Plane) Status() RunStatus {
+	if p == nil {
+		return RunStatus{}
+	}
+	p.mu.Lock()
+	st := RunStatus{
+		Run:           p.run,
+		Phase:         p.phase,
+		UptimeSeconds: time.Since(p.started).Seconds(),
+	}
+	p.mu.Unlock()
+	st.SweepDone = p.sweepDone.Value()
+	st.SweepPlanned = p.sweepAll.Value()
+	st.RecorderEvents = p.rec.Total()
+	st.SLO = p.SLO()
+	return st
+}
+
+// DumpOnAuditFailure writes the flight recorder and SLO summary to the
+// configured dump writer — called by the chaos runners when an
+// invariant audit fails, so the last datapath events leading up to the
+// violation are preserved.
+func (p *Plane) DumpOnAuditFailure(campaign string, violations []string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	w := p.dumpTo
+	p.mu.Unlock()
+	if w == nil {
+		return
+	}
+	fmt.Fprintf(w, "metricsplane: flight-recorder dump: campaign=%q violations=%d retained_events=%d total_events=%d\n",
+		campaign, len(violations), len(p.rec.Events()), p.rec.Total())
+	for _, v := range violations {
+		fmt.Fprintf(w, "metricsplane: violation: %s\n", v)
+	}
+	p.rec.WriteNDJSON(w)
+	for _, st := range p.SLO() {
+		fmt.Fprintf(w, "metricsplane: slo node=%d fills=%d p99=%.1fus(target %.1f ok=%v) poisoned=%.4f(budget %.4f burn=%.2f ok=%v)\n",
+			st.Node, st.Fills, st.FillP99Us, st.TargetP99Us, st.LatencyOK,
+			st.PoisonedFraction, st.PoisonedBudget, st.BudgetBurn, st.BudgetOK)
+	}
+}

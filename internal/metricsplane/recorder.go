@@ -1,0 +1,115 @@
+package metricsplane
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Event is one flight-recorder entry: a notable datapath event with its
+// simulated timestamp. Kind is always a static string (no formatting on
+// the record path) and Detail is a free-form numeric payload whose
+// meaning depends on Kind, so recording is allocation-free.
+type Event struct {
+	TimeUs float64
+	Node   int
+	Kind   string
+	Detail uint64
+}
+
+// Flight-recorder event kinds.
+const (
+	EvFillPoisoned      = "fill_poisoned"
+	EvFillExpired       = "fill_deadline_expired"
+	EvFillExpiredUnsent = "fill_expired_unsent"
+	EvFillLate          = "fill_late_response"
+	EvARQRetransmit     = "arq_retransmit"
+	EvARQDead           = "arq_dead"
+	EvARQCorrupt        = "arq_corrupt_response"
+	EvBreakerTransition = "breaker_transition"
+	EvNICCrashDrop      = "nic_crash_drop"
+	EvNICWipeNack       = "nic_wipe_nack"
+	EvNICServeLost      = "nic_serve_lost"
+)
+
+// DefaultRecorderSize bounds the flight-recorder ring.
+const DefaultRecorderSize = 4096
+
+// FlightRecorder is a bounded ring of recent Events. Record is mutex
+// protected (events arrive from every sweep worker) and allocation-free:
+// the ring is preallocated and entries are value types. When full, the
+// oldest entry is overwritten.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	ring  []Event
+	next  int
+	total uint64
+}
+
+// NewFlightRecorder returns a recorder holding the last n events
+// (DefaultRecorderSize if n <= 0).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n <= 0 {
+		n = DefaultRecorderSize
+	}
+	return &FlightRecorder{ring: make([]Event, 0, n)}
+}
+
+// Record appends an event. Nil-receiver safe no-op, like every
+// instrument method.
+func (r *FlightRecorder) Record(timeUs float64, node int, kind string, detail uint64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, Event{TimeUs: timeUs, Node: node, Kind: kind, Detail: detail})
+	} else {
+		r.ring[r.next] = Event{TimeUs: timeUs, Node: node, Kind: kind, Detail: detail}
+	}
+	r.next = (r.next + 1) % cap(r.ring)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total returns how many events were ever recorded (including
+// overwritten ones).
+func (r *FlightRecorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Events returns a copy of the retained events, oldest first.
+func (r *FlightRecorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.ring))
+	if len(r.ring) == cap(r.ring) {
+		out = append(out, r.ring[r.next:]...)
+		out = append(out, r.ring[:r.next]...)
+	} else {
+		out = append(out, r.ring...)
+	}
+	return out
+}
+
+// WriteNDJSON dumps the retained events, oldest first, one JSON object
+// per line.
+func (r *FlightRecorder) WriteNDJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range r.Events() {
+		if _, err := fmt.Fprintf(bw, `{"t_us":%g,"node":%d,"kind":%q,"detail":%d}`+"\n",
+			e.TimeUs, e.Node, e.Kind, e.Detail); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"thymesim/internal/memport"
+	"thymesim/internal/metricsplane"
 	"thymesim/internal/ocapi"
 	"thymesim/internal/sim"
 )
@@ -107,6 +108,7 @@ type Migrator struct {
 	deadRanges []addrRange
 	gate       Gate
 	stats      Stats
+	mx         *metricsplane.MigrateMetrics // nil when the metrics plane is disabled
 }
 
 // addrRange is a half-open [base, end) address range.
@@ -135,6 +137,10 @@ func New(k *sim.Kernel, remote, local memport.LineBackend, cfg Config) *Migrator
 
 // Stats returns the counters so far.
 func (m *Migrator) Stats() Stats { return m.stats }
+
+// SetMetrics attaches the metrics plane's migration counters
+// (observe-only; nil disables).
+func (m *Migrator) SetMetrics(mx *metricsplane.MigrateMetrics) { m.mx = mx }
 
 // Resident returns the number of promoted pages.
 func (m *Migrator) Resident() int { return m.resident }
@@ -216,13 +222,16 @@ func (m *Migrator) access(addr uint64, write bool, done func()) {
 		if m.degraded || m.rangeDegraded(addr) {
 			m.localize(st)
 			m.stats.DegradedPages++
+			m.mx.Degraded(1)
 		} else if m.gate != nil && !m.gate.Allow() {
 			m.localize(st)
 			m.stats.GateLocalized++
+			m.mx.GateLocalized()
 		}
 	}
 	if st.local {
 		m.stats.LocalAccesses++
+		m.mx.Localized()
 		local := st.frame + (addr & uint64(m.cfg.PageBytes-1))
 		if write {
 			m.local.WriteLine(local, done)
@@ -288,5 +297,6 @@ func (m *Migrator) promote(pg uint64, st *pageState) {
 		st.local = true
 		st.frame = frame
 		m.stats.Promotions++
+		m.mx.Promotion()
 	})
 }

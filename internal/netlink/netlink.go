@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"thymesim/internal/axis"
+	"thymesim/internal/metricsplane"
 	"thymesim/internal/sim"
 )
 
@@ -36,6 +37,7 @@ type Channel struct {
 
 	delivered uint64
 	bytes     uint64
+	mx        *metricsplane.LinkMetrics // nil when the metrics plane is disabled
 	// free is an intrusive free list of per-beat wire contexts; a warmed-up
 	// channel serves and propagates without allocating.
 	free *wireFlight
@@ -65,6 +67,9 @@ func (f *wireFlight) Handle(stage uint64) {
 	c.inflight--
 	c.delivered++
 	c.bytes += uint64(f.b.Bytes)
+	if c.mx != nil {
+		c.mx.Delivered(uint64(f.b.Bytes), c.wire.Utilization())
+	}
 	b := f.b
 	f.b = axis.Beat{} // drop payload refs before pooling
 	f.next = c.free
@@ -93,6 +98,10 @@ func NewChannel(k *sim.Kernel, tx, rx *axis.FIFO, bandwidthBps float64, propagat
 
 // Delivered returns the number of beats delivered to the RX FIFO.
 func (c *Channel) Delivered() uint64 { return c.delivered }
+
+// SetMetrics attaches the metrics plane's per-channel delivery counters
+// and utilization gauge (observe-only; nil disables).
+func (c *Channel) SetMetrics(m *metricsplane.LinkMetrics) { c.mx = m }
 
 // Bytes returns the cumulative wire bytes delivered.
 func (c *Channel) Bytes() uint64 { return c.bytes }

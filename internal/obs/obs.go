@@ -202,6 +202,11 @@ type Tracer struct {
 	instants     []instantEvent
 	droppedSpans uint64
 	droppedInst  uint64
+
+	// onStage, when set, observes every per-stage duration as Finish
+	// attributes it — the metrics plane's stage-rollup feed. Decoupled by
+	// a plain func so obs does not depend on the plane.
+	onStage func(stage int, durUs float64)
 }
 
 // New builds an enabled tracer on k.
@@ -231,6 +236,25 @@ func New(k *sim.Kernel, cfg Config) *Tracer {
 
 // Enabled reports whether the tracer records anything.
 func (t *Tracer) Enabled() bool { return t != nil }
+
+// SetStageObserver registers fn to receive every per-stage duration as
+// spans finish (nil-safe; nil fn clears). The observer must be
+// observe-only: it runs inside Finish on the simulation's critical path.
+func (t *Tracer) SetStageObserver(fn func(stage int, durUs float64)) {
+	if t != nil {
+		t.onStage = fn
+	}
+}
+
+// StageNames returns the datapath stage names indexed by Stage value,
+// for observers that label rollups by stage.
+func StageNames() []string {
+	out := make([]string, NumStages)
+	for i := range out {
+		out[i] = Stage(i).String()
+	}
+	return out
+}
 
 // Start opens a span for one transaction at the current instant and
 // returns its id, or 0 when the tracer is disabled or the transaction is
@@ -324,19 +348,21 @@ func (t *Tracer) Finish(id SpanID) {
 		// absorbing any leading gap) to the next transition or span end,
 		// so per-span stage durations sum to the end-to-end latency
 		// exactly, truncation or not.
-		from := sp.tr[i].at
-		if i == 0 {
-			from = sp.start
-		}
-		to := end
-		if i+1 < int(sp.n) {
-			to = sp.tr[i+1].at
-		}
-		d := to.Sub(from)
+		d := t.stageSpan(sp, i, end)
 		st := sp.tr[i].stage
 		t.stageSum[st] += d
 		t.stageCount[st]++
 		t.stageHist[st].Observe(d.Micros())
+	}
+	if t.onStage != nil {
+		// Replay the attribution for the observer in a second pass, so the
+		// common no-observer case costs one branch per span, not per stage.
+		if sp.n == 0 {
+			t.onStage(int(StageOther), total.Micros())
+		}
+		for i := 0; i < int(sp.n); i++ {
+			t.onStage(int(sp.tr[i].stage), t.stageSpan(sp, i, end).Micros())
+		}
 	}
 	if len(t.retained) < t.maxRetain {
 		t.retained = append(t.retained, retainedSpan{
@@ -352,6 +378,21 @@ func (t *Tracer) Finish(id SpanID) {
 	}
 	sp.live = false
 	t.free = append(t.free, uint32(id)-1)
+}
+
+// stageSpan returns the duration of the span's i-th attributed stage:
+// from its transition (the span start for the first, absorbing any
+// leading gap) to the next transition or the span end.
+func (t *Tracer) stageSpan(sp *span, i int, end sim.Time) sim.Duration {
+	from := sp.tr[i].at
+	if i == 0 {
+		from = sp.start
+	}
+	to := end
+	if i+1 < int(sp.n) {
+		to = sp.tr[i+1].at
+	}
+	return to.Sub(from)
 }
 
 // Instant records a point event (e.g. an LLC eviction) for the Chrome

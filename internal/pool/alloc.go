@@ -3,16 +3,19 @@
 // into borrower-attached regions, and placement policies that decide
 // which lender serves a new attach request.
 //
-// The package is pure bookkeeping — no simulation dependencies — so its
+// The package is pure bookkeeping — it schedules nothing — so its
 // invariants (no segment overlap, capacity conservation, free-list
 // coalescing) are property-testable in isolation, and the same allocator
 // drives both the event-accurate cluster pool and the switched-fabric
-// datacenter model.
+// datacenter model. The only observability hook is the optional
+// metricsplane gauge bundle, refreshed after each mutation.
 package pool
 
 import (
 	"fmt"
 	"sort"
+
+	"thymesim/internal/metricsplane"
 )
 
 // Segment is one carved region of a lender's reservation: lender-physical
@@ -50,6 +53,8 @@ type Allocator struct {
 	free      []span
 	allocated uint64
 	segments  int
+
+	mx *metricsplane.AllocMetrics // nil when the metrics plane is disabled
 }
 
 // NewAllocator builds an allocator for lender's reservation
@@ -72,6 +77,28 @@ func NewAllocator(lender int, base, capacity, align uint64) (*Allocator, error) 
 		align:    align,
 		free:     []span{{base: base, size: capacity}},
 	}, nil
+}
+
+// SetMetrics attaches the metrics plane's per-lender occupancy and
+// fragmentation gauges, refreshed after every successful mutation (the
+// initial state is published immediately).
+func (a *Allocator) SetMetrics(m *metricsplane.AllocMetrics) {
+	a.mx = m
+	a.refreshMetrics()
+}
+
+// refreshMetrics republishes the allocator gauges.
+func (a *Allocator) refreshMetrics() {
+	if a.mx == nil {
+		return
+	}
+	var largest uint64
+	for _, s := range a.free {
+		if s.size > largest {
+			largest = s.size
+		}
+	}
+	a.mx.Update(a.capacity, a.allocated, a.FreeBytes(), largest, len(a.free))
 }
 
 // Lender returns the lender index this allocator carves.
@@ -120,6 +147,7 @@ func (a *Allocator) Alloc(size uint64) (Segment, error) {
 		}
 		a.allocated += size
 		a.segments++
+		a.refreshMetrics()
 		return seg, nil
 	}
 	return Segment{}, fmt.Errorf("pool: lender %d cannot fit %d bytes (%d free in %d spans)",
@@ -162,6 +190,7 @@ func (a *Allocator) Free(seg Segment) error {
 	}
 	a.allocated -= seg.Size
 	a.segments--
+	a.refreshMetrics()
 	return nil
 }
 
@@ -190,6 +219,7 @@ func (a *Allocator) Grow(seg Segment, newSize uint64) (Segment, error) {
 	}
 	a.allocated += need
 	seg.Size = newSize
+	a.refreshMetrics()
 	return seg, nil
 }
 

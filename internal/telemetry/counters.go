@@ -1,6 +1,10 @@
 package telemetry
 
-import "thymesim/internal/metrics"
+import (
+	"strconv"
+
+	"thymesim/internal/metrics"
+)
 
 // RegisterCounterSet registers one probe per counter declared in cs, named
 // prefix+counter, each sampling the counter's current value. Counters must
@@ -12,4 +16,12 @@ func RegisterCounterSet(s *Sampler, prefix string, cs *metrics.CounterSet) {
 		name := name
 		s.Register(prefix+name, func() float64 { return float64(cs.Get(name)) })
 	}
+}
+
+// RegisterCounterSetPerNode is RegisterCounterSet with a node-qualified
+// prefix: probes are named prefix+"node<id>_"+counter, so several nodes'
+// counter sets coexist in one sampler without colliding — the CSV
+// analogue of the metrics plane's node label.
+func RegisterCounterSetPerNode(s *Sampler, prefix string, node int, cs *metrics.CounterSet) {
+	RegisterCounterSet(s, prefix+"node"+strconv.Itoa(node)+"_", cs)
 }

@@ -33,3 +33,30 @@ func TestRegisterCounterSetSamplesLiveValues(t *testing.T) {
 		t.Fatalf("dead series missing or nonzero")
 	}
 }
+
+func TestRegisterCounterSetPerNodeQualifiesNames(t *testing.T) {
+	k := sim.NewKernel()
+	s := NewSampler(k, sim.Duration(sim.Microsecond))
+	// Two nodes with identically named counters must not collide.
+	for node := 0; node < 2; node++ {
+		cs := metrics.NewCounterSet()
+		cs.Declare("fills")
+		cs.Add("fills", uint64(10*(node+1)))
+		RegisterCounterSetPerNode(s, "pool_", node, cs)
+	}
+
+	k.At(0, s.Start)
+	k.At(sim.Time(2*sim.Microsecond+sim.Nanosecond), s.Stop)
+	k.Run()
+
+	for node, want := range []float64{10, 20} {
+		name := "pool_node" + string(rune('0'+node)) + "_fills"
+		series := s.Series(name)
+		if series == nil {
+			t.Fatalf("probe %q not registered (have %v)", name, s.Names())
+		}
+		if got := series.Points[len(series.Points)-1].Y; got != want {
+			t.Fatalf("%s = %v, want %v", name, got, want)
+		}
+	}
+}

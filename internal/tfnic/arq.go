@@ -9,6 +9,7 @@ package tfnic
 import (
 	"fmt"
 
+	"thymesim/internal/metricsplane"
 	"thymesim/internal/ocapi"
 	"thymesim/internal/sim"
 )
@@ -109,6 +110,7 @@ func (tm *arqTimer) Handle(uint64) {
 		return // resolved or superseded while the timer was in flight
 	}
 	a.stats.Timeouts++
+	a.mx.Timeout()
 	a.retryOrDie(tag, t)
 }
 
@@ -142,6 +144,7 @@ type ARQ struct {
 	OnComplete func(ocapi.Packet)
 
 	stats ARQStats
+	mx    *metricsplane.ARQMetrics // nil when the metrics plane is disabled
 }
 
 // arqLink is the slice of the NIC the retransmission layer drives
@@ -167,6 +170,10 @@ func NewARQ(k *sim.Kernel, nic arqLink, cfg ARQConfig) *ARQ {
 	nic.OnCmdSpace(a.drainRetries)
 	return a
 }
+
+// SetMetrics attaches the metrics plane's per-node ARQ counters
+// (observe-only; nil keeps the zero-overhead path).
+func (a *ARQ) SetMetrics(m *metricsplane.ARQMetrics) { a.mx = m }
 
 // Stats returns the retransmission counters.
 func (a *ARQ) Stats() ARQStats { return a.stats }
@@ -205,6 +212,7 @@ func (a *ARQ) TrySend(p ocapi.Packet) bool {
 	// t.gen is deliberately NOT reset: see freeTxns.
 	a.txns[p.Tag] = t
 	a.stats.Tracked++
+	a.mx.Tracked()
 	a.armTimeout(p.Tag, t)
 	return true
 }
@@ -232,10 +240,12 @@ func (a *ARQ) OnResponse(p ocapi.Packet) {
 	t, ok := a.txns[p.Tag]
 	if !ok {
 		a.stats.StaleDrops++ // duplicate after resolution, or never ours
+		a.mx.StaleDrop()
 		return
 	}
 	if p.Seq != uint16(t.attempts-1) {
 		a.stats.StaleDrops++ // reply to a superseded attempt
+		a.mx.StaleDrop()
 		return
 	}
 	switch {
@@ -244,14 +254,17 @@ func (a *ARQ) OnResponse(p ocapi.Packet) {
 		// the attempt's timeout drive the retry (the lender did answer, so
 		// an immediate retransmit would race its duplicate detection).
 		a.stats.CorruptResp++
+		a.mx.CorruptResp(a.k.Now().Micros())
 	case p.Op == ocapi.OpNack:
 		a.stats.NackRetries++
+		a.mx.NackRetry()
 		t.gen++ // cancel the attempt's timeout
 		a.retryOrDie(p.Tag, t)
 	default:
 		delete(a.txns, p.Tag)
 		a.recycle(t)
 		a.stats.Completed++
+		a.mx.Completed()
 		a.deliver(p)
 	}
 }
@@ -296,6 +309,7 @@ func (a *ARQ) retryOrDie(tag uint32, t *arqTxn) {
 	if t.attempts > a.cfg.MaxRetries {
 		delete(a.txns, tag)
 		a.stats.Dead++
+		a.mx.Dead(uint64(t.pkt.Seq), a.k.Now().Micros())
 		r := t.pkt.Response()
 		r.Poison = true
 		a.recycle(t)
@@ -303,6 +317,7 @@ func (a *ARQ) retryOrDie(tag uint32, t *arqTxn) {
 		return
 	}
 	a.stats.Retransmits++
+	a.mx.Retransmit(uint64(t.attempts), a.k.Now().Micros())
 	p := t.pkt
 	p.Seq = uint16(t.attempts)
 	t.attempts++
