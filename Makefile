@@ -4,8 +4,8 @@ GO ?= go
 
 # Benchmark artifact for this PR and the committed baseline it is gated
 # against (previous PR's numbers).
-BENCH_OUT      ?= BENCH_8.json
-BENCH_BASELINE ?= BENCH_7.json
+BENCH_OUT      ?= BENCH_9.json
+BENCH_BASELINE ?= BENCH_8.json
 
 all: vet fmt-check build test
 
@@ -63,12 +63,14 @@ bench-gate:
 	$(GO) run ./cmd/benchjson -baseline $(BENCH_BASELINE) -gate < bench.out > /dev/null
 	@rm -f bench.out
 
-# Race-check the pool-heavy packages: pooled transactions and free-listed
-# continuations must stay data-race-free under concurrent sweep workers.
+# Race-check the pool-heavy packages: pooled transactions, free-listed
+# continuations, and the sharded event runtime (cross-shard inbox rings,
+# spin barrier) must stay data-race-free under concurrent sweep workers
+# and goroutine-per-shard rounds.
 race-pools:
-	$(GO) test -race ./internal/cluster ./internal/pool ./internal/fabric \
-		./internal/tfnic ./internal/ocapi ./internal/workloads/kvstore \
-		./internal/core
+	$(GO) test -race ./internal/sim ./internal/cluster ./internal/pool \
+		./internal/fabric ./internal/tfnic ./internal/ocapi \
+		./internal/workloads/kvstore ./internal/core
 
 # Race-check the metrics plane: an 8-worker pool sweep writes every
 # instrument while the exposition endpoint is scraped concurrently.

@@ -48,6 +48,17 @@ type PoolConfig struct {
 	// fresh PeriodGate per borrower (or uses Base.Gate for the 1×1 pool,
 	// preserving the two-node testbed's behaviour).
 	GateFor func(borrower int) axis.Gate
+	// Shards selects intra-run parallelism: 0 or 1 runs the whole pool on
+	// one kernel (the legacy path); >= 2 partitions the rack across that
+	// many event kernels — the switch on shard 0, nodes round-robin over
+	// the rest (capped at one shard per node plus the switch) — and the
+	// node-to-switch cable propagation becomes the conservative lookahead
+	// window. Results are byte-identical at any value: the cut FIFOs (the
+	// switch input queues and NIC response queues) are sized past the
+	// worst-case outstanding-tag population so cross-shard credit flow
+	// control never engages, and cross-shard deliveries merge in wiring
+	// order. The 1×1 pool has no fabric to cut and always runs legacy.
+	Shards int
 }
 
 // DefaultPoolConfig returns an N×M pool of AC922-like nodes at the given
@@ -67,6 +78,12 @@ func (c PoolConfig) Validate() error {
 	}
 	if c.RackSize < 0 {
 		return fmt.Errorf("cluster: RackSize = %d", c.RackSize)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("cluster: Shards = %d", c.Shards)
+	}
+	if c.Shards >= 2 && c.Base.LinkPropagation <= 0 {
+		return fmt.Errorf("cluster: sharding requires positive link propagation (it is the lookahead)")
 	}
 	if c.LenderCapacity%ocapi.CacheLineSize != 0 {
 		return fmt.Errorf("cluster: LenderCapacity %d not line-aligned", c.LenderCapacity)
@@ -116,8 +133,10 @@ func (r Region) Addr(offset uint64) uint64 {
 // (probe waiters, tag ranges, attached regions).
 type BorrowerNode struct {
 	p *Pool
-	// ID is the fabric node id (== switch port).
+	// ID is the fabric node id (== switch port); K the kernel the node's
+	// components live on (the pool kernel, or the node's shard).
 	ID  int
+	K   *sim.Kernel
 	NIC *tfnic.NIC
 	Mem *dram.DRAM
 	// ARQ is the node's retransmission layer (nil unless Base.ARQ set).
@@ -142,9 +161,11 @@ type BorrowerNode struct {
 // LenderNode is one memory node: a NIC serving requests against its DRAM,
 // and the allocator carving its reservation.
 type LenderNode struct {
-	// ID is the fabric node id; Index is the pool-local lender index.
+	// ID is the fabric node id; Index is the pool-local lender index; K
+	// the kernel the node's components live on.
 	ID    int
 	Index int
+	K     *sim.Kernel
 	NIC   *tfnic.NIC
 	Mem   *dram.DRAM
 	Alloc *pool.Allocator
@@ -153,6 +174,8 @@ type LenderNode struct {
 // Pool is the composed N-borrower × M-lender system: the node-graph
 // generalization of the two-node Testbed.
 type Pool struct {
+	// K is the single event kernel (nil when the pool is sharded — use
+	// NodeKernel / Run / StepTo instead, which work in both modes).
 	K   *sim.Kernel
 	cfg PoolConfig
 
@@ -164,8 +187,15 @@ type Pool struct {
 	Switch *fabric.Switch
 	Link   *netlink.Link
 	// links holds each node's cable to the switch, indexed by port
-	// (empty for the 1×1 pool).
-	links []*netlink.Link
+	// (empty for the 1×1 pool); xlinks the same when the pool is sharded
+	// and cables cross shard boundaries.
+	links  []*netlink.Link
+	xlinks []*netlink.CrossLink
+
+	// sk coordinates the shard kernels (nil on the legacy path);
+	// shardOf maps fabric node id to its shard.
+	sk      *sim.ShardedKernel
+	shardOf []int
 
 	policy    pool.Policy
 	regionsOn []int // live regions per lender, for placement views
@@ -183,14 +213,18 @@ func NewPool(cfg PoolConfig) *Pool {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	k := sim.NewKernel()
-	p := &Pool{K: k, cfg: cfg, regionsOn: make([]int, cfg.Lenders)}
+	p := &Pool{cfg: cfg, regionsOn: make([]int, cfg.Lenders)}
 	p.policy = cfg.Placement
 	if p.policy == nil {
 		p.policy = pool.DefaultPair{}
 	}
 	base := cfg.Base
 	pair := cfg.Borrowers == 1 && cfg.Lenders == 1
+	nodes := cfg.Borrowers + cfg.Lenders
+	sharded := cfg.Shards >= 2 && !pair
+	if !sharded {
+		p.K = sim.NewKernel()
+	}
 
 	gateFor := cfg.GateFor
 	if gateFor == nil {
@@ -216,7 +250,8 @@ func NewPool(cfg PoolConfig) *Pool {
 	if pair {
 		// The two-node testbed, constructor for constructor: borrower
 		// memory, lender memory, both NICs, the point-to-point link.
-		b := &BorrowerNode{p: p, ID: BorrowerID, gate: gateFor(0)}
+		k := p.K
+		b := &BorrowerNode{p: p, ID: BorrowerID, K: k, gate: gateFor(0)}
 		b.Mem = dram.New(k, base.BorrowerDRAM)
 		lMem := dram.New(k, base.LenderDRAM)
 		b.NIC = tfnic.New(k, nicCfg(BorrowerID, 1), b.gate, nil)
@@ -227,50 +262,100 @@ func NewPool(cfg PoolConfig) *Pool {
 			base.LinkBandwidthBps, base.LinkPropagation)
 		b.finishWiring()
 		p.Borrowers = append(p.Borrowers, b)
-		p.Lenders = append(p.Lenders, p.newLender(LenderID, 0, lNIC, lMem))
+		p.Lenders = append(p.Lenders, p.newLender(LenderID, 0, k, lNIC, lMem))
 		p.EnableMetrics(base.Metrics)
 		return p
 	}
 
 	swCfg := fabric.SwitchConfig{
-		Ports:            cfg.Borrowers + cfg.Lenders,
+		Ports:            nodes,
 		LinkBandwidthBps: base.LinkBandwidthBps,
 		LinkPropagation:  base.LinkPropagation,
 		SwitchLatency:    300 * sim.Nanosecond,
 		OutputQueue:      256,
+		// The cut-sizing contract: each input queue absorbs the deepest
+		// possible in-flight population (every borrower's full tag space
+		// converging on one lender port, plus control-plane slack), so a
+		// node-to-switch cable never backpressures. This holds in BOTH
+		// modes — it is what makes sharded runs byte-identical to legacy
+		// ones, since cross-shard credit flow control then never engages.
+		InputQueue: 2*base.TagSpace*cfg.Borrowers + 64,
 	}
 	if cfg.Switch != nil {
 		swCfg = *cfg.Switch
 	}
-	p.Switch = fabric.NewSwitch(k, swCfg)
+
+	// Shard layout and plumbing. The switch owns shard 0; nodes go
+	// round-robin over the remaining shards; every cable's streams are
+	// created in node-id order so cross-shard merge keys — and therefore
+	// results — do not depend on the shard count.
+	var shardFor func(node int) *sim.Kernel
+	var streamsFor func(node int) (toSwitch, toNode *sim.Stream)
+	var swK *sim.Kernel
+	if sharded {
+		eff := cfg.Shards
+		if eff > nodes+1 {
+			eff = nodes + 1
+		}
+		p.sk = sim.NewShardedKernel(eff)
+		p.shardOf = make([]int, nodes)
+		swK = p.sk.Shard(0)
+		for n := 0; n < nodes; n++ {
+			s := 1 + n%(eff-1)
+			p.shardOf[n] = s
+			p.sk.Connect(s, 0, swCfg.LinkPropagation)
+			p.sk.Connect(0, s, swCfg.LinkPropagation)
+		}
+		shardFor = func(node int) *sim.Kernel { return p.sk.Shard(p.shardOf[node]) }
+		streamsFor = func(node int) (*sim.Stream, *sim.Stream) {
+			return p.sk.NewStream(p.shardOf[node], 0), p.sk.NewStream(0, p.shardOf[node])
+		}
+	} else {
+		swK = p.K
+		shardFor = func(int) *sim.Kernel { return p.K }
+	}
+
+	attach := func(id int, nk *sim.Kernel, nic *tfnic.NIC) {
+		ports := fabric.NICPorts{TxQ: nic.TxQ, RxQ: nic.RxQ}
+		if sharded {
+			ab, ba := streamsFor(id)
+			p.xlinks = append(p.xlinks, p.Switch.AttachRemoteNIC(id, ports, nk, ab, ba))
+			return
+		}
+		p.links = append(p.links, p.Switch.AttachNIC(id, ports))
+	}
+
+	p.Switch = fabric.NewSwitch(swK, swCfg)
 	for i := 0; i < cfg.Borrowers; i++ {
-		b := &BorrowerNode{p: p, ID: i, gate: gateFor(i)}
-		b.Mem = dram.New(k, base.BorrowerDRAM)
-		b.NIC = tfnic.New(k, nicCfg(i, 1), b.gate, nil)
-		p.links = append(p.links, p.Switch.AttachNIC(i, fabric.NICPorts{TxQ: b.NIC.TxQ, RxQ: b.NIC.RxQ}))
+		nk := shardFor(i)
+		b := &BorrowerNode{p: p, ID: i, K: nk, gate: gateFor(i)}
+		b.Mem = dram.New(nk, base.BorrowerDRAM)
+		b.NIC = tfnic.New(nk, nicCfg(i, 1), b.gate, nil)
+		attach(i, nk, b.NIC)
 		b.finishWiring()
 		p.Borrowers = append(p.Borrowers, b)
 	}
 	for l := 0; l < cfg.Lenders; l++ {
 		id := cfg.Borrowers + l
-		mem := dram.New(k, base.LenderDRAM)
+		nk := shardFor(id)
+		mem := dram.New(nk, base.LenderDRAM)
 		// The lender's response queue must absorb every borrower's
 		// outstanding tags at once, so depth scales with borrower count.
-		nic := tfnic.New(k, nicCfg(id, cfg.Borrowers), nil, mem)
-		p.links = append(p.links, p.Switch.AttachNIC(id, fabric.NICPorts{TxQ: nic.TxQ, RxQ: nic.RxQ}))
-		p.Lenders = append(p.Lenders, p.newLender(id, l, nic, mem))
+		nic := tfnic.New(nk, nicCfg(id, cfg.Borrowers), nil, mem)
+		attach(id, nk, nic)
+		p.Lenders = append(p.Lenders, p.newLender(id, l, nk, nic, mem))
 	}
 	p.EnableMetrics(base.Metrics)
 	return p
 }
 
 // newLender builds the lender bookkeeping around its wired components.
-func (p *Pool) newLender(id, index int, nic *tfnic.NIC, mem *dram.DRAM) *LenderNode {
+func (p *Pool) newLender(id, index int, k *sim.Kernel, nic *tfnic.NIC, mem *dram.DRAM) *LenderNode {
 	a, err := pool.NewAllocator(index, LenderBase, p.cfg.lenderCapacity(), ocapi.CacheLineSize)
 	if err != nil {
 		panic(err)
 	}
-	return &LenderNode{ID: id, Index: index, NIC: nic, Mem: mem, Alloc: a}
+	return &LenderNode{ID: id, Index: index, K: k, NIC: nic, Mem: mem, Alloc: a}
 }
 
 // finishWiring installs the borrower's control plane and shared backend
@@ -281,7 +366,7 @@ func (b *BorrowerNode) finishWiring() {
 	b.probeWaiters = make(map[uint32]func(ocapi.Packet))
 	b.sender = b.NIC
 	if base.ARQ != nil {
-		b.ARQ = tfnic.NewARQ(b.p.K, b.NIC, *base.ARQ)
+		b.ARQ = tfnic.NewARQ(b.K, b.NIC, *base.ARQ)
 		b.ARQ.OnComplete = b.route
 		b.sender = b.ARQ
 		b.NIC.OnDeliver = b.ARQ.OnResponse
@@ -295,8 +380,67 @@ func (b *BorrowerNode) finishWiring() {
 // Config returns the pool configuration.
 func (p *Pool) Config() PoolConfig { return p.cfg }
 
-// Kernel returns the simulation kernel.
+// Kernel returns the simulation kernel (nil when sharded).
 func (p *Pool) Kernel() *sim.Kernel { return p.K }
+
+// Sharded reports whether the pool runs on partitioned kernels.
+func (p *Pool) Sharded() bool { return p.sk != nil }
+
+// ShardedKernel returns the shard coordinator (nil on the legacy path).
+func (p *Pool) ShardedKernel() *sim.ShardedKernel { return p.sk }
+
+// NodeKernel returns the kernel that owns fabric node id — the node's
+// shard, or the pool kernel on the legacy path. Schedule a node's traffic
+// and timers here; in sharded mode touching another node's components
+// from this kernel's events is a data race.
+func (p *Pool) NodeKernel(node int) *sim.Kernel {
+	if p.sk != nil {
+		return p.sk.Shard(p.shardOf[node])
+	}
+	return p.K
+}
+
+// Run dispatches events until every kernel drains, in whichever mode the
+// pool was built, and returns the final simulated time.
+func (p *Pool) Run() sim.Time {
+	if p.sk != nil {
+		return p.sk.Run()
+	}
+	return p.K.Run()
+}
+
+// StepTo dispatches every event strictly before t and advances all clocks
+// to exactly t. Between StepTo calls the caller runs single-threaded and
+// may touch any node's components — the barrier the experiment drivers
+// use for control-plane phases (Attach/Detach/Grow, fault injection,
+// probes) so the same driver code is deterministic in both modes.
+func (p *Pool) StepTo(t sim.Time) {
+	if p.sk != nil {
+		p.sk.StepTo(t)
+		return
+	}
+	p.K.RunBelow(t)
+	p.K.AdvanceTo(t)
+}
+
+// Now returns the current simulated time: the single kernel's clock, or —
+// when sharded — the driver-side clock of the last completed Run/StepTo.
+// There is no global instant while shards advance in parallel, so code
+// running inside an event must read its own node kernel's clock instead.
+func (p *Pool) Now() sim.Time {
+	if p.sk != nil {
+		return p.sk.Now()
+	}
+	return p.K.Now()
+}
+
+// Processed returns total events dispatched across all kernels.
+func (p *Pool) Processed() uint64 {
+	if p.sk != nil {
+		return p.sk.Processed()
+	}
+	return p.K.Processed()
+}
 
 // rackDistance is the locality metric: 0 within a rack, 1 across racks.
 func (p *Pool) rackDistance(a, b int) int {
@@ -440,6 +584,11 @@ func (p *Pool) EnableTracing(cfg obs.Config) *obs.Tracer {
 	if p.tracer != nil {
 		panic("cluster: tracing already enabled")
 	}
+	if p.sk != nil {
+		// The tracer's span pool and clock belong to one kernel; taps
+		// firing concurrently from shard goroutines would race on it.
+		panic("cluster: tracing is single-kernel only; run with Shards <= 1")
+	}
 	p.tracer = obs.New(p.K, cfg)
 	for _, b := range p.Borrowers {
 		b.NIC.SetTracer(p.tracer)
@@ -494,6 +643,12 @@ func (p *Pool) EnableMetrics(pl *metricsplane.Plane) {
 	}
 	for port, ln := range p.links {
 		// Node-to-switch cables: link 0 = toward the switch, 1 = from it.
+		ln.AtoB.SetMetrics(pl.LinkMetricsFor(port, 0))
+		ln.BtoA.SetMetrics(pl.LinkMetricsFor(port, 1))
+	}
+	for port, ln := range p.xlinks {
+		// Same cables when the pool is sharded; the plane's instruments
+		// are lock-free atomics, so cross-shard updates are safe.
 		ln.AtoB.SetMetrics(pl.LinkMetricsFor(port, 0))
 		ln.BtoA.SetMetrics(pl.LinkMetricsFor(port, 1))
 	}
@@ -553,7 +708,7 @@ func (b *BorrowerNode) newBackend() *memport.RemoteBackend {
 	if base+uint32(cfg.TagSpace) > ProbeTagBase {
 		panic("cluster: backend tag range collides with probe tags")
 	}
-	be := memport.NewRemoteBackendTags(b.p.K, b.sender, base, cfg.TagSpace, cfg.PortLatency,
+	be := memport.NewRemoteBackendTags(b.K, b.sender, base, cfg.TagSpace, cfg.PortLatency,
 		uint16(b.ID), uint16(b.p.pairedLenderNode()))
 	if cfg.FillDeadline > 0 {
 		be.SetDeadline(cfg.FillDeadline)
@@ -631,9 +786,9 @@ func (b *BorrowerNode) ProbeLender(lender *LenderNode, deadline sim.Duration, do
 		Tag:    b.nextProbeTag(),
 		Src:    uint16(b.ID),
 		Dst:    uint16(lender.ID),
-		Issued: b.p.K.Now(),
+		Issued: b.K.Now(),
 	}
-	start := b.p.K.Now()
+	start := b.K.Now()
 	if !b.sender.TrySend(p) {
 		return false
 	}
@@ -643,10 +798,10 @@ func (b *BorrowerNode) ProbeLender(lender *LenderNode, deadline sim.Duration, do
 			done(false, 0) // nacked probe: the lender could not trust it
 			return
 		}
-		done(true, b.p.K.Now().Sub(start))
+		done(true, b.K.Now().Sub(start))
 	}
 	if deadline > 0 {
-		b.p.K.After(deadline, func() {
+		b.K.After(deadline, func() {
 			if _, live := b.probeWaiters[tag]; !live {
 				return // already answered
 			}
@@ -662,7 +817,7 @@ func (b *BorrowerNode) ProbeLender(lender *LenderNode, deadline sim.Duration, do
 // node's NIC and tag space — the MCBN contention mechanism.
 func (b *BorrowerNode) NewRemoteHierarchy() *memport.Hierarchy {
 	cfg := b.p.cfg.Base
-	h := memport.NewHierarchy(b.p.K, b.newLLC(), b.backend, cfg.MSHRs)
+	h := memport.NewHierarchy(b.K, b.newLLC(), b.backend, cfg.MSHRs)
 	h.SetTracer(b.p.tracer)
 	return h
 }
@@ -683,7 +838,7 @@ func (b *BorrowerNode) NewRemoteHierarchyPrio(prio uint8) *memport.Hierarchy {
 	cfg := b.p.cfg.Base
 	be := b.newBackend()
 	be.SetPriority(prio)
-	h := memport.NewHierarchy(b.p.K, b.newLLC(), be, cfg.MSHRs)
+	h := memport.NewHierarchy(b.K, b.newLLC(), be, cfg.MSHRs)
 	h.SetTracer(b.p.tracer)
 	return h
 }
@@ -695,7 +850,7 @@ func (b *BorrowerNode) NewLocalHierarchy() *memport.Hierarchy {
 	if b.p.tracer != nil {
 		backend.SetTracer(b.p.tracer)
 	}
-	h := memport.NewHierarchy(b.p.K, b.newLLC(), backend, cfg.MSHRs)
+	h := memport.NewHierarchy(b.K, b.newLLC(), backend, cfg.MSHRs)
 	h.SetTracer(b.p.tracer)
 	return h
 }
@@ -712,7 +867,7 @@ func (p *Pool) NewLenderLocalHierarchy(l int) *memport.Hierarchy {
 	if p.plane != nil {
 		c.SetMetrics(p.plane.CacheMetricsFor(p.Lenders[l].ID))
 	}
-	h := memport.NewHierarchy(p.K, c, backend, cfg.MSHRs)
+	h := memport.NewHierarchy(p.Lenders[l].K, c, backend, cfg.MSHRs)
 	h.SetTracer(p.tracer)
 	return h
 }
@@ -740,7 +895,7 @@ func (pp PairProber) Probe(deadline sim.Duration, done func(ok bool, rtt sim.Dur
 }
 
 // Kernel returns the simulation kernel for timers.
-func (pp PairProber) Kernel() *sim.Kernel { return pp.B.p.K }
+func (pp PairProber) Kernel() *sim.Kernel { return pp.B.K }
 
 // Prober returns the control-plane adapter for a borrower/lender pair.
 func (p *Pool) Prober(borrower, lender int) PairProber {

@@ -1,0 +1,212 @@
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"thymesim/internal/obs"
+	"thymesim/internal/ocapi"
+	"thymesim/internal/sim"
+)
+
+// shardedFillTrace drives the same remote-fill workload on a pool built
+// with the given shard count and returns per-borrower completion-time
+// traces. Shards==0 is the legacy single-kernel path.
+func shardedFillTrace(t *testing.T, shards, borrowers, lenders, accesses int) [][]sim.Time {
+	t.Helper()
+	cfg := DefaultPoolConfig(borrowers, lenders, 1)
+	cfg.Shards = shards
+	cfg.LenderCapacity = 1 << 20
+	p := NewPool(cfg)
+	traces := make([][]sim.Time, borrowers)
+	for b := 0; b < borrowers; b++ {
+		r, err := p.Attach(b, 64<<10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bn := p.Borrowers[b]
+		h := bn.NewRemoteHierarchy()
+		b := b
+		bn.K.At(0, func() {
+			for i := 0; i < accesses; i++ {
+				off := uint64(i%512) * ocapi.CacheLineSize
+				bn := bn
+				h.Access(r.Addr(off), 8, i%3 == 0, func() {
+					traces[b] = append(traces[b], bn.K.Now())
+				})
+			}
+		})
+	}
+	p.Run()
+	return traces
+}
+
+// TestPoolShardedFillsMatchLegacy: the full disaggregated datapath —
+// hierarchy, NIC, cable, switch, lender DRAM and back — completes every
+// fill at byte-identical instants on the legacy kernel, at 2 shards, and
+// fully sharded.
+func TestPoolShardedFillsMatchLegacy(t *testing.T) {
+	const borrowers, lenders, accesses = 3, 2, 160
+	want := shardedFillTrace(t, 0, borrowers, lenders, accesses)
+	for _, shards := range []int{2, 3, borrowers + lenders + 1, 64} {
+		if shards == 3 {
+			// Force the goroutine-per-shard executor for one shard count
+			// even on a single-CPU host (it is the default on multi-core);
+			// under -race this is the full-datapath stress of the
+			// cross-shard rings and barrier ordering.
+			old := runtime.GOMAXPROCS(2)
+			defer runtime.GOMAXPROCS(old)
+		}
+		got := shardedFillTrace(t, shards, borrowers, lenders, accesses)
+		for b := range want {
+			if len(want[b]) != accesses {
+				t.Fatalf("legacy borrower %d completed %d of %d", b, len(want[b]), accesses)
+			}
+			if fmt.Sprint(got[b]) != fmt.Sprint(want[b]) {
+				t.Fatalf("shards=%d borrower %d completion trace diverged\n got %v\nwant %v",
+					shards, b, got[b], want[b])
+			}
+		}
+	}
+}
+
+// TestPoolShardedControlPlane: StepTo-barrier driver churn — attach,
+// probe, crash/restore, grow, detach — lands identically in both modes.
+func TestPoolShardedControlPlane(t *testing.T) {
+	// Three log streams: one per borrower for in-event notes (each written
+	// only by the kernel goroutine that owns that borrower), one for the
+	// driver phases. In-event append order across shards is wall-clock
+	// interleaving, not simulation order, so byte-identity is asserted per
+	// stream — within a stream, order is simulation order in both modes.
+	run := func(shards int) [3][]string {
+		cfg := DefaultPoolConfig(2, 2, 1)
+		cfg.Shards = shards
+		cfg.LenderCapacity = 1 << 20
+		cfg.Base.ARQ = faultARQConfig()
+		cfg.Base.FillDeadline = 200 * sim.Microsecond
+		p := NewPool(cfg)
+		var logs [3][]string
+		// Driver-phase notes read the pool clock (shards parked at the step
+		// boundary); in-event notes read the clock of the kernel they run
+		// on — there is no global "now" while shards advance in parallel.
+		note := func(format string, args ...any) {
+			logs[2] = append(logs[2], fmt.Sprintf("%v: ", p.Now())+fmt.Sprintf(format, args...))
+		}
+		noteAt := func(b int, k *sim.Kernel, format string, args ...any) {
+			logs[b] = append(logs[b], fmt.Sprintf("%v: ", k.Now())+fmt.Sprintf(format, args...))
+		}
+		regions := make([]Region, 2)
+		hs := make([]interface {
+			Access(addr uint64, size int, write bool, done func())
+		}, 2)
+		for b := 0; b < 2; b++ {
+			r, err := p.Attach(b, 64<<10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			regions[b] = r
+			hs[b] = p.Borrowers[b].NewRemoteHierarchy()
+		}
+		step := 50 * sim.Microsecond
+		for round := 1; round <= 6; round++ {
+			p.StepTo(sim.Time(round) * sim.Time(step))
+			switch round {
+			case 1:
+				for b := 0; b < 2; b++ {
+					b := b
+					bn := p.Borrowers[b]
+					bn.ProbeLender(p.Lenders[b%len(p.Lenders)], 20*sim.Microsecond,
+						func(ok bool, rtt sim.Duration) { noteAt(b, bn.K, "probe b%d ok=%t rtt=%v", b, ok, rtt) })
+				}
+			case 2:
+				p.CrashLender(1)
+				note("crashed lender 1")
+			case 3:
+				p.RestoreLender(1, true)
+				note("restored lender 1 (wiped)")
+			case 4:
+				g, err := p.Grow(regions[0], 128<<10)
+				note("grow: err=%v size=%d", err, g.Size)
+				if err == nil {
+					regions[0] = g
+				}
+			case 5:
+				note("detach: err=%v", p.Detach(regions[1]))
+			}
+			// A traffic burst after every control phase.
+			for b := 0; b < 2; b++ {
+				if round >= 5 && b == 1 {
+					continue // detached
+				}
+				b := b
+				bn := p.Borrowers[b]
+				for i := 0; i < 8; i++ {
+					hs[b].Access(regions[b].Addr(uint64(i)*ocapi.CacheLineSize), 8, i%2 == 0,
+						func() { noteAt(b, bn.K, "fill b%d done", b) })
+				}
+			}
+		}
+		p.Run()
+		return logs
+	}
+	want := run(0)
+	if len(want[0]) == 0 || len(want[2]) == 0 {
+		t.Fatal("legacy run produced no events")
+	}
+	for _, shards := range []int{2, 5} {
+		got := run(shards)
+		for s := range want {
+			if len(got[s]) != len(want[s]) {
+				t.Fatalf("shards=%d stream %d: %d log lines, want %d\nfull got %v\nfull want %v",
+					shards, s, len(got[s]), len(want[s]), got[s], want[s])
+			}
+			for i := range want[s] {
+				if got[s][i] != want[s][i] {
+					t.Fatalf("shards=%d stream %d line %d:\n got %s\nwant %s", shards, s, i, got[s][i], want[s][i])
+				}
+			}
+		}
+	}
+}
+
+// TestPoolShardedAccessors: mode plumbing.
+func TestPoolShardedAccessors(t *testing.T) {
+	cfg := DefaultPoolConfig(2, 2, 1)
+	cfg.Shards = 3
+	p := NewPool(cfg)
+	if !p.Sharded() || p.Kernel() != nil || p.ShardedKernel() == nil {
+		t.Fatal("sharded pool accessors inconsistent")
+	}
+	if p.NodeKernel(0) == p.NodeKernel(1) {
+		t.Fatal("nodes 0 and 1 should land on different shards at Shards=3")
+	}
+	if p.NodeKernel(0) != p.Borrowers[0].K || p.NodeKernel(2) != p.Lenders[0].K {
+		t.Fatal("NodeKernel does not match node K fields")
+	}
+
+	legacy := NewPool(DefaultPoolConfig(2, 2, 1))
+	if legacy.Sharded() || legacy.Kernel() == nil || legacy.NodeKernel(3) != legacy.Kernel() {
+		t.Fatal("legacy pool accessors inconsistent")
+	}
+
+	// The 1×1 pair has no fabric to cut: Shards is ignored.
+	pairCfg := DefaultPoolConfig(1, 1, 1)
+	pairCfg.Shards = 8
+	if NewPool(pairCfg).Sharded() {
+		t.Fatal("1x1 pool must stay legacy")
+	}
+}
+
+// TestPoolShardedTracingPanics: the span tracer is single-kernel only.
+func TestPoolShardedTracingPanics(t *testing.T) {
+	cfg := DefaultPoolConfig(2, 2, 1)
+	cfg.Shards = 2
+	p := NewPool(cfg)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EnableTracing on a sharded pool did not panic")
+		}
+	}()
+	p.EnableTracing(obs.Config{Sample: 1})
+}

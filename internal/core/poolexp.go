@@ -76,6 +76,7 @@ func (o Options) runPoolPoint(policy string, borrowers, lenders int) float64 {
 		Lenders:   lenders,
 		Base:      o.TestbedConfig(1),
 		Placement: pol,
+		Shards:    o.Shards,
 		// Sized so even default-pair can funnel every borrower onto
 		// lender 0: contention, not allocation failure, is the measured
 		// effect.
@@ -91,25 +92,35 @@ func (o Options) runPoolPoint(policy string, borrowers, lenders int) float64 {
 		}
 		cfg := stream.DefaultConfig(r.Addr(0))
 		cfg.Elements = o.StreamElements
-		runners = append(runners, stream.New(p.K, p.Borrowers[i].NewRemoteHierarchy(), cfg))
+		// Each runner lives on its borrower's kernel: in sharded mode the
+		// borrowers advance in parallel, so both the runner's events and
+		// its completion callback stay shard-local.
+		runners = append(runners, stream.New(p.Borrowers[i].K, p.Borrowers[i].NewRemoteHierarchy(), cfg))
 	}
-	var all [][]stream.Result
-	p.K.At(0, func() {
-		for _, r := range runners {
-			r := r
-			r.Run(func(res []stream.Result) { all = append(all, res) })
-		}
-	})
-	p.K.Run()
-	if len(all) == 0 {
-		return 0
+	// Results land in per-borrower slots — callbacks on different shards
+	// run concurrently, so no shared append.
+	all := make([][]stream.Result, borrowers)
+	for i, r := range runners {
+		i, r := i, r
+		p.Borrowers[i].K.At(0, func() {
+			r.Run(func(res []stream.Result) { all[i] = res })
+		})
 	}
+	p.Run()
 	var sum float64
+	n := 0
 	for _, res := range all {
+		if res == nil {
+			continue
+		}
 		bw, _ := stream.Summary(res)
 		sum += bw
+		n++
 	}
-	return sum / float64(len(all))
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
 }
 
 // PoolChaosConfig parameterizes the pool chaos campaign.
@@ -120,6 +131,11 @@ type PoolChaosConfig struct {
 	// Rounds of interleaved churn (attach/detach/grow), lender
 	// crash/restore, and traffic bursts.
 	Rounds int
+	// TagSpace, when > 0, overrides the per-borrower transaction tag
+	// space (the default 256 sizes every switch input queue at
+	// 2*TagSpace*Borrowers; rack-scale campaigns shrink it to keep the
+	// fabric realistic). MSHRs are capped to fit.
+	TagSpace int
 }
 
 // DefaultPoolChaosConfig returns the nightly campaign shape.
@@ -172,11 +188,18 @@ func (o Options) RunPoolChaos(cfg PoolChaosConfig) *PoolChaos {
 	base := o.TestbedConfig(1)
 	base.ARQ = &arq
 	base.FillDeadline = 200 * sim.Microsecond
+	if cfg.TagSpace > 0 {
+		base.TagSpace = cfg.TagSpace
+		if base.MSHRs > cfg.TagSpace {
+			base.MSHRs = cfg.TagSpace
+		}
+	}
 	p := cluster.NewPool(cluster.PoolConfig{
 		Borrowers: cfg.Borrowers,
 		Lenders:   cfg.Lenders,
 		Base:      base,
 		Placement: pool.LeastLoaded{},
+		Shards:    o.Shards,
 		// Small reservations so the campaign actually exercises
 		// allocation pressure and attach rejection.
 		LenderCapacity: 4 << 20,
@@ -189,75 +212,85 @@ func (o Options) RunPoolChaos(cfg PoolChaosConfig) *PoolChaos {
 	for i := range hs {
 		hs[i] = p.Borrowers[i].NewRemoteHierarchy()
 	}
+	// Completion callbacks run on the borrower's kernel; with the pool
+	// sharded those kernels advance concurrently, so each borrower counts
+	// into its own slot and the driver sums after the run.
+	completed := make([]uint64, cfg.Borrowers)
 	crashed := -1
 	const roundGap = 500 * sim.Microsecond
+	// The campaign is a StepTo-barrier driver: each round the pool runs to
+	// the round boundary, then — with every kernel parked — the driver
+	// applies the control-plane phases single-threaded. The same code is
+	// deterministic in legacy and sharded modes.
 	for round := 0; round < cfg.Rounds; round++ {
-		round := round
-		p.K.At(sim.Time(round)*sim.Time(roundGap), func() {
-			// Fault phase: restore last round's casualty wiped (a probe
-			// re-arms its window state), or fell a fresh lender.
-			if crashed >= 0 {
-				l := crashed
-				crashed = -1
-				p.RestoreLender(l, true)
-				res.Restores++
-				p.Borrowers[0].ProbeLender(p.Lenders[l], 100*sim.Microsecond,
-					func(bool, sim.Duration) {})
-			} else if rng.Float64() < 0.25 {
-				crashed = rng.Intn(cfg.Lenders)
-				p.CrashLender(crashed)
-				res.Crashes++
-			}
-			// Churn phase: pure control-plane work against the allocators.
-			for b := 0; b < cfg.Borrowers; b++ {
-				switch op := rng.Intn(10); {
-				case op < 4:
-					size := uint64(rng.Intn(16)+1) * (64 << 10)
-					r, err := p.Attach(b, size)
-					if err != nil {
-						res.AttachRejected++ // pool full here; legal
-						break
-					}
-					live[b] = append(live[b], r)
-					res.Attaches++
-				case op < 6:
-					if len(live[b]) == 0 {
-						break
-					}
-					j := rng.Intn(len(live[b]))
-					if err := p.Detach(live[b][j]); err != nil {
-						panic(err)
-					}
-					live[b] = append(live[b][:j], live[b][j+1:]...)
-					res.Detaches++
-				case op < 7:
-					if len(live[b]) == 0 {
-						break
-					}
-					j := rng.Intn(len(live[b]))
-					grown, err := p.Grow(live[b][j], live[b][j].Size+64<<10)
-					if err != nil {
-						break // neighbour carved out; legal
-					}
-					live[b][j] = grown
-					res.Grows++
+		p.StepTo(sim.Time(round) * sim.Time(roundGap))
+		// Fault phase: restore last round's casualty wiped (a probe
+		// re-arms its window state), or fell a fresh lender.
+		if crashed >= 0 {
+			l := crashed
+			crashed = -1
+			p.RestoreLender(l, true)
+			res.Restores++
+			p.Borrowers[0].ProbeLender(p.Lenders[l], 100*sim.Microsecond,
+				func(bool, sim.Duration) {})
+		} else if rng.Float64() < 0.25 {
+			crashed = rng.Intn(cfg.Lenders)
+			p.CrashLender(crashed)
+			res.Crashes++
+		}
+		// Churn phase: pure control-plane work against the allocators.
+		for b := 0; b < cfg.Borrowers; b++ {
+			switch op := rng.Intn(10); {
+			case op < 4:
+				size := uint64(rng.Intn(16)+1) * (64 << 10)
+				r, err := p.Attach(b, size)
+				if err != nil {
+					res.AttachRejected++ // pool full here; legal
+					break
 				}
-				// Traffic phase: a burst at one random live region.
+				live[b] = append(live[b], r)
+				res.Attaches++
+			case op < 6:
 				if len(live[b]) == 0 {
-					continue
+					break
 				}
-				r := live[b][rng.Intn(len(live[b]))]
-				lines := int(r.Size / ocapi.CacheLineSize)
-				for a := rng.Intn(24) + 8; a > 0; a-- {
-					off := uint64(rng.Intn(lines)) * ocapi.CacheLineSize
-					res.Issued++
-					hs[b].Access(r.Addr(off), 8, rng.Intn(2) == 0,
-						func() { res.Completed++ })
+				j := rng.Intn(len(live[b]))
+				if err := p.Detach(live[b][j]); err != nil {
+					panic(err)
 				}
+				live[b] = append(live[b][:j], live[b][j+1:]...)
+				res.Detaches++
+			case op < 7:
+				if len(live[b]) == 0 {
+					break
+				}
+				j := rng.Intn(len(live[b]))
+				grown, err := p.Grow(live[b][j], live[b][j].Size+64<<10)
+				if err != nil {
+					break // neighbour carved out; legal
+				}
+				live[b][j] = grown
+				res.Grows++
 			}
-		})
+			// Traffic phase: a burst at one random live region.
+			if len(live[b]) == 0 {
+				continue
+			}
+			r := live[b][rng.Intn(len(live[b]))]
+			lines := int(r.Size / ocapi.CacheLineSize)
+			slot := &completed[b]
+			for a := rng.Intn(24) + 8; a > 0; a-- {
+				off := uint64(rng.Intn(lines)) * ocapi.CacheLineSize
+				res.Issued++
+				hs[b].Access(r.Addr(off), 8, rng.Intn(2) == 0,
+					func() { *slot++ })
+			}
+		}
 	}
-	p.K.Run()
+	p.Run()
+	for _, c := range completed {
+		res.Completed += c
+	}
 
 	viol := func(format string, args ...any) {
 		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))

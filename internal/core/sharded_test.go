@@ -1,0 +1,59 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestPoolShardsInvariant is the sharded-runtime determinism contract at
+// the experiment level: Options.Shards is a throughput knob, never a
+// results knob. Across seeds, every pool experiment must produce
+// byte-identical CSVs and campaign counters on the legacy single kernel,
+// at 2 shards (switch/nodes split), and at 8 (every node its own shard).
+func TestPoolShardsInvariant(t *testing.T) {
+	shardCounts := []int{1, 2, 8}
+	for _, seed := range []uint64{1, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("contention-seed%d", seed), func(t *testing.T) {
+			run := func(shards int) map[string][]byte {
+				o := fastOptions()
+				o.Seed = seed
+				o.Shards = shards
+				rep := &Report{Options: o, PoolCont: o.RunPoolContention([]int{1, 3}, 2)}
+				return writeReportDir(t, rep)
+			}
+			want := run(shardCounts[0])
+			csv, ok := want["fig_pool_contention.csv"]
+			if !ok || len(csv) == 0 {
+				t.Fatal("fig_pool_contention.csv missing or empty")
+			}
+			for _, shards := range shardCounts[1:] {
+				got := run(shards)
+				if !bytes.Equal(got["fig_pool_contention.csv"], csv) {
+					t.Errorf("shards=%d differs from legacy:\nlegacy:\n%s\nsharded:\n%s",
+						shards, csv, got["fig_pool_contention.csv"])
+				}
+			}
+		})
+		t.Run(fmt.Sprintf("chaos-seed%d", seed), func(t *testing.T) {
+			run := func(shards int) string {
+				o := fastOptions()
+				o.Shards = shards
+				cfg := DefaultPoolChaosConfig()
+				cfg.Seed = seed
+				r := o.RunPoolChaos(cfg)
+				if !r.OK() {
+					t.Fatalf("shards=%d: %v", shards, r.Violations)
+				}
+				return fmt.Sprintf("%+v", *r)
+			}
+			want := run(shardCounts[0])
+			for _, shards := range shardCounts[1:] {
+				if got := run(shards); got != want {
+					t.Errorf("shards=%d counters diverged:\nlegacy:  %s\nsharded: %s", shards, want, got)
+				}
+			}
+		})
+	}
+}

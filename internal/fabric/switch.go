@@ -28,6 +28,12 @@ type SwitchConfig struct {
 	// OutputQueue bounds each output port's queue in beats; when full,
 	// upstream backpressure applies (PFC-style lossless fabric).
 	OutputQueue int
+	// InputQueue bounds each input port's queue in beats; zero means
+	// OutputQueue. Sharded pools deepen inputs past the worst-case
+	// outstanding-tag population so the cable never backpressures at the
+	// shard cut (see cluster.PoolConfig), while output queues keep
+	// modeling egress contention.
+	InputQueue int
 }
 
 // DefaultSwitchConfig returns a 100 Gb/s, shallow-buffer ToR-like switch.
@@ -54,6 +60,9 @@ func (c SwitchConfig) Validate() error {
 	}
 	if c.OutputQueue <= 0 {
 		return fmt.Errorf("fabric: output queue = %d", c.OutputQueue)
+	}
+	if c.InputQueue < 0 {
+		return fmt.Errorf("fabric: input queue = %d", c.InputQueue)
 	}
 	return nil
 }
@@ -109,9 +118,13 @@ func NewSwitch(k *sim.Kernel, cfg SwitchConfig) *Switch {
 		waiting:     make([][]bool, cfg.Ports),
 		attached:    make([]bool, cfg.Ports),
 	}
+	inQ := cfg.InputQueue
+	if inQ == 0 {
+		inQ = cfg.OutputQueue
+	}
 	outs := make([]*axis.FIFO, cfg.Ports)
 	for i := 0; i < cfg.Ports; i++ {
-		in := axis.NewFIFO(fmt.Sprintf("sw-in%d", i), cfg.OutputQueue)
+		in := axis.NewFIFO(fmt.Sprintf("sw-in%d", i), inQ)
 		out := axis.NewFIFO(fmt.Sprintf("sw-out%d", i), cfg.OutputQueue)
 		s.ports = append(s.ports, Port{In: in, Out: out})
 		outs[i] = out
@@ -238,6 +251,26 @@ func (s *Switch) AttachNIC(i int, nic NICPorts) *netlink.Link {
 	s.attached[i] = true
 	p := s.ports[i]
 	return netlink.NewLink(s.k,
+		nic.TxQ, p.In, // NIC -> switch
+		p.Out, nic.RxQ, // switch -> NIC
+		s.cfg.LinkBandwidthBps, s.cfg.LinkPropagation)
+}
+
+// AttachRemoteNIC cables a NIC living on another shard to switch port i.
+// nodeK is the NIC's kernel; toSwitch/toSwitchBack are the node→switch
+// and switch→node streams of the cable's shard pair (the cable's
+// propagation is the pair's lookahead edge). Same one-NIC-per-port rule
+// as AttachNIC.
+func (s *Switch) AttachRemoteNIC(i int, nic NICPorts, nodeK *sim.Kernel, toSwitch, toNode *sim.Stream) *netlink.CrossLink {
+	if i < 0 || i >= len(s.ports) {
+		panic(fmt.Sprintf("fabric: port %d out of range", i))
+	}
+	if s.attached[i] {
+		panic(fmt.Sprintf("fabric: port %d already has a NIC", i))
+	}
+	s.attached[i] = true
+	p := s.ports[i]
+	return netlink.NewCrossLink(nodeK, s.k, toSwitch, toNode,
 		nic.TxQ, p.In, // NIC -> switch
 		p.Out, nic.RxQ, // switch -> NIC
 		s.cfg.LinkBandwidthBps, s.cfg.LinkPropagation)

@@ -1,0 +1,137 @@
+package netlink
+
+import (
+	"fmt"
+	"testing"
+
+	"thymesim/internal/axis"
+	"thymesim/internal/sim"
+)
+
+// crossPair builds a full-duplex cross-shard link between shard 0 and
+// shard 1 of a fresh 2-shard kernel, with a simple consumer on each RX
+// FIFO that pops after a fixed think time and records delivery instants.
+func crossPair(bw float64, prop sim.Duration, rxCap int) (*sim.ShardedKernel, *CrossLink, *axis.FIFO, *axis.FIFO, *axis.FIFO, *axis.FIFO) {
+	sk := sim.NewShardedKernel(2)
+	sk.Connect(0, 1, prop)
+	sk.Connect(1, 0, prop)
+	ab := sk.NewStream(0, 1)
+	ba := sk.NewStream(1, 0)
+	txA := axis.NewFIFO("txA", 64)
+	rxB := axis.NewFIFO("rxB", rxCap)
+	txB := axis.NewFIFO("txB", 64)
+	rxA := axis.NewFIFO("rxA", rxCap)
+	l := NewCrossLink(sk.Shard(0), sk.Shard(1), ab, ba, txA, rxB, txB, rxA, bw, prop)
+	return sk, l, txA, rxB, txB, rxA
+}
+
+// TestCrossChannelMatchesChannel: with roomy receivers (the pool's sizing
+// contract), a cross-shard channel delivers every beat at exactly the
+// instants the single-kernel Channel does.
+func TestCrossChannelMatchesChannel(t *testing.T) {
+	const bw, prop, beats = 1e9, 100 * sim.Nanosecond, 20
+
+	// Legacy single-kernel reference.
+	k := sim.NewKernel()
+	tx := axis.NewFIFO("tx", 64)
+	rx := axis.NewFIFO("rx", 64)
+	NewChannel(k, tx, rx, bw, prop)
+	var want []sim.Time
+	rx.OnData(func() {
+		want = append(want, k.Now())
+		rx.Pop()
+	})
+	k.At(0, func() {
+		for i := 0; i < beats; i++ {
+			tx.Push(axis.Beat{Bytes: 100 * (i + 1), Dest: i})
+		}
+	})
+	k.Run()
+
+	// Cross-shard run, same traffic.
+	sk, _, txA, rxB, _, _ := crossPair(bw, prop, 64)
+	var got []sim.Time
+	rxB.OnData(func() {
+		got = append(got, sk.Shard(1).Now())
+		rxB.Pop()
+	})
+	sk.Shard(0).At(0, func() {
+		for i := 0; i < beats; i++ {
+			txA.Push(axis.Beat{Bytes: 100 * (i + 1), Dest: i})
+		}
+	})
+	sk.Run()
+
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("delivery instants diverged:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestCrossChannelFullDuplex: both directions run concurrently on their
+// own shards and deliver everything.
+func TestCrossChannelFullDuplex(t *testing.T) {
+	sk, l, txA, rxB, txB, rxA := crossPair(1e9, 100*sim.Nanosecond, 64)
+	rxB.OnData(func() { rxB.Pop() })
+	rxA.OnData(func() { rxA.Pop() })
+	sk.Shard(0).At(0, func() {
+		for i := 0; i < 10; i++ {
+			txA.Push(axis.Beat{Bytes: 256})
+		}
+	})
+	sk.Shard(1).At(0, func() {
+		for i := 0; i < 10; i++ {
+			txB.Push(axis.Beat{Bytes: 256})
+		}
+	})
+	sk.Run()
+	if l.AtoB.Delivered() != 10 || l.BtoA.Delivered() != 10 {
+		t.Fatalf("delivered a->b=%d b->a=%d, want 10/10", l.AtoB.Delivered(), l.BtoA.Delivered())
+	}
+	if l.AtoB.Bytes() != 2560 || l.BtoA.Bytes() != 2560 {
+		t.Fatalf("bytes a->b=%d b->a=%d", l.AtoB.Bytes(), l.BtoA.Bytes())
+	}
+}
+
+// TestCrossChannelCreditBackpressure: when the receiver does fill, the
+// credit loop bounds in-flight beats at the RX capacity instead of
+// overflowing, and drains resume the flow.
+func TestCrossChannelCreditBackpressure(t *testing.T) {
+	const rxCap = 2
+	sk, l, txA, rxB, _, _ := crossPair(1e12, 100*sim.Nanosecond, rxCap)
+	sk.Shard(0).At(0, func() {
+		for i := 0; i < 6; i++ {
+			txA.Push(axis.Beat{Bytes: 100, Dest: i})
+		}
+	})
+	sk.Run()
+	if rxB.Len() != rxCap || txA.Len() != 6-rxCap {
+		t.Fatalf("stalled: rx=%d tx=%d, want %d/%d", rxB.Len(), txA.Len(), rxCap, 6-rxCap)
+	}
+	// Drain on the RX shard; credits flow back and release the rest.
+	rxB.OnData(func() { rxB.Pop() })
+	sk.Shard(1).At(sk.Shard(1).Now(), func() {
+		for rxB.Len() > 0 {
+			rxB.Pop()
+		}
+	})
+	sk.Run()
+	if txA.Len() != 0 || l.AtoB.Delivered() != 6 {
+		t.Fatalf("resume: tx=%d delivered=%d, want 0/6", txA.Len(), l.AtoB.Delivered())
+	}
+}
+
+// TestCrossChannelValidation: zero propagation has no lookahead and must
+// be rejected.
+func TestCrossChannelValidation(t *testing.T) {
+	sk := sim.NewShardedKernel(2)
+	sk.Connect(0, 1, 1)
+	sk.Connect(1, 0, 1)
+	ab, ba := sk.NewStream(0, 1), sk.NewStream(1, 0)
+	tx, rx := axis.NewFIFO("tx", 4), axis.NewFIFO("rx", 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero propagation did not panic")
+		}
+	}()
+	NewCrossChannel(sk.Shard(0), sk.Shard(1), ab, ba, tx, rx, 1e9, 0)
+}

@@ -200,14 +200,20 @@ type Kernel struct {
 	iqHead    int
 	now       Time
 	seq       uint64
+	frontSeq  uint64
 	processed uint64
 	running   bool
 	stopped   bool
 }
 
+// normalBand is the first seq value of the ordinary At/AtH band. Seq
+// values below it belong to the front band (AtHFront), so a front event
+// always precedes same-instant normal events in the (at, seq) order.
+const normalBand = uint64(1) << 62
+
 // NewKernel returns a kernel whose clock starts at time zero.
 func NewKernel() *Kernel {
-	return &Kernel{}
+	return &Kernel{seq: normalBand}
 }
 
 // Now returns the current simulated time.
@@ -260,6 +266,27 @@ func (k *Kernel) AtH(t Time, h Handler, arg uint64) {
 		return
 	}
 	k.hq.push(hEvent{at: t, seq: k.seq, arg: arg, h: h})
+}
+
+// AtHFront schedules h.Handle(arg) at the absolute instant t ahead of
+// every same-instant event the normal At/AtH band has scheduled or will
+// schedule. The sharded runtime injects cross-shard deliveries through
+// it: in a single-kernel run a cable delivery event is inserted at
+// serialization end — at least one propagation delay before it fires —
+// so it precedes any same-instant work the destination schedules while
+// the beat is still in flight, and the front band reproduces that
+// insertion point. Front events keep their own insertion order; unlike
+// AtH, a front event at the current instant still goes through the heap
+// so it can overtake the immediate ring.
+func (k *Kernel) AtHFront(t Time, h Handler, arg uint64) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	k.frontSeq++
+	if k.frontSeq >= normalBand {
+		panic("sim: front-band seq exhausted")
+	}
+	k.hq.push(hEvent{at: t, seq: k.frontSeq, arg: arg, h: h})
 }
 
 // AfterH schedules h.Handle(arg) d after the current instant.
@@ -336,6 +363,62 @@ func (k *Kernel) step(limit Time) bool {
 	k.processed++
 	e.h.Handle(e.arg)
 	return true
+}
+
+// NextEventTime returns the timestamp of the earliest pending event. ok is
+// false when nothing is scheduled. Immediate-ring events sit at the current
+// instant by construction.
+func (k *Kernel) NextEventTime() (Time, bool) {
+	if k.iqHead < len(k.iq) {
+		return k.now, true
+	}
+	next := MaxTime
+	found := false
+	if len(k.fq) > 0 {
+		next = k.fq[0].at
+		found = true
+	}
+	if len(k.hq) > 0 && (!found || k.hq[0].at < next) {
+		next = k.hq[0].at
+		found = true
+	}
+	return next, found
+}
+
+// RunBelow dispatches every event with timestamp strictly before horizon and
+// returns the final simulated time. Unlike RunUntil it never advances the
+// clock past the last dispatched event, so a conservative-PDES coordinator
+// can resume the kernel with a later horizon without losing the frontier.
+func (k *Kernel) RunBelow(horizon Time) Time {
+	if k.running {
+		panic("sim: Kernel.Run called reentrantly")
+	}
+	if horizon <= 0 {
+		return k.now
+	}
+	k.running = true
+	k.stopped = false
+	defer func() { k.running = false }()
+	for !k.stopped && k.step(horizon-1) {
+	}
+	return k.now
+}
+
+// AdvanceTo moves the clock forward to t without dispatching anything.
+// Events scheduled before t must already have been dispatched (RunBelow(t));
+// skipping one would corrupt causality, so that panics. Events at exactly t
+// stay pending and dispatch when the kernel next runs.
+func (k *Kernel) AdvanceTo(t Time) {
+	if k.running {
+		panic("sim: AdvanceTo during Run")
+	}
+	if t < k.now {
+		panic(fmt.Sprintf("sim: AdvanceTo(%v) before now %v", t, k.now))
+	}
+	if next, ok := k.NextEventTime(); ok && next < t {
+		panic(fmt.Sprintf("sim: AdvanceTo(%v) would skip event at %v", t, next))
+	}
+	k.now = t
 }
 
 // Run dispatches events until the queue drains or Stop is called, and

@@ -1,0 +1,657 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardedKernel runs K Kernels in parallel under a conservative-PDES
+// synchronization protocol (the DRackSim construction): each shard owns a
+// disjoint slice of the model and advances independently up to a horizon
+// derived from the minimum cross-shard link latency — the lookahead. A
+// message from shard t can only materialize at another shard s at or after
+// next(t) + dist(t,s), where next(t) is t's earliest pending event and
+// dist is the all-pairs shortest declared latency, so every shard may
+// safely execute events strictly below
+//
+//	horizon(s) = min over t != s of next(t) + dist(t, s)
+//
+// without locks on the hot path. Execution proceeds in rounds: a barrier,
+// an inbox-drain + horizon computation, then a parallel RunBelow per
+// shard. Cross-shard sends travel through per-pair SPSC inbox rings and
+// are injected into the destination kernel in (at, stream, seq) order, a
+// key that depends only on the wired topology — never on which shard a
+// component landed on or on wall-clock interleaving — so results are
+// byte-identical at any shard count >= 2 and any partition.
+//
+// The zero value is not usable; create with NewShardedKernel.
+type ShardedKernel struct {
+	shards []*shardState
+	// lat is the declared per-edge minimum latency (direct edges only);
+	// dist the all-pairs shortest path, both indexed [src][dst]. A zero
+	// entry off the diagonal means "no path". rt[s] is the cheapest
+	// round trip leaving and re-entering s (0 when no cycle exists): even
+	// a shard whose peers are all idle can be woken by an echo of its own
+	// sends, no earlier than next[s]+rt[s].
+	lat    [][]Duration
+	dist   [][]Duration
+	rt     []Duration
+	sealed bool
+
+	nextStream uint32
+	running    bool
+	// now is the driver-side clock: the time reached by the last completed
+	// Run/RunUntil/StepTo. It is written only between rounds (all shard
+	// goroutines joined), never during one — there is no global "now" while
+	// shards advance in parallel, so code running inside an event must read
+	// its own shard kernel's clock instead.
+	now Time
+
+	// Round-global coordination state. next is double-buffered by round
+	// parity so one barrier per phase suffices: readers of parity p are
+	// all past the end-of-round barrier before parity p is overwritten.
+	next    [2][]atomic.Int64
+	stopReq atomic.Bool
+	stop    [2]atomic.Bool
+	barrier spinBarrier
+
+	panicOnce sync.Once
+	panicVal  any
+}
+
+// shardState is one shard's kernel plus its inbound message plumbing.
+type shardState struct {
+	k *Kernel
+	// in[src] is the SPSC inbox ring from shard src (nil until a stream
+	// between the pair exists). Written by src's goroutine during its run
+	// phase, drained by this shard's goroutine during its inject phase;
+	// the inter-phase barrier provides the happens-before edge.
+	in []*inboxRing
+	// staged holds drained cross-shard messages, sorted by the
+	// deterministic (at, stream, seq) merge key, that have not yet been
+	// handed to the kernel. A message is injected only once the shard's
+	// horizon passes its instant — at that point no later round can
+	// deliver another message for the same instant, so the dispatch order
+	// at every instant is a property of the message keys alone, not of
+	// which round happened to carry each message.
+	staged  []xmsg
+	horizon Time
+}
+
+// xmsg is one cross-shard event: a Handler dispatch at an instant, stamped
+// with its stream id and per-stream sequence number. (at, stream, seq) is
+// the total delivery order at the destination — deterministic because
+// stream ids are assigned in wiring order and seq in send order, neither of
+// which depends on the partition or on scheduling.
+type xmsg struct {
+	at     Time
+	stream uint32
+	seq    uint64
+	arg    uint64
+	h      Handler
+}
+
+// NewShardedKernel returns n empty shards, clocks at zero, no edges.
+func NewShardedKernel(n int) *ShardedKernel {
+	if n < 1 {
+		panic(fmt.Sprintf("sim: ShardedKernel of %d shards", n))
+	}
+	sk := &ShardedKernel{
+		shards: make([]*shardState, n),
+		lat:    make([][]Duration, n),
+		dist:   make([][]Duration, n),
+	}
+	for i := range sk.shards {
+		sk.shards[i] = &shardState{k: NewKernel(), in: make([]*inboxRing, n)}
+		sk.lat[i] = make([]Duration, n)
+		sk.dist[i] = make([]Duration, n)
+	}
+	sk.next[0] = make([]atomic.Int64, n)
+	sk.next[1] = make([]atomic.Int64, n)
+	sk.barrier.n = int32(n)
+	return sk
+}
+
+// Shards returns the shard count.
+func (sk *ShardedKernel) Shards() int { return len(sk.shards) }
+
+// Shard returns shard i's kernel. Components owned by a shard must be
+// built against (and scheduled only on) that kernel.
+func (sk *ShardedKernel) Shard(i int) *Kernel { return sk.shards[i].k }
+
+// Connect declares that messages from shard src to shard dst always carry
+// at least minLatency of simulated delay — the conservative lookahead the
+// synchronization protocol exploits. Declaring a latency larger than the
+// model's true minimum corrupts causality (and trips the Send guard);
+// smaller is safe but slower. Repeat declarations keep the minimum.
+func (sk *ShardedKernel) Connect(src, dst int, minLatency Duration) {
+	if sk.sealed {
+		panic("sim: Connect after the sharded kernel started running")
+	}
+	if src == dst {
+		panic("sim: Connect of a shard to itself")
+	}
+	if minLatency <= 0 {
+		panic(fmt.Sprintf("sim: non-positive lookahead %v", minLatency))
+	}
+	if cur := sk.lat[src][dst]; cur == 0 || minLatency < cur {
+		sk.lat[src][dst] = minLatency
+	}
+}
+
+// seal computes the all-pairs lookahead (shortest declared path, since a
+// message can be forwarded across shards no faster than the sum of edge
+// latencies) and freezes the topology.
+func (sk *ShardedKernel) seal() {
+	if sk.sealed {
+		return
+	}
+	n := len(sk.shards)
+	for i := 0; i < n; i++ {
+		copy(sk.dist[i], sk.lat[i])
+	}
+	for via := 0; via < n; via++ {
+		for i := 0; i < n; i++ {
+			d := sk.dist[i][via]
+			if d == 0 || i == via {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				e := sk.dist[via][j]
+				if e == 0 || j == i {
+					continue
+				}
+				if cur := sk.dist[i][j]; cur == 0 || d+e < cur {
+					sk.dist[i][j] = d + e
+				}
+			}
+		}
+	}
+	sk.rt = make([]Duration, n)
+	for s := 0; s < n; s++ {
+		for t := 0; t < n; t++ {
+			if t == s || sk.dist[s][t] == 0 || sk.dist[t][s] == 0 {
+				continue
+			}
+			if cycle := sk.dist[s][t] + sk.dist[t][s]; sk.rt[s] == 0 || cycle < sk.rt[s] {
+				sk.rt[s] = cycle
+			}
+		}
+	}
+	sk.sealed = true
+}
+
+// Stream is one ordered cross-shard message channel. A stream has a single
+// producer — code running on its source shard — and delivers to the
+// destination shard in (at, stream id, seq) order. Create every stream at
+// wiring time, in the same order regardless of partition, so ids (and
+// therefore same-instant delivery order) are partition-invariant.
+type Stream struct {
+	sk       *ShardedKernel
+	src, dst int
+	id       uint32
+	seq      uint64
+	ring     *inboxRing
+	srcK     *Kernel
+}
+
+// NewStream wires a message channel from shard src to shard dst. The pair
+// must have a Connect edge (directly or via other shards) before the
+// kernel runs.
+func (sk *ShardedKernel) NewStream(src, dst int) *Stream {
+	if sk.sealed {
+		panic("sim: NewStream after the sharded kernel started running")
+	}
+	if src == dst {
+		panic("sim: stream from a shard to itself")
+	}
+	r := sk.shards[dst].in[src]
+	if r == nil {
+		r = newInboxRing(64)
+		sk.shards[dst].in[src] = r
+	}
+	s := &Stream{sk: sk, src: src, dst: dst, id: sk.nextStream, ring: r, srcK: sk.shards[src].k}
+	sk.nextStream++
+	return s
+}
+
+// Send schedules h.Handle(arg) on the destination shard at the absolute
+// instant at. It must be called from code executing on the source shard,
+// and at must respect the declared lookahead — arriving earlier than
+// now + dist(src, dst) would mean the destination may already have run
+// past it. Violations panic: they are model bugs, exactly like scheduling
+// into the past on a single Kernel.
+func (s *Stream) Send(at Time, h Handler, arg uint64) {
+	d := s.sk.dist[s.src][s.dst]
+	if d == 0 {
+		panic(fmt.Sprintf("sim: stream %d->%d has no Connect path", s.src, s.dst))
+	}
+	if min := s.srcK.Now().Add(d); at < min {
+		panic(fmt.Sprintf("sim: cross-shard send at %v violates lookahead (now %v + dist %v)",
+			at, s.srcK.Now(), d))
+	}
+	s.seq++
+	s.ring.push(xmsg{at: at, stream: s.id, seq: s.seq, arg: arg, h: h})
+}
+
+// inject drains every inbox ring, merges the messages into (at, stream,
+// seq) order, and schedules them on the shard's kernel. Heap ties at equal
+// timestamps resolve by local seq, which AtH assigns in injection order,
+// so the sorted order is preserved through dispatch.
+func xmsgCmp(a, b xmsg) int {
+	switch {
+	case a.at != b.at:
+		if a.at < b.at {
+			return -1
+		}
+		return 1
+	case a.stream != b.stream:
+		if a.stream < b.stream {
+			return -1
+		}
+		return 1
+	case a.seq < b.seq:
+		return -1
+	case a.seq > b.seq:
+		return 1
+	}
+	return 0
+}
+
+// drain pulls this round's cross-shard arrivals into the staged buffer
+// and returns the earliest staged instant (MaxTime when empty). The
+// result counts toward the shard's published next-event time: a staged
+// message is work this shard will do, even when its own heap is empty.
+func (s *shardState) drain() Time {
+	had := len(s.staged)
+	for _, r := range s.in {
+		if r != nil {
+			s.staged = r.drainInto(s.staged)
+		}
+	}
+	if len(s.staged) > had {
+		slices.SortFunc(s.staged, xmsgCmp)
+	}
+	if len(s.staged) == 0 {
+		return MaxTime
+	}
+	return s.staged[0].at
+}
+
+// injectBelow moves every staged message with at < horizon into the
+// kernel's front band, preserving (at, stream, seq) order. Messages at or
+// past the horizon stay staged: a later round may still deliver messages
+// for those instants.
+func (s *shardState) injectBelow(horizon Time) {
+	cut := 0
+	for cut < len(s.staged) && s.staged[cut].at < horizon {
+		m := &s.staged[cut]
+		s.k.AtHFront(m.at, m.h, m.arg)
+		m.h = nil // release for GC; the buffer is reused
+		cut++
+	}
+	if cut == 0 {
+		return
+	}
+	rest := copy(s.staged, s.staged[cut:])
+	for i := rest; i < len(s.staged); i++ {
+		s.staged[i] = xmsg{}
+	}
+	s.staged = s.staged[:rest]
+}
+
+// Run dispatches events on every shard until all queues drain (or Stop),
+// and returns the latest shard clock.
+func (sk *ShardedKernel) Run() Time { return sk.RunUntil(MaxTime) }
+
+// RunUntil dispatches events with timestamps <= limit on every shard,
+// advances every shard clock to limit if it was reached with events still
+// pending, and returns the final time. Reentrant calls panic.
+func (sk *ShardedKernel) RunUntil(limit Time) Time {
+	capEx := MaxTime
+	if limit < MaxTime {
+		capEx = limit + 1
+	}
+	sk.runRounds(capEx)
+	end := Time(0)
+	for _, s := range sk.shards {
+		if s.k.Now() > end {
+			end = s.k.Now()
+		}
+	}
+	if limit != MaxTime && !sk.stopReq.Load() {
+		for _, s := range sk.shards {
+			if next, ok := s.k.NextEventTime(); !ok || next > limit {
+				if s.k.Now() < limit {
+					s.k.AdvanceTo(limit)
+				}
+			}
+		}
+		if end < limit {
+			end = limit
+		}
+	}
+	sk.now = end
+	return end
+}
+
+// StepTo dispatches every event strictly before t and then advances every
+// shard clock to exactly t. With all shard goroutines joined, the caller
+// may touch any shard's components single-threaded — the hook experiment
+// drivers use to apply control-plane phases (fault injection, attach
+// churn) at a deterministic global instant, exactly as a single-kernel
+// driver event at t would.
+func (sk *ShardedKernel) StepTo(t Time) {
+	sk.runRounds(t)
+	for _, s := range sk.shards {
+		s.k.AdvanceTo(t)
+	}
+	sk.now = t
+}
+
+// Stop makes the current Run/RunUntil return after the in-progress round.
+// Pending events remain queued.
+func (sk *ShardedKernel) Stop() { sk.stopReq.Store(true) }
+
+// Processed reports the total events dispatched across all shards.
+func (sk *ShardedKernel) Processed() uint64 {
+	var n uint64
+	for _, s := range sk.shards {
+		n += s.k.Processed()
+	}
+	return n
+}
+
+// Now returns the time reached by the last completed Run/RunUntil/StepTo.
+// It is a driver-side clock: between runs it equals every shard's clock,
+// but from inside an event it lags the executing shard (shards advance in
+// parallel; no global instant exists mid-run). Event code that needs the
+// current simulated time must ask the kernel it runs on.
+func (sk *ShardedKernel) Now() Time { return sk.now }
+
+// Pending reports how many events are scheduled but not yet dispatched
+// across all shards, including cross-shard messages still staged or in
+// flight through inbox rings. Like Now, it is a driver-side query; calling
+// it while a run is in progress races with the shard goroutines.
+func (sk *ShardedKernel) Pending() int {
+	n := 0
+	for _, s := range sk.shards {
+		n += s.k.Pending() + len(s.staged)
+		for _, r := range s.in {
+			if r != nil {
+				n += r.len()
+			}
+		}
+	}
+	return n
+}
+
+// runRounds executes the conservative window protocol with one goroutine
+// per shard until every event strictly below capEx has been dispatched.
+// Two barriers per round; no per-event synchronization of any kind.
+func (sk *ShardedKernel) runRounds(capEx Time) {
+	if sk.running {
+		panic("sim: ShardedKernel.Run called reentrantly")
+	}
+	sk.running = true
+	defer func() { sk.running = false }()
+	sk.seal()
+	sk.stopReq.Store(false)
+	sk.barrier.poisoned.Store(false)
+
+	n := len(sk.shards)
+	if n == 1 {
+		// Degenerate case: plain sequential execution (a single shard has
+		// no streams, so there is nothing to drain or inject).
+		sk.shards[0].k.RunBelow(capEx)
+		return
+	}
+	if runtime.GOMAXPROCS(0) == 1 {
+		// One P: goroutine-per-shard would just thrash the scheduler at
+		// every barrier. The round protocol is deterministic, so run the
+		// identical phases in-line — same rounds, same horizons, same
+		// injection order, byte-identical results.
+		sk.runRoundsSequential(capEx)
+		return
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(me int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					sk.panicOnce.Do(func() { sk.panicVal = r })
+					sk.barrier.poison()
+				}
+			}()
+			sk.shardLoop(me, capEx)
+		}(i)
+	}
+	wg.Wait()
+	if sk.barrier.poisoned.Load() && sk.panicVal != nil {
+		panic(sk.panicVal)
+	}
+}
+
+// runRoundsSequential executes the same round protocol as the shard
+// goroutines, one shard at a time on the calling goroutine: drain every
+// inbox and collect next-event times, derive each shard's horizon from the
+// same published values, then inject and run each shard below it. The
+// phase structure, horizons, and injection order are identical to the
+// parallel executor, so results are byte-identical — only wall-clock
+// scheduling differs.
+func (sk *ShardedKernel) runRoundsSequential(capEx Time) {
+	n := len(sk.shards)
+	nexts := sk.next[0]
+	for {
+		if sk.stopReq.Load() {
+			return
+		}
+		minNext := Time(MaxTime)
+		for i, s := range sk.shards {
+			next := int64(MaxTime)
+			if t, ok := s.k.NextEventTime(); ok {
+				next = int64(t)
+			}
+			if stagedNext := s.drain(); int64(stagedNext) < next {
+				next = int64(stagedNext)
+			}
+			nexts[i].Store(next)
+			if Time(next) < minNext {
+				minNext = Time(next)
+			}
+		}
+		if minNext >= capEx {
+			return
+		}
+		for me, s := range sk.shards {
+			horizon := capEx
+			for t := 0; t < n; t++ {
+				tn := Time(nexts[t].Load())
+				if t == me || tn == MaxTime {
+					continue
+				}
+				d := sk.dist[t][me]
+				if d == 0 {
+					continue
+				}
+				if h := tn.Add(d); h < horizon {
+					horizon = h
+				}
+			}
+			next := nexts[me].Load()
+			if rt := sk.rt[me]; rt > 0 && next != int64(MaxTime) {
+				if h := Time(next).Add(rt); h < horizon {
+					horizon = h
+				}
+			}
+			s.injectBelow(horizon)
+			s.k.RunBelow(horizon)
+		}
+	}
+}
+
+// shardLoop is one shard goroutine's round loop.
+func (sk *ShardedKernel) shardLoop(me int, capEx Time) {
+	s := sk.shards[me]
+	n := len(sk.shards)
+	for round := 0; ; round++ {
+		p := round & 1
+		// Drain phase: pull messages produced last round into the staged
+		// buffer, publish my next-event time (earliest of heap and staged
+		// work) for this round's horizon computation.
+		stagedNext := s.drain()
+		next := int64(MaxTime)
+		if t, ok := s.k.NextEventTime(); ok {
+			next = int64(t)
+		}
+		if int64(stagedNext) < next {
+			next = int64(stagedNext)
+		}
+		sk.next[p][me].Store(next)
+		if me == 0 {
+			sk.stop[p].Store(sk.stopReq.Load())
+		}
+		if !sk.barrier.wait() {
+			return
+		}
+		// Horizon phase: every shard reads the same published values and
+		// reaches the same done verdict — no coordinator.
+		if sk.stop[p].Load() {
+			return
+		}
+		minNext := Time(MaxTime)
+		horizon := capEx
+		for t := 0; t < n; t++ {
+			tn := Time(sk.next[p][t].Load())
+			if tn < minNext {
+				minNext = tn
+			}
+			if t == me || tn == MaxTime {
+				continue
+			}
+			d := sk.dist[t][me]
+			if d == 0 {
+				continue // unreachable: no constraint
+			}
+			if h := tn.Add(d); h < horizon {
+				horizon = h
+			}
+		}
+		// Even an idle neighborhood can bounce my own sends back at me:
+		// the earliest possible echo is my next event plus the cheapest
+		// round trip through any other shard.
+		if rt := sk.rt[me]; rt > 0 && next != int64(MaxTime) {
+			if h := Time(next).Add(rt); h < horizon {
+				horizon = h
+			}
+		}
+		if minNext >= capEx {
+			return // every remaining event is at/after the cap
+		}
+		// Run phase: inject the staged messages that are now final (no
+		// later round can add to their instants), then execute my events
+		// strictly below the horizon, buffering cross-shard sends into
+		// the inbox rings.
+		s.injectBelow(horizon)
+		s.k.RunBelow(horizon)
+		if !sk.barrier.wait() {
+			return
+		}
+	}
+}
+
+// spinBarrier is a reusable sense-reversing barrier. Shards spin with
+// Gosched rather than parking: rounds are microseconds apart and the
+// cross-core wake latency of a futex would dominate the window. poison
+// releases every waiter permanently (panic propagation).
+type spinBarrier struct {
+	n        int32
+	count    atomic.Int32
+	gen      atomic.Uint32
+	poisoned atomic.Bool
+}
+
+// wait blocks until all n parties arrive; it reports false if the barrier
+// was poisoned (some shard panicked) and the caller must unwind.
+func (b *spinBarrier) wait() bool {
+	g := b.gen.Load()
+	if b.count.Add(1) == b.n {
+		b.count.Store(0)
+		b.gen.Add(1)
+		return !b.poisoned.Load()
+	}
+	for b.gen.Load() == g {
+		if b.poisoned.Load() {
+			return false
+		}
+		runtime.Gosched()
+	}
+	return !b.poisoned.Load()
+}
+
+// poison releases all current and future waiters.
+func (b *spinBarrier) poison() { b.poisoned.Store(true) }
+
+// inboxRing is the SPSC ring between one ordered shard pair: the source
+// shard's goroutine pushes during its run phase, the destination's drains
+// during its inject phase, and the round barrier between the two phases
+// publishes the writes. Capacity grows by doubling on overflow (power-of-
+// two sizes, monotonic cursors), so a warmed ring never allocates.
+type inboxRing struct {
+	buf        []xmsg
+	head, tail uint64
+}
+
+// newInboxRing returns a ring with capacity rounded up to a power of two.
+func newInboxRing(capacity int) *inboxRing {
+	c := 1
+	for c < capacity {
+		c <<= 1
+	}
+	return &inboxRing{buf: make([]xmsg, c)}
+}
+
+// len reports the queued message count.
+func (r *inboxRing) len() int { return int(r.tail - r.head) }
+
+// push appends m, growing the ring if full.
+func (r *inboxRing) push(m xmsg) {
+	if r.len() == len(r.buf) {
+		r.grow()
+	}
+	r.buf[r.tail&uint64(len(r.buf)-1)] = m
+	r.tail++
+}
+
+// grow doubles capacity, preserving FIFO order.
+func (r *inboxRing) grow() {
+	old := r.buf
+	mask := uint64(len(old) - 1)
+	r.buf = make([]xmsg, 2*len(old))
+	n := uint64(0)
+	for i := r.head; i != r.tail; i++ {
+		r.buf[n] = old[i&mask]
+		n++
+	}
+	r.head = 0
+	r.tail = n
+}
+
+// drainInto appends every queued message to dst in push order, clearing
+// the ring (handler refs released for GC).
+func (r *inboxRing) drainInto(dst []xmsg) []xmsg {
+	mask := uint64(len(r.buf) - 1)
+	for r.head != r.tail {
+		i := r.head & mask
+		dst = append(dst, r.buf[i])
+		r.buf[i] = xmsg{}
+		r.head++
+	}
+	return dst
+}

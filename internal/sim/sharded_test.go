@@ -1,0 +1,455 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// tracePt is one observed dispatch at a node: the instant and the opaque
+// payload. Per-node traces are the determinism oracle — they must be
+// identical at every shard count and partition.
+type tracePt struct {
+	at  Time
+	arg uint64
+}
+
+// pingPort delivers to a peer node either locally (same shard) or through
+// a cross-shard stream.
+type pingPort struct {
+	local  *Kernel
+	stream *Stream
+	lat    Duration
+	dst    *pingNode
+}
+
+func (p *pingPort) send(at Time, arg uint64) {
+	if p.stream != nil {
+		p.stream.Send(at, p.dst, arg)
+		return
+	}
+	p.local.AtH(at, p.dst, arg)
+}
+
+// pingNode forwards tokens around a ring, recording every arrival. arg
+// encodes token<<16 | hop.
+type pingNode struct {
+	k     *Kernel
+	out   pingPort
+	trace []tracePt
+	limit uint64
+}
+
+func (n *pingNode) Handle(arg uint64) {
+	n.trace = append(n.trace, tracePt{n.k.Now(), arg})
+	hop := arg & 0xFFFF
+	if hop >= n.limit {
+		return
+	}
+	n.out.send(n.k.Now().Add(n.out.lat), (arg&^0xFFFF)|(hop+1))
+}
+
+// buildRing wires nodes in a ring with distinct per-edge latencies,
+// partitioned round-robin across shards. With one shard everything is
+// local; otherwise every shard-crossing edge becomes a stream.
+func buildRing(nodes, shards int, hops uint64) (*ShardedKernel, []*pingNode) {
+	sk := NewShardedKernel(shards)
+	ns := make([]*pingNode, nodes)
+	for i := range ns {
+		ns[i] = &pingNode{k: sk.Shard(i % shards), limit: hops}
+	}
+	edgeLat := func(i int) Duration { return Duration(100 + 13*i) }
+	for i := range ns {
+		src, dst := i%shards, (i+1)%nodes%shards
+		if src != dst {
+			sk.Connect(src, dst, edgeLat(i))
+		}
+	}
+	// Streams wired in node order — the same order at every shard count,
+	// which is what makes same-instant cross-shard ties partition-stable.
+	for i := range ns {
+		next := ns[(i+1)%nodes]
+		p := pingPort{lat: edgeLat(i), dst: next}
+		if src, dst := i%shards, (i+1)%nodes%shards; src != dst {
+			p.stream = sk.NewStream(src, dst)
+		} else {
+			p.local = next.k
+		}
+		ns[i].out = p
+	}
+	return sk, ns
+}
+
+func ringTraces(t *testing.T, shards int, hops uint64) [][]tracePt {
+	t.Helper()
+	const nodes = 6
+	sk, ns := buildRing(nodes, shards, hops)
+	// Three tokens injected at distinct nodes and instants.
+	for tok, start := range []int{0, 2, 5} {
+		n := ns[start]
+		n.k.AtH(Time(10*(tok+1)), n, uint64(tok+1)<<16)
+	}
+	sk.Run()
+	out := make([][]tracePt, nodes)
+	for i, n := range ns {
+		out[i] = n.trace
+	}
+	return out
+}
+
+// TestShardedDeterminism: a ring of nodes produces identical per-node
+// event traces at every shard count, including the degenerate 1-shard
+// (pure sequential) case.
+func TestShardedDeterminism(t *testing.T) {
+	want := ringTraces(t, 1, 400)
+	for _, shards := range []int{2, 3, 6} {
+		got := ringTraces(t, shards, 400)
+		for i := range want {
+			if len(got[i]) != len(want[i]) {
+				t.Fatalf("shards=%d node %d: %d events, want %d", shards, i, len(got[i]), len(want[i]))
+			}
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("shards=%d node %d event %d: %+v, want %+v", shards, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestShardedProcessedAndNow: bookkeeping sums across shards.
+func TestShardedProcessedAndNow(t *testing.T) {
+	sk, _ := buildRing(4, 2, 50)
+	n0 := sk.Shard(0)
+	n0.AtH(5, &countHandler{}, 0)
+	sk.Run()
+	if sk.Processed() == 0 {
+		t.Fatal("Processed() == 0 after a run")
+	}
+	if sk.Now() == 0 {
+		t.Fatal("Now() == 0 after a run")
+	}
+}
+
+type countHandler struct{ n int }
+
+func (c *countHandler) Handle(uint64) { c.n++ }
+
+// TestShardedSameInstantOrdering: cross-shard messages landing at one
+// instant dispatch in (stream id, seq) order — stream ids follow wiring
+// order, seq follows send order — regardless of the order the sends were
+// issued in.
+func TestShardedSameInstantOrdering(t *testing.T) {
+	sk := NewShardedKernel(3)
+	sk.Connect(0, 2, 10)
+	sk.Connect(1, 2, 10)
+	a := sk.NewStream(0, 2) // id 0
+	b := sk.NewStream(0, 2) // id 1
+	c := sk.NewStream(1, 2) // id 2
+	rec := &recHandler{}
+	// Shard 0 sends on b before a; shard 1 sends on c. All land at t=50.
+	sk.Shard(0).At(0, func() {
+		b.Send(50, rec, 20)
+		b.Send(50, rec, 21)
+		a.Send(50, rec, 10)
+	})
+	sk.Shard(1).At(0, func() {
+		c.Send(50, rec, 30)
+	})
+	sk.Run()
+	want := []uint64{10, 20, 21, 30}
+	if len(rec.got) != len(want) {
+		t.Fatalf("got %v, want %v", rec.got, want)
+	}
+	for i := range want {
+		if rec.got[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v", rec.got, want)
+		}
+	}
+}
+
+type recHandler struct{ got []uint64 }
+
+func (r *recHandler) Handle(arg uint64) { r.got = append(r.got, arg) }
+
+// TestShardedLookaheadViolationPanics: a send earlier than now+dist is a
+// model bug and must surface as a panic propagated out of Run.
+func TestShardedLookaheadViolationPanics(t *testing.T) {
+	sk := NewShardedKernel(2)
+	sk.Connect(0, 1, 100)
+	s := sk.NewStream(0, 1)
+	rec := &recHandler{}
+	sk.Shard(0).At(0, func() { s.Send(50, rec, 1) })
+	// Keep shard 1 busy so the panic must cross the barrier machinery.
+	sk.Shard(1).At(0, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("lookahead violation did not panic")
+		}
+	}()
+	sk.Run()
+}
+
+// TestShardedConnectValidation: bad topology declarations panic eagerly.
+func TestShardedConnectValidation(t *testing.T) {
+	sk := NewShardedKernel(2)
+	mustPanic(t, "self edge", func() { sk.Connect(0, 0, 10) })
+	mustPanic(t, "zero lookahead", func() { sk.Connect(0, 1, 0) })
+	mustPanic(t, "self stream", func() { sk.NewStream(1, 1) })
+	mustPanic(t, "zero shards", func() { NewShardedKernel(0) })
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	fn()
+}
+
+// TestShardedTransitiveLookahead: shards connected only through an
+// intermediate hop get the summed path latency as their pairwise bound.
+func TestShardedTransitiveLookahead(t *testing.T) {
+	sk := NewShardedKernel(3)
+	sk.Connect(0, 1, 100)
+	sk.Connect(1, 2, 40)
+	sk.seal()
+	if got := sk.dist[0][2]; got != 140 {
+		t.Fatalf("dist[0][2] = %v, want 140", got)
+	}
+	if got := sk.dist[2][0]; got != 0 {
+		t.Fatalf("dist[2][0] = %v, want 0 (unreachable)", got)
+	}
+}
+
+// TestShardedRunUntil: events past the limit stay pending, clocks land
+// exactly on the limit, and the run resumes cleanly.
+func TestShardedRunUntil(t *testing.T) {
+	sk, ns := buildRing(4, 2, 1000)
+	n := ns[0]
+	n.k.AtH(10, n, 1<<16)
+	end := sk.RunUntil(5000)
+	if end != 5000 {
+		t.Fatalf("RunUntil = %v, want 5000", end)
+	}
+	for i := 0; i < sk.Shards(); i++ {
+		if now := sk.Shard(i).Now(); now != 5000 {
+			t.Fatalf("shard %d clock %v, want 5000", i, now)
+		}
+	}
+	mid := len(n.trace)
+	if mid == 0 {
+		t.Fatal("no events before the limit")
+	}
+	sk.Run()
+	if len(n.trace) == mid {
+		t.Fatal("no events after resume")
+	}
+	// The split run must match an uninterrupted one.
+	ref, refNs := buildRing(4, 2, 1000)
+	refNs[0].k.AtH(10, refNs[0], 1<<16)
+	ref.Run()
+	if fmt.Sprint(n.trace) != fmt.Sprint(refNs[0].trace) {
+		t.Fatal("split RunUntil+Run diverged from an uninterrupted Run")
+	}
+}
+
+// TestShardedStepToDriver: a driver alternating StepTo barriers with
+// control-plane mutations produces identical traces at every shard count —
+// the contract the pool chaos campaign depends on.
+func TestShardedStepToDriver(t *testing.T) {
+	run := func(shards int) [][]tracePt {
+		const nodes = 6
+		sk, ns := buildRing(nodes, shards, 300)
+		for step := 1; step <= 5; step++ {
+			at := Time(step * 2000)
+			sk.StepTo(at)
+			// Driver phase: all shard goroutines joined; inject a token and
+			// mutate a node directly.
+			n := ns[step%nodes]
+			n.k.AtH(at, n, uint64(step)<<16)
+			ns[0].limit = 300 + uint64(step)
+		}
+		sk.Run()
+		out := make([][]tracePt, nodes)
+		for i, n := range ns {
+			out[i] = n.trace
+		}
+		return out
+	}
+	want := run(1)
+	for _, shards := range []int{2, 3, 6} {
+		got := run(shards)
+		for i := range want {
+			if fmt.Sprint(got[i]) != fmt.Sprint(want[i]) {
+				t.Fatalf("shards=%d node %d trace diverged:\n got %v\nwant %v", shards, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestShardedStop: Stop from inside a handler ends the run with events
+// still pending on other shards.
+func TestShardedStop(t *testing.T) {
+	sk, ns := buildRing(4, 4, 1<<15)
+	n := ns[0]
+	n.k.AtH(10, n, 1<<16)
+	stopAt := Time(50_000)
+	sk.Shard(1).At(stopAt, func() { sk.Stop() })
+	sk.Run()
+	if sk.Pending() == 0 {
+		t.Fatal("Stop left no pending events; ran to completion")
+	}
+}
+
+// TestInboxRingWraparound: FIFO order survives interleaved push/drain
+// cycling the cursors far past the capacity, across growth.
+func TestInboxRingWraparound(t *testing.T) {
+	r := newInboxRing(4)
+	var got []xmsg
+	next, drained := uint64(0), uint64(0)
+	check := func() {
+		t.Helper()
+		got = r.drainInto(got[:0])
+		for _, m := range got {
+			if m.seq != drained {
+				t.Fatalf("drained seq %d, want %d", m.seq, drained)
+			}
+			drained++
+		}
+	}
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 3+round%5; i++ {
+			r.push(xmsg{at: Time(next), seq: next})
+			next++
+		}
+		if round%3 != 0 {
+			check()
+		}
+	}
+	check()
+	if drained != next {
+		t.Fatalf("drained %d of %d", drained, next)
+	}
+	if r.len() != 0 {
+		t.Fatalf("ring not empty: %d", r.len())
+	}
+}
+
+// TestInboxRingGrowAcrossWrap: growth with head mid-buffer preserves order.
+func TestInboxRingGrowAcrossWrap(t *testing.T) {
+	r := newInboxRing(4)
+	for i := uint64(0); i < 3; i++ {
+		r.push(xmsg{seq: i})
+	}
+	var tmp []xmsg
+	tmp = r.drainInto(tmp) // head now 3, mid-buffer
+	for i := uint64(3); i < 20; i++ {
+		r.push(xmsg{seq: i}) // wraps, then grows twice
+	}
+	tmp = r.drainInto(tmp[:0])
+	if len(tmp) != 17 {
+		t.Fatalf("drained %d, want 17", len(tmp))
+	}
+	for i, m := range tmp {
+		if m.seq != uint64(i+3) {
+			t.Fatalf("pos %d: seq %d, want %d", i, m.seq, i+3)
+		}
+	}
+}
+
+// TestTickerRejectsNonPositivePeriod: a zero or negative period would
+// self-schedule at the same instant forever; the kernel must refuse it.
+func TestTickerRejectsNonPositivePeriod(t *testing.T) {
+	for _, period := range []Duration{0, -5} {
+		k := NewKernel()
+		mustPanic(t, fmt.Sprintf("Ticker(%d)", period), func() {
+			k.Ticker(period, func() bool { return true })
+		})
+	}
+}
+
+// TestRunBelowFrontier: RunBelow leaves the clock at the last dispatched
+// event and AdvanceTo refuses to skip pending work.
+func TestRunBelowFrontier(t *testing.T) {
+	k := NewKernel()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30} {
+		at := at
+		k.At(at, func() { fired = append(fired, at) })
+	}
+	if end := k.RunBelow(30); end != 20 {
+		t.Fatalf("RunBelow(30) = %v, want 20", end)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want [10 20]", fired)
+	}
+	mustPanic(t, "AdvanceTo past pending", func() { k.AdvanceTo(31) })
+	k.AdvanceTo(30)
+	if k.Now() != 30 {
+		t.Fatalf("now = %v, want 30", k.Now())
+	}
+	mustPanic(t, "AdvanceTo backwards", func() { k.AdvanceTo(29) })
+	k.Run()
+	if len(fired) != 3 {
+		t.Fatalf("fired %v, want all three", fired)
+	}
+}
+
+// TestNextEventTime covers the empty, closure-heap, handler-heap, and
+// immediate-ring cases.
+func TestNextEventTime(t *testing.T) {
+	k := NewKernel()
+	if _, ok := k.NextEventTime(); ok {
+		t.Fatal("empty kernel reported a next event")
+	}
+	k.At(40, func() {})
+	k.AtH(25, &countHandler{}, 0)
+	if next, ok := k.NextEventTime(); !ok || next != 25 {
+		t.Fatalf("next = %v,%v, want 25,true", next, ok)
+	}
+}
+
+func BenchmarkShardedRing(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sk, ns := buildRing(8, shards, 2000)
+				n := ns[0]
+				n.k.AtH(10, n, 1<<16)
+				sk.Run()
+			}
+		})
+	}
+}
+
+// TestShardedExecutorsAgree pins the two round executors against each
+// other: the goroutine-per-shard spin-barrier path (chosen when more than
+// one P is available) and the in-line sequential path (GOMAXPROCS == 1)
+// must produce identical per-node traces — the executor is a wall-clock
+// choice, never a results choice. Forcing GOMAXPROCS covers the parallel
+// path even when the test host has a single CPU, and under -race it is
+// the stress test for the cross-shard inbox rings and the barrier's
+// happens-before edges.
+func TestShardedExecutorsAgree(t *testing.T) {
+	run := func(procs int) [][]tracePt {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		return ringTraces(t, 3, 600)
+	}
+	want := run(1)
+	got := run(2)
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("node %d: parallel executor %d events, sequential %d", i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("node %d event %d: parallel %+v, sequential %+v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
