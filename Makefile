@@ -4,8 +4,8 @@ GO ?= go
 
 # Benchmark artifact for this PR and the committed baseline it is gated
 # against (previous PR's numbers).
-BENCH_OUT      ?= BENCH_9.json
-BENCH_BASELINE ?= BENCH_8.json
+BENCH_OUT      ?= BENCH_10.json
+BENCH_BASELINE ?= BENCH_9.json
 
 all: vet fmt-check build test
 
@@ -70,6 +70,7 @@ bench-gate:
 race-pools:
 	$(GO) test -race ./internal/sim ./internal/cluster ./internal/pool \
 		./internal/fabric ./internal/tfnic ./internal/ocapi \
+		./internal/control ./internal/memport \
 		./internal/workloads/kvstore ./internal/core
 
 # Race-check the metrics plane: an 8-worker pool sweep writes every

@@ -39,39 +39,51 @@ type Beat struct {
 // FIFO is a bounded queue of beats. VALID corresponds to Len() > 0 and
 // READY to Space() > 0. onData fires after each Push and onSpace after each
 // Pop; consumers/producers attach idempotent kick functions at wiring time.
+//
+// The backing ring is sized lazily: capacity is the handshake bound
+// (Space/Cap report against it), but the buffer only grows — by doubling,
+// up to capacity — when occupancy demands. Deep queues that back-pressure
+// long before they fill (the common case in wide fan-in topologies) then
+// cost no memory for their unreached headroom, which keeps testbed
+// construction off the large-allocation path.
 type FIFO struct {
-	name    string
-	buf     []Beat
-	head    int
-	count   int
-	onData  []func()
-	onSpace []func()
-	onPush  func(Beat)
+	name     string
+	buf      []Beat
+	capacity int
+	head     int
+	count    int
+	onData   []func()
+	onSpace  []func()
+	onPush   func(Beat)
 
 	pushed uint64
 	popped uint64
 	bytes  uint64
 }
 
+// fifoInitialCap bounds the first ring allocation; rings smaller than this
+// are allocated at full capacity up front.
+const fifoInitialCap = 64
+
 // NewFIFO returns a FIFO with the given capacity (entries, not bytes).
 func NewFIFO(name string, capacity int) *FIFO {
 	if capacity <= 0 {
 		panic("axis: FIFO capacity must be positive")
 	}
-	return &FIFO{name: name, buf: make([]Beat, capacity)}
+	return &FIFO{name: name, capacity: capacity}
 }
 
 // Name returns the FIFO's wiring label.
 func (f *FIFO) Name() string { return f.name }
 
 // Cap returns the capacity in beats.
-func (f *FIFO) Cap() int { return len(f.buf) }
+func (f *FIFO) Cap() int { return f.capacity }
 
 // Len returns the number of queued beats (VALID when > 0).
 func (f *FIFO) Len() int { return f.count }
 
 // Space returns the free entries (READY when > 0).
-func (f *FIFO) Space() int { return len(f.buf) - f.count }
+func (f *FIFO) Space() int { return f.capacity - f.count }
 
 // Pushed returns the cumulative number of beats accepted.
 func (f *FIFO) Pushed() uint64 { return f.pushed }
@@ -102,8 +114,11 @@ func (f *FIFO) OnPush(fn func(Beat)) {
 
 // TryPush appends b and reports success; it fails when the FIFO is full.
 func (f *FIFO) TryPush(b Beat) bool {
-	if f.count == len(f.buf) {
+	if f.count == f.capacity {
 		return false
+	}
+	if f.count == len(f.buf) {
+		f.grow()
 	}
 	f.buf[(f.head+f.count)%len(f.buf)] = b
 	f.count++
@@ -116,6 +131,22 @@ func (f *FIFO) TryPush(b Beat) bool {
 		fn()
 	}
 	return true
+}
+
+// grow doubles the ring (unwrapping it into the new buffer) up to the
+// capacity bound. Called only when the ring is full but capacity remains.
+func (f *FIFO) grow() {
+	n := len(f.buf) * 2
+	if n < fifoInitialCap {
+		n = fifoInitialCap
+	}
+	if n > f.capacity {
+		n = f.capacity
+	}
+	nb := make([]Beat, n)
+	m := copy(nb, f.buf[f.head:])
+	copy(nb[m:], f.buf[:f.head])
+	f.buf, f.head = nb, 0
 }
 
 // Push appends b and panics on overflow; use it where the producer has

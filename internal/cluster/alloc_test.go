@@ -83,12 +83,29 @@ func TestRemoteFillSteadyStateAllocs(t *testing.T) {
 			if warm == 0 {
 				t.Fatal("warm-up completed no fills")
 			}
+			before := tb.Kernel().TimerStats()
 			avg := testing.AllocsPerRun(200, fill)
 			if avg != 0 {
 				t.Errorf("steady-state remote fill: %.2f allocs/op, want 0", avg)
 			}
 			if fills <= warm {
 				t.Fatal("measured region completed no fills")
+			}
+			// The ARQ and deadline cases ride the kernel's timer wheel: the
+			// allocation-free region above must have been arming wheel
+			// timers and cancelling them for real on healthy completion —
+			// otherwise the 0-alloc result isn't covering the wheel path.
+			after := tb.Kernel().TimerStats()
+			if tc.cfg.ARQ != nil || tc.cfg.FillDeadline > 0 {
+				if after.Armed == before.Armed {
+					t.Error("measured region armed no wheel timers")
+				}
+				if after.Cancelled == before.Cancelled {
+					t.Error("measured region cancelled no wheel timers")
+				}
+			}
+			if after.Pending != 0 {
+				t.Errorf("drained kernel still has %d pending wheel timers", after.Pending)
 			}
 		})
 	}

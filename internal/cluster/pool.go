@@ -300,15 +300,23 @@ func NewPool(cfg PoolConfig) *Pool {
 		p.sk = sim.NewShardedKernel(eff)
 		p.shardOf = make([]int, nodes)
 		swK = p.sk.Shard(0)
+		shardPop := make([]int, eff)
 		for n := 0; n < nodes; n++ {
 			s := 1 + n%(eff-1)
 			p.shardOf[n] = s
+			shardPop[s]++
 			p.sk.Connect(s, 0, swCfg.LinkPropagation)
 			p.sk.Connect(0, s, swCfg.LinkPropagation)
 		}
 		shardFor = func(node int) *sim.Kernel { return p.sk.Shard(p.shardOf[node]) }
 		streamsFor = func(node int) (*sim.Stream, *sim.Stream) {
-			return p.sk.NewStream(p.shardOf[node], 0), p.sk.NewStream(0, p.shardOf[node])
+			// Every node on a shard shares the pair's inbox ring with the
+			// switch shard, so size it for the whole shard's worst-case
+			// in-flight window: one outstanding tag window each way per
+			// node plus barrier-round slack.
+			s := p.shardOf[node]
+			hint := (2*base.TagSpace + 64) * shardPop[s]
+			return p.sk.NewStreamCap(s, 0, hint), p.sk.NewStreamCap(0, s, hint)
 		}
 	} else {
 		swK = p.K

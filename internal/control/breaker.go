@@ -150,7 +150,7 @@ type BreakerStats struct {
 // Breaker is a count-window circuit breaker. Allow gates each access;
 // Record feeds it the outcome stream (wire it to the remote backend's
 // outcome observer). Both are allocation-free; only state transitions
-// allocate (log entry, dwell timer).
+// allocate (log entry — the dwell timer lives on the kernel's wheel).
 type Breaker struct {
 	k   *sim.Kernel
 	cfg BreakerConfig
@@ -163,10 +163,10 @@ type Breaker struct {
 	samples  int
 	failures int
 
-	dwell    sim.Duration // next Open dwell (backoff state)
-	gen      uint64       // invalidates in-flight dwell timers
-	inFlight int          // outstanding Half-Open trials
-	streak   int          // consecutive Half-Open successes
+	dwell      sim.Duration // next Open dwell (backoff state)
+	dwellTimer sim.TimerID  // armed Open→Half-Open transition
+	inFlight   int          // outstanding Half-Open trials
+	streak     int          // consecutive Half-Open successes
 
 	transitions []BreakerTransition
 	stats       BreakerStats
@@ -303,18 +303,24 @@ func (b *Breaker) resetWindow() {
 	b.head, b.samples, b.failures = 0, 0, 0
 }
 
-// trip opens the breaker and arms the dwell timer toward Half-Open.
+// trip opens the breaker and arms the dwell timer toward Half-Open on the
+// kernel's timer wheel. Re-tripping (Half-Open failure) cancels any prior
+// dwell for real, so a firing timer always belongs to the current Open
+// episode.
 func (b *Breaker) trip() {
 	b.transition(BreakerOpen)
-	b.gen++
-	gen := b.gen
-	b.k.After(b.dwell, func() {
-		if b.gen != gen || b.state != BreakerOpen {
-			return
-		}
-		b.inFlight, b.streak = 0, 0
-		b.transition(BreakerHalfOpen)
-	})
+	b.k.CancelTimer(b.dwellTimer)
+	b.dwellTimer = b.k.ArmTimer(b.dwell, b, 0)
+}
+
+// Handle implements sim.Handler: the Open dwell elapsed; admit trial
+// traffic.
+func (b *Breaker) Handle(uint64) {
+	if b.state != BreakerOpen {
+		return
+	}
+	b.inFlight, b.streak = 0, 0
+	b.transition(BreakerHalfOpen)
 }
 
 func (b *Breaker) transition(to BreakerState) {

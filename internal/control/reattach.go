@@ -148,7 +148,13 @@ type Supervisor struct {
 
 	state   LinkState
 	stopped bool
-	gen     uint64 // invalidates in-flight timers after Stop/state changes
+	// gen invalidates in-flight probe/attach callbacks after Stop or a
+	// restart. The supervisor's own timers need no such guard: they live
+	// on the kernel's timer wheel and Stop cancels them for real.
+	gen uint64
+	// timer is the armed heartbeat or re-attach pause (the two are
+	// mutually exclusive: heartbeats run while up, the pause while down).
+	timer   sim.TimerID
 	downAt  sim.Time
 	retries int // consecutive failed re-attach attempts
 	misses  int // consecutive failed heartbeats
@@ -193,11 +199,12 @@ func (s *Supervisor) Start() {
 	s.scheduleHeartbeat()
 }
 
-// Stop halts supervision; in-flight timers become no-ops so the kernel can
-// drain.
+// Stop halts supervision: armed timers are cancelled on the wheel and
+// in-flight probe/attach callbacks become no-ops, so the kernel can drain.
 func (s *Supervisor) Stop() {
 	s.stopped = true
 	s.gen++
+	s.p.Kernel().CancelTimer(s.timer)
 }
 
 func (s *Supervisor) transition(to LinkState) {
@@ -222,14 +229,33 @@ func (s *Supervisor) jittered(d float64) sim.Duration {
 	return sim.Duration(d)
 }
 
-func (s *Supervisor) scheduleHeartbeat() {
-	gen := s.gen
-	s.p.Kernel().After(s.jittered(float64(s.cfg.Heartbeat)), func() {
-		if s.stopped || s.gen != gen || s.state != LinkUp {
+// Timer contexts for the supervisor's Handle dispatch.
+const (
+	supHeartbeat = iota // the heartbeat interval elapsed
+	supReattach         // the re-attach backoff pause elapsed
+)
+
+// Handle implements sim.Handler for the supervisor's wheel timers. Stop
+// cancels them for real, so a firing always belongs to the live
+// supervision epoch; the state checks only guard transitions made by
+// callbacks that ran between arm and fire.
+func (s *Supervisor) Handle(arg uint64) {
+	switch arg {
+	case supHeartbeat:
+		if s.state != LinkUp {
 			return
 		}
-		s.heartbeat(gen)
-	})
+		s.heartbeat(s.gen)
+	case supReattach:
+		if s.state == LinkDead {
+			return
+		}
+		s.reattach(s.gen)
+	}
+}
+
+func (s *Supervisor) scheduleHeartbeat() {
+	s.timer = s.p.Kernel().ArmTimer(s.jittered(float64(s.cfg.Heartbeat)), s, supHeartbeat)
 }
 
 func (s *Supervisor) heartbeat(gen uint64) {
@@ -291,34 +317,33 @@ func (s *Supervisor) scheduleReattach() {
 		s.transition(LinkDead)
 		return
 	}
-	gen := s.gen
-	pause := s.reattachPause(s.retries)
-	s.p.Kernel().After(pause, func() {
+	s.timer = s.p.Kernel().ArmTimer(s.reattachPause(s.retries), s, supReattach)
+}
+
+// reattach runs one re-attach handshake; gen pins the supervision epoch
+// for the handshake's asynchronous completion callback.
+func (s *Supervisor) reattach(gen uint64) {
+	s.transition(LinkReattaching)
+	s.stats.Reattaches++
+	Attach(s.p, s.cfg.Attach, func(r AttachResult) {
 		if s.stopped || s.gen != gen || s.state == LinkDead {
 			return
 		}
-		s.transition(LinkReattaching)
-		s.stats.Reattaches++
-		Attach(s.p, s.cfg.Attach, func(r AttachResult) {
-			if s.stopped || s.gen != gen || s.state == LinkDead {
-				return
-			}
-			if !r.OK {
-				s.stats.FailedAttaches++
-				s.retries++
-				s.transition(LinkDown)
-				s.scheduleReattach()
-				return
-			}
-			rec := uint64(s.p.Kernel().Now().Sub(s.downAt))
-			s.stats.Recoveries++
-			s.stats.RecoverySumPs += rec
-			if rec > s.stats.RecoveryMaxPs {
-				s.stats.RecoveryMaxPs = rec
-			}
-			s.retries = 0
-			s.transition(LinkUp)
-			s.scheduleHeartbeat()
-		})
+		if !r.OK {
+			s.stats.FailedAttaches++
+			s.retries++
+			s.transition(LinkDown)
+			s.scheduleReattach()
+			return
+		}
+		rec := uint64(s.p.Kernel().Now().Sub(s.downAt))
+		s.stats.Recoveries++
+		s.stats.RecoverySumPs += rec
+		if rec > s.stats.RecoveryMaxPs {
+			s.stats.RecoveryMaxPs = rec
+		}
+		s.retries = 0
+		s.transition(LinkUp)
+		s.scheduleHeartbeat()
 	})
 }

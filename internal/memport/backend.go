@@ -74,9 +74,9 @@ type RemoteBackend struct {
 	// deadline bounds each transaction end to end (issue to response
 	// delivery); 0 disables. An expired transaction completes immediately
 	// with poisoned semantics, and its late response — if one ever comes —
-	// is consumed silently. freeDl pools the deadline timer contexts.
+	// is consumed silently. Deadlines are armed on the kernel's timer
+	// wheel and cancelled for real at delivery.
 	deadline sim.Duration
-	freeDl   *dlTimer
 	// onOutcome, when set, observes every transaction outcome exactly once
 	// (the circuit breaker's feed): true for a healthy completion, false
 	// for poisoned, nacked, or deadline-expired ones.
@@ -99,7 +99,8 @@ const tagNone = ^uint32(0)
 
 // rtxn is the pooled per-command context: it rides the two port-latency
 // hops (arg 0 = CPU→NIC transport done, arg 1 = NIC→CPU transport done)
-// and carries everything the pump and the completion need, replacing the
+// plus its own deadline expiry (arg 2, armed on the timer wheel) and
+// carries everything the pump and the completion need, replacing the
 // per-issue closures and the parallel callback/pendWrite bookkeeping.
 type rtxn struct {
 	b      *RemoteBackend
@@ -108,10 +109,10 @@ type rtxn struct {
 	issued sim.Time
 	sp     obs.SpanID
 	tag    uint32
-	// gen invalidates in-flight deadline timers: bumped when the response
-	// reaches the port (expiry is moot) and when the context is recycled,
-	// so a stale timer can never expire a successor transaction.
-	gen uint64
+	// dl is the armed end-to-end deadline; Deliver cancels it for real on
+	// the wheel, so a deadline that fires always belongs to the live
+	// transaction.
+	dl sim.TimerID
 	// expired marks a transaction already completed by its deadline; its
 	// eventual response is consumed without a second completion.
 	expired bool
@@ -130,6 +131,14 @@ type rtxn struct {
 // Handle implements sim.Handler.
 func (t *rtxn) Handle(stage uint64) {
 	b := t.b
+	if stage == 2 {
+		// The end-to-end deadline fired. Delivery cancels the timer, so a
+		// firing always means the transaction is still unresolved.
+		if !t.expired {
+			b.expire(t)
+		}
+		return
+	}
 	if stage == 0 {
 		if t.expired {
 			// Deadline fired while the command was still crossing the
@@ -180,38 +189,16 @@ func (t *rtxn) Handle(stage uint64) {
 	}
 }
 
-// recycle returns a context to the free list, bumping its generation so
-// stale deadline timers can never match it again.
+// recycle returns a context to the free list. The deadline id is cleared
+// defensively — on every recycle path the timer has already fired or been
+// cancelled, and the wheel's generation guard would reject a stale cancel
+// anyway.
 func (b *RemoteBackend) recycle(t *rtxn) {
-	t.gen++
+	b.k.CancelTimer(t.dl)
+	t.dl = sim.TimerID{}
 	t.done, t.h = nil, nil
 	t.next = b.free
 	b.free = t
-}
-
-// dlTimer is the pooled continuation for one armed transaction deadline.
-// Like tfnic's arqTimer, it snapshots the transaction and its generation
-// at arming time; a timer that fires after its transaction resolved (or
-// after the context was recycled into a successor) detects the mismatch
-// and does nothing. Timers are single-shot and return to the pool at the
-// top of Handle.
-type dlTimer struct {
-	b    *RemoteBackend
-	t    *rtxn
-	gen  uint64
-	next *dlTimer
-}
-
-// Handle implements sim.Handler: the transaction's deadline passed.
-func (tm *dlTimer) Handle(uint64) {
-	b, t, gen := tm.b, tm.t, tm.gen
-	tm.t = nil
-	tm.next = b.freeDl
-	b.freeDl = tm
-	if t.gen != gen || t.expired {
-		return // delivered or already expired
-	}
-	b.expire(t)
 }
 
 // expire completes a transaction poisoned at its deadline. The completion
@@ -255,18 +242,10 @@ func (b *RemoteBackend) expire(t *rtxn) {
 	}
 }
 
-// armDeadline schedules a transaction's end-to-end deadline on a pooled
-// timer context.
+// armDeadline schedules a transaction's end-to-end deadline on the
+// kernel's timer wheel (stage 2 of the transaction's own handler).
 func (b *RemoteBackend) armDeadline(t *rtxn) {
-	tm := b.freeDl
-	if tm == nil {
-		tm = &dlTimer{b: b}
-	} else {
-		b.freeDl = tm.next
-		tm.next = nil
-	}
-	tm.t, tm.gen = t, t.gen
-	b.k.AfterH(b.deadline, tm, 0)
+	t.dl = b.k.ArmTimer(b.deadline, t, 2)
 }
 
 // NewRemoteBackend builds the borrower-side remote memory backend. tags
@@ -466,7 +445,7 @@ func (b *RemoteBackend) Deliver(p ocapi.Packet) {
 	delete(b.pending, p.Tag)
 	// Delivery beats any armed deadline: the response reached the port, so
 	// expiry is moot from here on.
-	t.gen++
+	b.k.CancelTimer(t.dl)
 	if t.expired {
 		// Already completed poisoned at its deadline; the straggler is
 		// consumed silently (Handle(1) settles the tag and context).

@@ -204,6 +204,7 @@ type Kernel struct {
 	processed uint64
 	running   bool
 	stopped   bool
+	tw        timerWheel // cancellable timers (ArmTimer/CancelTimer)
 }
 
 // normalBand is the first seq value of the ordinary At/AtH band. Seq
@@ -213,14 +214,21 @@ const normalBand = uint64(1) << 62
 
 // NewKernel returns a kernel whose clock starts at time zero.
 func NewKernel() *Kernel {
-	return &Kernel{seq: normalBand}
+	k := &Kernel{seq: normalBand}
+	k.tw.nextLB = MaxTime
+	k.tw.nextAt = MaxTime
+	return k
 }
 
 // Now returns the current simulated time.
 func (k *Kernel) Now() Time { return k.now }
 
-// Pending reports how many events are scheduled but not yet dispatched.
-func (k *Kernel) Pending() int { return len(k.fq) + len(k.hq) + len(k.iq) - k.iqHead }
+// Pending reports how many events are scheduled but not yet dispatched,
+// including timers still waiting in the wheel (collected timers are
+// already in the handler heap and counted there).
+func (k *Kernel) Pending() int {
+	return len(k.fq) + len(k.hq) + len(k.iq) - k.iqHead + k.tw.count
+}
 
 // Processed reports the total number of events dispatched so far.
 func (k *Kernel) Processed() uint64 { return k.processed }
@@ -311,6 +319,9 @@ func (k *Kernel) Stop() { k.stopped = true }
 // ring entries all sit at the current instant, so a heap top precedes the
 // ring head only when it shares that instant with a smaller seq.
 func (k *Kernel) step(limit Time) bool {
+	if k.tw.count > 0 {
+		k.collectTimers(limit)
+	}
 	nf, nh := len(k.fq), len(k.hq)
 	fromF := nf > 0 && (nh == 0 ||
 		k.fq[0].at < k.hq[0].at ||
@@ -365,9 +376,12 @@ func (k *Kernel) step(limit Time) bool {
 	return true
 }
 
-// NextEventTime returns the timestamp of the earliest pending event. ok is
-// false when nothing is scheduled. Immediate-ring events sit at the current
-// instant by construction.
+// NextEventTime returns the timestamp of the earliest pending event,
+// including timers still waiting in the wheel (their exact deadlines, not
+// slot bounds — the sharded runtime's conservative horizon and AdvanceTo's
+// skip check both need the true minimum). ok is false when nothing is
+// scheduled. Immediate-ring events sit at the current instant by
+// construction.
 func (k *Kernel) NextEventTime() (Time, bool) {
 	if k.iqHead < len(k.iq) {
 		return k.now, true
@@ -381,6 +395,12 @@ func (k *Kernel) NextEventTime() (Time, bool) {
 	if len(k.hq) > 0 && (!found || k.hq[0].at < next) {
 		next = k.hq[0].at
 		found = true
+	}
+	if k.tw.count > 0 {
+		if wn := k.tw.next(); !found || wn < next {
+			next = wn
+			found = true
+		}
 	}
 	return next, found
 }
@@ -443,19 +463,29 @@ func (k *Kernel) RunUntil(limit Time) Time {
 	return k.now
 }
 
+// tickerState is the re-arming handler behind Ticker. Each firing draws a
+// fresh seq at arm time, exactly as the closure-based Ticker's After chain
+// did, so converting Ticker to the wheel preserves event order.
+type tickerState struct {
+	k      *Kernel
+	period Duration
+	fn     func() bool
+}
+
+func (t *tickerState) Handle(uint64) {
+	if t.fn() {
+		t.k.ArmTimer(t.period, t, 0)
+	}
+}
+
 // Ticker invokes fn every period until fn returns false. The first firing is
 // one period from now.
 func (k *Kernel) Ticker(period Duration, fn func() bool) {
 	if period <= 0 {
 		panic("sim: Ticker period must be positive")
 	}
-	var tick func()
-	tick = func() {
-		if fn() {
-			k.After(period, tick)
-		}
-	}
-	k.After(period, tick)
+	t := &tickerState{k: k, period: period, fn: fn}
+	k.ArmTimer(period, t, 0)
 }
 
 // WaitGroup counts outstanding simulated activities and runs a completion

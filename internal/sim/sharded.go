@@ -202,6 +202,15 @@ type Stream struct {
 // must have a Connect edge (directly or via other shards) before the
 // kernel runs.
 func (sk *ShardedKernel) NewStream(src, dst int) *Stream {
+	return sk.NewStreamCap(src, dst, 0)
+}
+
+// NewStreamCap is NewStream with a capacity hint: the pair's shared inbox
+// ring is pre-sized to hold at least hint in-flight messages, so a
+// correctly-hinted topology never grows a ring mid-round. Hints are
+// maxed, not summed — callers sharing a shard pair should each pass the
+// pair's total expected fan-in. A hint <= 0 keeps the default sizing.
+func (sk *ShardedKernel) NewStreamCap(src, dst, hint int) *Stream {
 	if sk.sealed {
 		panic("sim: NewStream after the sharded kernel started running")
 	}
@@ -212,6 +221,24 @@ func (sk *ShardedKernel) NewStream(src, dst int) *Stream {
 	if r == nil {
 		r = newInboxRing(64)
 		sk.shards[dst].in[src] = r
+	}
+	if hint > 0 {
+		r.reserve(hint)
+		// The drain scratch absorbs every inbox ring in one inject phase;
+		// size it alongside so a hinted topology's steady-state rounds
+		// never grow it either.
+		st := sk.shards[dst]
+		total := 0
+		for _, ring := range st.in {
+			if ring != nil {
+				total += len(ring.buf)
+			}
+		}
+		if cap(st.staged) < total {
+			nb := make([]xmsg, len(st.staged), total)
+			copy(nb, st.staged)
+			st.staged = nb
+		}
 	}
 	s := &Stream{sk: sk, src: src, dst: dst, id: sk.nextStream, ring: r, srcK: sk.shards[src].k}
 	sk.nextStream++
@@ -627,6 +654,14 @@ func (r *inboxRing) push(m xmsg) {
 	}
 	r.buf[r.tail&uint64(len(r.buf)-1)] = m
 	r.tail++
+}
+
+// reserve grows the ring until it can hold at least n messages. Wiring
+// time only (single-threaded; push/drain may run concurrently later).
+func (r *inboxRing) reserve(n int) {
+	for len(r.buf) < n {
+		r.grow()
+	}
 }
 
 // grow doubles capacity, preserving FIFO order.

@@ -55,29 +55,53 @@ func (n *pingNode) Handle(arg uint64) {
 func buildRing(nodes, shards int, hops uint64) (*ShardedKernel, []*pingNode) {
 	sk := NewShardedKernel(shards)
 	ns := make([]*pingNode, nodes)
+	// Up to three tokens circulate; each leaves ~hops/nodes arrivals at
+	// every node. Pre-sizing the traces keeps append growth out of the
+	// steady-state alloc picture the ring benchmark asserts on.
+	traceCap := 3 * (int(hops)/nodes + 2)
 	for i := range ns {
-		ns[i] = &pingNode{k: sk.Shard(i % shards), limit: hops}
+		ns[i] = &pingNode{k: sk.Shard(i % shards), limit: hops,
+			trace: make([]tracePt, 0, traceCap)}
 	}
 	edgeLat := func(i int) Duration { return Duration(100 + 13*i) }
+	pairEdges := make(map[[2]int]int)
 	for i := range ns {
 		src, dst := i%shards, (i+1)%nodes%shards
 		if src != dst {
 			sk.Connect(src, dst, edgeLat(i))
+			pairEdges[[2]int{src, dst}]++
 		}
 	}
 	// Streams wired in node order — the same order at every shard count,
 	// which is what makes same-instant cross-shard ties partition-stable.
+	// Each pair's shared inbox ring is hinted from its edge fan-in.
 	for i := range ns {
 		next := ns[(i+1)%nodes]
 		p := pingPort{lat: edgeLat(i), dst: next}
 		if src, dst := i%shards, (i+1)%nodes%shards; src != dst {
-			p.stream = sk.NewStream(src, dst)
+			p.stream = sk.NewStreamCap(src, dst, 16*pairEdges[[2]int{src, dst}])
 		} else {
 			p.local = next.k
 		}
 		ns[i].out = p
 	}
 	return sk, ns
+}
+
+// ringBufCaps snapshots every inbox ring's and drain scratch's capacity —
+// the steady-state invariant the ring benchmark asserts: a fan-out-hinted
+// topology never grows either after wiring.
+func ringBufCaps(sk *ShardedKernel) []int {
+	var caps []int
+	for _, st := range sk.shards {
+		caps = append(caps, cap(st.staged))
+		for _, r := range st.in {
+			if r != nil {
+				caps = append(caps, len(r.buf))
+			}
+		}
+	}
+	return caps
 }
 
 func ringTraces(t *testing.T, shards int, hops uint64) [][]tracePt {
@@ -418,9 +442,19 @@ func BenchmarkShardedRing(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sk, ns := buildRing(8, shards, 2000)
+				pre := ringBufCaps(sk)
 				n := ns[0]
 				n.k.AtH(10, n, 1<<16)
 				sk.Run()
+				if i == 0 {
+					post := ringBufCaps(sk)
+					for j := range pre {
+						if post[j] != pre[j] {
+							b.Fatalf("ring/scratch buffer %d grew mid-run: %d -> %d beats (fan-out hint too small)",
+								j, pre[j], post[j])
+						}
+					}
+				}
 			}
 		})
 	}

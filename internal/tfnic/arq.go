@@ -81,33 +81,19 @@ type ARQStats struct {
 type arqTxn struct {
 	pkt      ocapi.Packet // as given by the port, pre-translation
 	attempts int          // transmissions so far; Seq of the live attempt is attempts-1
-	gen      uint64       // invalidates in-flight timeout timers
+	timer    sim.TimerID  // the live attempt's response deadline
 	next     *arqTxn      // free-list link while recycled
 }
 
-// arqTimer is the pooled continuation for one armed response deadline. It
-// snapshots the transaction pointer and generation at arming time so a
-// timer that outlives its attempt — or fires against a recycled
-// transaction reusing the same tag — detects the mismatch and does
-// nothing. Timers are single-shot: the context returns to the pool at the
-// top of Handle, before any retry logic can re-arm and reuse it.
-type arqTimer struct {
-	a    *ARQ
-	tag  uint32
-	t    *arqTxn
-	gen  uint64
-	next *arqTimer
-}
-
-// Handle implements sim.Handler: the attempt's deadline expired.
-func (tm *arqTimer) Handle(uint64) {
-	a, tag, t, gen := tm.a, tm.tag, tm.t, tm.gen
-	tm.t = nil
-	tm.next = a.freeTimers
-	a.freeTimers = tm
-	cur, ok := a.txns[tag]
-	if !ok || cur != t || cur.gen != gen {
-		return // resolved or superseded while the timer was in flight
+// Handle implements sim.Handler: the attempt whose tag rides in arg hit
+// its response deadline. The kernel's timer wheel cancels deadlines for
+// real (OnResponse/recycle call CancelTimer), so a firing timer always
+// belongs to the live attempt — no generation bookkeeping per site.
+func (a *ARQ) Handle(arg uint64) {
+	tag := uint32(arg)
+	t, ok := a.txns[tag]
+	if !ok {
+		return // unreachable: resolution cancels the deadline
 	}
 	a.stats.Timeouts++
 	a.mx.Timeout()
@@ -126,14 +112,12 @@ type ARQ struct {
 	rng *sim.Rand
 
 	txns map[uint32]*arqTxn
-	// freeTxns and freeTimers recycle transaction entries and timeout
-	// contexts so a warmed-up ARQ layer tracks and times out without
-	// allocating. A recycled arqTxn keeps (and bumps) its gen across
-	// reuse: a stale timer holding the old generation can then never
-	// mistake the recycled entry for its own attempt, even when the same
-	// tag and the same object meet again.
-	freeTxns   *arqTxn
-	freeTimers *arqTimer
+	// freeTxns recycles transaction entries so a warmed-up ARQ layer
+	// tracks and times out without allocating. Timeout deadlines live on
+	// the kernel's timer wheel (ArmTimer/CancelTimer), which supplies the
+	// stale-timer protection the old per-transaction generation counter
+	// existed for.
+	freeTxns *arqTxn
 	// retryQ holds retransmissions waiting for NIC command-queue space;
 	// they take precedence over new sends so recovery cannot starve.
 	retryQ []ocapi.Packet
@@ -209,7 +193,6 @@ func (a *ARQ) TrySend(p ocapi.Packet) bool {
 	}
 	t.pkt = p
 	t.attempts = 1
-	// t.gen is deliberately NOT reset: see freeTxns.
 	a.txns[p.Tag] = t
 	a.stats.Tracked++
 	a.mx.Tracked()
@@ -217,10 +200,12 @@ func (a *ARQ) TrySend(p ocapi.Packet) bool {
 	return true
 }
 
-// recycle returns a resolved transaction entry to the free list, bumping
-// its generation so stale in-flight timers can never match it again.
+// recycle returns a resolved transaction entry to the free list. Any
+// still-armed deadline is cancelled for real on the wheel; on death paths
+// (where the deadline itself fired) the cancel is a stale-id no-op.
 func (a *ARQ) recycle(t *arqTxn) {
-	t.gen++
+	a.k.CancelTimer(t.timer)
+	t.timer = sim.TimerID{}
 	t.pkt = ocapi.Packet{}
 	t.next = a.freeTxns
 	a.freeTxns = t
@@ -258,7 +243,7 @@ func (a *ARQ) OnResponse(p ocapi.Packet) {
 	case p.Op == ocapi.OpNack:
 		a.stats.NackRetries++
 		a.mx.NackRetry()
-		t.gen++ // cancel the attempt's timeout
+		a.k.CancelTimer(t.timer) // the nack supersedes the attempt's timeout
 		a.retryOrDie(p.Tag, t)
 	default:
 		delete(a.txns, p.Tag)
@@ -269,19 +254,16 @@ func (a *ARQ) OnResponse(p ocapi.Packet) {
 	}
 }
 
-// armTimeout schedules the live attempt's response deadline on a pooled
-// timer context.
+// armTimeout schedules the live attempt's response deadline on the
+// kernel's timer wheel.
 func (a *ARQ) armTimeout(tag uint32, t *arqTxn) {
-	tm := a.freeTimers
-	if tm == nil {
-		tm = &arqTimer{a: a}
-	} else {
-		a.freeTimers = tm.next
-		tm.next = nil
-	}
-	tm.tag, tm.t, tm.gen = tag, t, t.gen
-	a.k.AfterH(a.timeoutFor(t.attempts-1), tm, 0)
+	t.timer = a.k.ArmTimer(a.timeoutFor(t.attempts-1), a, uint64(tag))
 }
+
+// maxBackoff bounds an uncapped backoff (~13 simulated days): the growth
+// loop multiplies a float64, and an unbounded product would overflow the
+// Duration conversion into a negative delay at high attempt counts.
+const maxBackoff = float64(uint64(1) << 60)
 
 // timeoutFor returns attempt's deadline: Timeout * BackoffMult^attempt,
 // capped, with +-JitterFrac spread.
@@ -291,6 +273,10 @@ func (a *ARQ) timeoutFor(attempt int) sim.Duration {
 		d *= a.cfg.BackoffMult
 		if a.cfg.BackoffCap > 0 && d > float64(a.cfg.BackoffCap) {
 			d = float64(a.cfg.BackoffCap)
+			break
+		}
+		if d >= maxBackoff {
+			d = maxBackoff
 			break
 		}
 	}

@@ -319,13 +319,15 @@ func TestARQConfigValidation(t *testing.T) {
 	}
 }
 
-// TestARQRecycledTxnImmuneToStaleTimer pins the pooled-entry generation
-// guard: a transaction whose retry is acked returns its entry to the free
-// list while the retry's own deadline timer is still scheduled. Reusing
-// the same tag immediately pops that same entry; when the stale timer
-// fires it sees the same object under the same tag and must detect the
-// bumped generation and do nothing — neither retransmitting nor killing
+// TestARQRecycledTxnImmuneToStaleTimer pins the stale-timer immunity of a
+// recycled entry: a transaction whose retry is acked returns its entry to
+// the free list while the retry's own deadline would still be scheduled.
+// Reusing the same tag immediately pops that same entry; the superseded
+// deadline must never fire against it — neither retransmitting nor killing
 // the new transaction, and never mutating the already-delivered response.
+// (The timer wheel enforces this by construction: completion cancels the
+// deadline for real, and the wheel's own generation guard inert-izes any
+// id that survives into a recycled cell — see the sim.TimerWheel suite.)
 func TestARQRecycledTxnImmuneToStaleTimer(t *testing.T) {
 	k := sim.NewKernel()
 	link := &fakeLink{space: 64}
@@ -387,5 +389,64 @@ func TestARQRecycledTxnImmuneToStaleTimer(t *testing.T) {
 	}
 	if a.Outstanding() != 0 {
 		t.Fatalf("outstanding = %d", a.Outstanding())
+	}
+}
+
+// TestARQTimeoutForBackoffGrowth pins the backoff schedule at high attempt
+// counts: capped configurations saturate at BackoffCap, and the uncapped
+// BackoffCap == 0 configuration must keep growing monotonically without
+// ever overflowing into a non-positive delay (the float64 product is
+// clamped before the Duration conversion).
+func TestARQTimeoutForBackoffGrowth(t *testing.T) {
+	k := sim.NewKernel()
+
+	capped := arqConfig() // 10us timeout, x2 backoff, 10ms cap, no jitter
+	a := NewARQ(k, &fakeLink{space: 64}, capped)
+	for attempt := 0; attempt < 512; attempt++ {
+		d := a.timeoutFor(attempt)
+		if d <= 0 {
+			t.Fatalf("capped: attempt %d delay %v <= 0", attempt, d)
+		}
+		if d > capped.BackoffCap {
+			t.Fatalf("capped: attempt %d delay %v exceeds cap %v", attempt, d, capped.BackoffCap)
+		}
+	}
+	// The first attempts double exactly until the cap.
+	for attempt, want := 0, capped.Timeout; want <= capped.BackoffCap; attempt, want = attempt+1, 2*want {
+		if d := a.timeoutFor(attempt); d != want {
+			t.Fatalf("capped: attempt %d delay %v, want %v", attempt, d, want)
+		}
+	}
+
+	uncapped := arqConfig()
+	uncapped.BackoffCap = 0
+	u := NewARQ(k, &fakeLink{space: 64}, uncapped)
+	prev := sim.Duration(0)
+	for attempt := 0; attempt < 2048; attempt++ {
+		d := u.timeoutFor(attempt)
+		if d <= 0 {
+			t.Fatalf("uncapped: attempt %d delay %v <= 0 (overflow)", attempt, d)
+		}
+		if d < prev {
+			t.Fatalf("uncapped: attempt %d delay %v < previous %v (non-monotonic)", attempt, d, prev)
+		}
+		prev = d
+	}
+	// Saturated delays must still be armable: the kernel accepts them
+	// (heap fallback beyond the wheel span) rather than panicking.
+	id := k.ArmTimer(u.timeoutFor(2048), u, 0)
+	if !k.CancelTimer(id) {
+		t.Fatal("saturated backoff delay not armable/cancellable")
+	}
+
+	// Jitter at the saturation point keeps the delay positive and finite.
+	j := arqConfig()
+	j.BackoffCap = 0
+	j.JitterFrac = 0.5
+	aj := NewARQ(k, &fakeLink{space: 64}, j)
+	for attempt := 2040; attempt < 2060; attempt++ {
+		if d := aj.timeoutFor(attempt); d <= 0 {
+			t.Fatalf("jittered uncapped: attempt %d delay %v <= 0", attempt, d)
+		}
 	}
 }
